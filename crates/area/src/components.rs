@@ -1,0 +1,100 @@
+//! Component areas (paper Table 1), in mm² at 0.10 µm.
+
+/// Component areas and multithreading penalties.
+///
+/// ```
+/// use vlt_area::AreaModel;
+/// let m = AreaModel::default();
+/// assert!((m.base_processor(8) - 170.2).abs() < 0.05); // paper Table 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// 2-way scalar unit + L1 caches.
+    pub su2: f64,
+    /// 4-way scalar unit + L1 caches.
+    pub su4: f64,
+    /// 2-way vector control logic.
+    pub vcl2: f64,
+    /// One vector lane.
+    pub lane: f64,
+    /// 4 MB L2 cache.
+    pub l2: f64,
+    /// Area penalty for 2-way multithreading within a scalar core.
+    pub smt2_penalty: f64,
+    /// Area penalty for 4-way multithreading within a scalar core.
+    pub smt4_penalty: f64,
+}
+
+impl Default for AreaModel {
+    /// Paper Table 1 values (plus the §4.2 SMT penalties from its ref. 26).
+    fn default() -> Self {
+        AreaModel {
+            su2: 5.7,
+            su4: 20.9,
+            vcl2: 2.1,
+            lane: 6.1,
+            l2: 98.4,
+            smt2_penalty: 0.06,
+            smt4_penalty: 0.10,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of one scalar unit: `width` ∈ {2, 4}, `contexts` ∈ {1, 2, 4}.
+    pub fn scalar_unit(&self, width: usize, contexts: usize) -> f64 {
+        let base = match width {
+            2 => self.su2,
+            4 => self.su4,
+            w => panic!("no area data for a {w}-way scalar unit"),
+        };
+        let penalty = match contexts {
+            1 => 0.0,
+            2 => self.smt2_penalty,
+            4 => self.smt4_penalty,
+            c => panic!("no area data for {c}-way multithreading"),
+        };
+        base * (1.0 + penalty)
+    }
+
+    /// The base vector processor: one 4-way SU, the VCL, `lanes` lanes, and
+    /// the L2 (Table 1's 170.2 mm² for 8 lanes).
+    pub fn base_processor(&self, lanes: usize) -> f64 {
+        self.su4 + self.vcl2 + lanes as f64 * self.lane + self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let m = AreaModel::default();
+        // Table 1: base = 4-way SU + VCL + 8 lanes + L2 = 170.2 mm².
+        assert!((m.base_processor(8) - 170.2).abs() < 0.05, "{}", m.base_processor(8));
+    }
+
+    #[test]
+    fn smt_penalties() {
+        let m = AreaModel::default();
+        assert_eq!(m.scalar_unit(4, 1), 20.9);
+        assert!((m.scalar_unit(4, 2) - 20.9 * 1.06).abs() < 1e-9);
+        assert!((m.scalar_unit(4, 4) - 20.9 * 1.10).abs() < 1e-9);
+        assert!((m.scalar_unit(2, 1) - 5.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_width_panics() {
+        AreaModel::default().scalar_unit(8, 1);
+    }
+
+    #[test]
+    fn l2_dominates() {
+        // §4.2: the L2 and the lanes make up ~86% of the base design.
+        let m = AreaModel::default();
+        let frac = (m.l2 + 8.0 * m.lane) / m.base_processor(8);
+        assert!((0.84..0.89).contains(&frac), "{frac}");
+    }
+}

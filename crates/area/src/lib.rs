@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! # vlt-area — the first-order area model (paper §4.2)
+//!
+//! The paper derives component areas from Alpha die photos (21064/21164/
+//! 21264 and the Tarantula vector extension), scaled to 0.10 µm CMOS.
+//! Table 1 gives the component areas directly; Table 2 is arithmetic over
+//! them plus a 6% / 10% area penalty for 2-way / 4-way multithreading
+//! within a scalar processor. This crate re-derives that arithmetic.
+
+pub mod components;
+pub mod configs;
+
+pub use components::AreaModel;
+pub use configs::{ConfigArea, VltDesign};

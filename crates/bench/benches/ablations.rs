@@ -1,0 +1,162 @@
+//! Ablations over the design choices DESIGN.md §4 calls out: misprediction
+//! penalty, VCL issue width, L2 bank count, and the VLT-thread-count ×
+//! vector-length crossover.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use vlt_core::{System, SystemConfig};
+use vlt_workloads::{workload, Built, Scale};
+
+fn cycles(cfg: SystemConfig, built: &Built, threads: usize) -> u64 {
+    let mut sys = System::new(cfg, &built.program, threads);
+    sys.run(200_000_000).expect("simulates").cycles
+}
+
+/// Timing sensitivity to the front-end redirect penalty (the main knob of
+/// the no-wrong-path simplification, DESIGN.md §7).
+fn ablation_mispredict(c: &mut Criterion) {
+    let built = workload("radix").unwrap().build(1, Scale::Test);
+    let mut g = c.benchmark_group("ablation_mispredict");
+    g.sample_size(10);
+    for penalty in [5u64, 10, 20] {
+        g.bench_function(format!("penalty_{penalty}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SystemConfig::base(8);
+                    cfg.cores[0].mispredict_penalty = penalty;
+                    cfg
+                },
+                |cfg| cycles(cfg, &built, 1),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The multiplexed-VCL claim (§3.2): halving or doubling the shared issue
+/// width brackets the paper's 2-way design point.
+fn ablation_vcl_issue(c: &mut Criterion) {
+    let built = workload("trfd").unwrap().build(4, Scale::Test);
+    let mut g = c.benchmark_group("ablation_vcl");
+    g.sample_size(10);
+    for width in [1usize, 2, 4] {
+        g.bench_function(format!("issue_{width}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SystemConfig::v4_cmp();
+                    cfg.vcl.issue_width = width;
+                    cfg
+                },
+                |cfg| cycles(cfg, &built, 4),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// L2 banking: fewer banks serialize the element streams of vector loads.
+fn ablation_banks(c: &mut Criterion) {
+    let built = workload("sage").unwrap().build(1, Scale::Test);
+    let mut g = c.benchmark_group("ablation_banks");
+    g.sample_size(10);
+    for banks in [4usize, 16] {
+        g.bench_function(format!("banks_{banks}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SystemConfig::base(8);
+                    cfg.mem.l2_banks = banks;
+                    cfg
+                },
+                |cfg| cycles(cfg, &built, 1),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// VLT thread count on a fixed short-VL workload: where the crossover
+/// between lane partitioning and thread-level parallelism falls.
+fn ablation_vlt_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vlt_threads");
+    g.sample_size(10);
+    for (threads, cfg) in
+        [(1usize, SystemConfig::base(8)), (2, SystemConfig::v2_cmp()), (4, SystemConfig::v4_cmp())]
+    {
+        let built = workload("mpenc").unwrap().build(threads, Scale::Test);
+        g.bench_function(format!("mpenc_x{threads}"), |b| {
+            b.iter_batched(
+                || cfg.clone(),
+                |cfg| cycles(cfg, &built, threads),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Lane-core issue width in VLT scalar-thread mode: the paper's lanes are
+/// 2-way (§5); a 1-way lane halves Figure 6's throughput headroom.
+fn ablation_lane_width(c: &mut Criterion) {
+    use std::sync::Arc;
+    use vlt_exec::{ExecError, FuncSim, Step};
+    use vlt_mem::{MemConfig, MemSystem};
+    use vlt_scalar::{FetchResult, FetchSource, InOrderCore, LaneCoreConfig};
+
+    struct Src(FuncSim);
+    impl FetchSource for Src {
+        fn fetch(&mut self, t: usize) -> Result<FetchResult, ExecError> {
+            Ok(match self.0.step_thread(t)? {
+                Step::Inst(d) => FetchResult::Inst(d),
+                Step::AtBarrier => FetchResult::AtBarrier,
+                Step::Halted => FetchResult::Halted,
+            })
+        }
+    }
+
+    let built = workload("ocean").unwrap().build(8, Scale::Test);
+    let mut g = c.benchmark_group("ablation_lane_width");
+    g.sample_size(10);
+    for width in [1usize, 2] {
+        g.bench_function(format!("ocean_{width}way_lanes"), |b| {
+            b.iter_batched(
+                || {
+                    let sim = FuncSim::new(&built.program, 8);
+                    let decoded = Arc::clone(&sim.prog);
+                    let cores: Vec<InOrderCore> = (0..8)
+                        .map(|t| {
+                            let cfg = LaneCoreConfig { width, ..LaneCoreConfig::default() };
+                            InOrderCore::new(cfg, t, 0, t, Arc::clone(&decoded))
+                        })
+                        .collect();
+                    (Src(sim), cores, MemSystem::new(MemConfig::default(), 2, 8))
+                },
+                |(mut src, mut cores, mut mem)| {
+                    let mut now = 0u64;
+                    while !cores.iter().all(|c| c.done()) {
+                        for core in cores.iter_mut() {
+                            core.tick(now, &mut mem, &mut src).unwrap();
+                        }
+                        now += 1;
+                        assert!(now < 100_000_000);
+                    }
+                    now
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_mispredict,
+    ablation_vcl_issue,
+    ablation_banks,
+    ablation_vlt_threads,
+    ablation_lane_width
+);
+criterion_main!(benches);

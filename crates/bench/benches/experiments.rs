@@ -1,0 +1,67 @@
+//! Per-figure simulation sweeps as Criterion benchmarks (Test scale):
+//! `cargo bench` regenerates the timing-relevant portion of every figure
+//! quickly and tracks simulator performance regressions on each.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use vlt_core::{System, SystemConfig};
+use vlt_workloads::{workload, Built, Scale};
+
+fn run(cfg: SystemConfig, built: &Built, threads: usize) -> u64 {
+    let mut sys = System::new(cfg, &built.program, threads);
+    sys.run(200_000_000).expect("simulates").cycles
+}
+
+/// Figure 1's core contrast: mxm (long VL) on 1 vs 8 lanes.
+fn fig1_lane_scaling(c: &mut Criterion) {
+    let built = workload("mxm").unwrap().build(1, Scale::Test);
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    for lanes in [1usize, 8] {
+        g.bench_function(format!("mxm_{lanes}_lanes"), |b| {
+            b.iter_batched(
+                || (),
+                |_| run(SystemConfig::base(lanes), &built, 1),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3's core contrast: trfd base vs V4-CMP.
+fn fig3_vlt_speedup(c: &mut Criterion) {
+    let base = workload("trfd").unwrap().build(1, Scale::Test);
+    let vlt = workload("trfd").unwrap().build(4, Scale::Test);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("trfd_base", |b| {
+        b.iter_batched(|| (), |_| run(SystemConfig::base(8), &base, 1), BatchSize::SmallInput)
+    });
+    g.bench_function("trfd_v4cmp", |b| {
+        b.iter_batched(|| (), |_| run(SystemConfig::v4_cmp(), &vlt, 4), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+/// Figure 6's core contrast: ocean on the CMT vs on the lanes.
+fn fig6_scalar_threads(c: &mut Criterion) {
+    let cmt = workload("ocean").unwrap().build(4, Scale::Test);
+    let lanes = workload("ocean").unwrap().build(8, Scale::Test);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("ocean_cmt", |b| {
+        b.iter_batched(|| (), |_| run(SystemConfig::cmt(), &cmt, 4), BatchSize::SmallInput)
+    });
+    g.bench_function("ocean_lanes", |b| {
+        b.iter_batched(
+            || (),
+            |_| run(SystemConfig::v4_cmt_lane_threads(), &lanes, 8),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1_lane_scaling, fig3_vlt_speedup, fig6_scalar_threads);
+criterion_main!(benches);

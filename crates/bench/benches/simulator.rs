@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the simulator's own hot paths: assembler
+//! throughput, functional interpretation, cache hierarchy, and whole-system
+//! simulation speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use vlt_core::{System, SystemConfig};
+use vlt_exec::FuncSim;
+use vlt_isa::asm::assemble;
+use vlt_mem::{Cache, MemConfig, MemSystem};
+use vlt_workloads::{workload, Scale};
+
+fn bench_assembler(c: &mut Criterion) {
+    // A representative mixed kernel, repeated to ~2k instructions.
+    let unit: String = (0..250)
+        .map(|i| {
+            format!(
+                r#"
+        li      x1, 64
+        setvl   x2, x1
+        vld     v1, x4
+        vfma.vs v2, v1, f1
+        vst     v2, x5
+        addi    x4, x4, 8
+        blt     x4, x6, next{i}
+    next{i}:
+        nop
+"#
+            )
+        })
+        .collect();
+    let src = format!(".text\n{unit}halt\n");
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Elements(2001));
+    g.bench_function("assemble_2k_insts", |b| {
+        b.iter(|| assemble(black_box(&src)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_funcsim(c: &mut Criterion) {
+    let built = workload("mxm").unwrap().build(1, Scale::Test);
+    let mut g = c.benchmark_group("funcsim");
+    g.bench_function("mxm_test_scale", |b| {
+        b.iter_batched(
+            || FuncSim::new(&built.program, 1),
+            |mut sim| sim.run_to_completion(100_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("l1_tags_4k_accesses", |b| {
+        b.iter_batched(
+            || Cache::new(16 * 1024, 2, 64),
+            |mut cache| {
+                for i in 0..4096u64 {
+                    black_box(cache.access((i * 40) & 0xFFFF));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("banked_l2_4k_accesses", |b| {
+        b.iter_batched(
+            || MemSystem::new(MemConfig::default(), 1, 8),
+            |mut mem| {
+                for i in 0..4096u64 {
+                    black_box(mem.l2_access(i * 8, i % 3 == 0, i));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let built = workload("trfd").unwrap().build(1, Scale::Test);
+    let mut g = c.benchmark_group("system");
+    g.sample_size(20);
+    g.bench_function("trfd_base8_test_scale", |b| {
+        b.iter_batched(
+            || System::new(SystemConfig::base(8), &built.program, 1),
+            |mut sys| sys.run(100_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let built4 = workload("trfd").unwrap().build(4, Scale::Test);
+    g.bench_function("trfd_v4cmp_test_scale", |b| {
+        b.iter_batched(
+            || System::new(SystemConfig::v4_cmp(), &built4.program, 4),
+            |mut sys| sys.run(100_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_assembler, bench_funcsim, bench_caches, bench_full_system);
+criterion_main!(benches);

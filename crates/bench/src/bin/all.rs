@@ -1,0 +1,23 @@
+//! Run every experiment and write all JSON records.
+
+fn main() {
+    use vlt_bench::experiments as ex;
+    let scale = ex::scale_from_env();
+    println!("{}", ex::table3::run());
+    ex::emit(&ex::table1::run());
+    ex::emit(&ex::table2::run());
+    println!("{}", ex::table4::render_full(scale));
+    let t4 = ex::table4::run(scale);
+    t4.write_to(&vlt_bench::results_dir()).ok();
+    for e in [
+        ex::fig1::run(scale),
+        ex::fig3::run(scale),
+        ex::fig4::run(scale),
+        ex::fig5::run(scale),
+        ex::fig6::run(scale),
+        ex::ext_lanes::run(scale),
+        ex::ext_chaining::run(scale),
+    ] {
+        ex::emit(&e);
+    }
+}

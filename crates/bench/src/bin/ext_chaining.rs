@@ -1,0 +1,7 @@
+//! Extension/ablation study. See `vlt_bench::experiments::ext_chaining`.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    let e = vlt_bench::experiments::ext_chaining::run(scale);
+    vlt_bench::experiments::emit(&e);
+}

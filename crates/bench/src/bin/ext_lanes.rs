@@ -1,0 +1,7 @@
+//! Extension/ablation study. See `vlt_bench::experiments::ext_lanes`.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    let e = vlt_bench::experiments::ext_lanes::run(scale);
+    vlt_bench::experiments::emit(&e);
+}

@@ -1,0 +1,7 @@
+//! Regenerate fig4 of the paper. See `vlt_bench::experiments::fig4`.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    let e = vlt_bench::experiments::fig4::run(scale);
+    vlt_bench::experiments::emit(&e);
+}

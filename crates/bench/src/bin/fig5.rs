@@ -1,0 +1,7 @@
+//! Regenerate fig5 of the paper. See `vlt_bench::experiments::fig5`.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    let e = vlt_bench::experiments::fig5::run(scale);
+    vlt_bench::experiments::emit(&e);
+}

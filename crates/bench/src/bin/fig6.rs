@@ -1,0 +1,7 @@
+//! Regenerate fig6 of the paper. See `vlt_bench::experiments::fig6`.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    let e = vlt_bench::experiments::fig6::run(scale);
+    vlt_bench::experiments::emit(&e);
+}

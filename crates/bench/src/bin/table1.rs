@@ -1,0 +1,6 @@
+//! Regenerate table1 of the paper (analytical area model).
+
+fn main() {
+    let e = vlt_bench::experiments::table1::run();
+    vlt_bench::experiments::emit(&e);
+}

@@ -1,0 +1,6 @@
+//! Regenerate table2 of the paper (analytical area model).
+
+fn main() {
+    let e = vlt_bench::experiments::table2::run();
+    vlt_bench::experiments::emit(&e);
+}

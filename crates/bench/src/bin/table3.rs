@@ -1,0 +1,5 @@
+//! Echo the base configuration against the paper's Table 3.
+
+fn main() {
+    println!("{}", vlt_bench::experiments::table3::run());
+}

@@ -1,0 +1,11 @@
+//! Measure workload characteristics against the paper's Table 4.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    println!("{}", vlt_bench::experiments::table4::render_full(scale));
+    let e = vlt_bench::experiments::table4::run(scale);
+    match e.write_to(&vlt_bench::results_dir()) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => eprintln!("could not write results JSON: {err}"),
+    }
+}

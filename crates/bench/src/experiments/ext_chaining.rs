@@ -1,0 +1,47 @@
+//! Ablation (DESIGN.md §4): element-wise chaining of dependent vector
+//! instructions. With chaining off, a consumer waits for the producer's
+//! full completion — dependent chains pay startup + full occupancy per
+//! hop, which hurts most at short vector lengths and few lanes.
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{workload, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+use super::fig3::APPS;
+
+fn unchained(mut cfg: SystemConfig) -> SystemConfig {
+    cfg.vcl.chaining = false;
+    cfg.name = format!("{}-nochain", cfg.name);
+    cfg
+}
+
+/// Run the chaining on/off comparison on the base 8-lane machine.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "ext_chaining",
+        "Ablation: element-wise chaining of dependent vector instructions",
+        "slowdown when chaining is disabled",
+    );
+    let x = vec!["base/chained vs unchained".to_string()];
+
+    let specs: Vec<RunSpec> = APPS
+        .iter()
+        .flat_map(|name| {
+            let w = workload(name).unwrap();
+            [
+                RunSpec { workload: w, config: SystemConfig::base(8), threads: 1, scale },
+                RunSpec { workload: w, config: unchained(SystemConfig::base(8)), threads: 1, scale },
+            ]
+        })
+        .collect();
+    let results = run_suite_parallel(specs);
+
+    for (i, name) in APPS.iter().enumerate() {
+        let chained = results[i * 2].cycles as f64;
+        let unchained = results[i * 2 + 1].cycles as f64;
+        e.push(Series::new(*name, &x, vec![unchained / chained]));
+    }
+    e
+}

@@ -1,0 +1,51 @@
+//! Extension study (paper §9): "VLT helps manufacturers of vector systems
+//! to continue increasing the number of lanes". We scale the base design
+//! to 16 lanes and measure how much more VLT recovers: the idle-lane
+//! problem worsens with lane count for short-vector applications, so the
+//! VLT-4 speedup should *grow* from 8 to 16 lanes.
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{workload, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+use super::fig3::APPS;
+
+/// Run the 8-vs-16-lane VLT comparison.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "ext_lanes",
+        "Extension: VLT-4 speedup as the lane count scales (paper §9 claim)",
+        "V4-CMP speedup over same-lane base",
+    );
+    let x = vec!["8 lanes".to_string(), "16 lanes".to_string()];
+
+    let specs: Vec<RunSpec> = APPS
+        .iter()
+        .flat_map(|name| {
+            let w = workload(name).unwrap();
+            [
+                RunSpec { workload: w, config: SystemConfig::base(8), threads: 1, scale },
+                RunSpec { workload: w, config: SystemConfig::v4_cmp(), threads: 4, scale },
+                RunSpec { workload: w, config: SystemConfig::base(16), threads: 1, scale },
+                RunSpec {
+                    workload: w,
+                    config: SystemConfig::v4_cmp().with_lanes(16),
+                    threads: 4,
+                    scale,
+                },
+            ]
+        })
+        .collect();
+    let results = run_suite_parallel(specs);
+
+    for (i, name) in APPS.iter().enumerate() {
+        let b8 = results[i * 4].cycles as f64;
+        let v8 = results[i * 4 + 1].cycles as f64;
+        let b16 = results[i * 4 + 2].cycles as f64;
+        let v16 = results[i * 4 + 3].cycles as f64;
+        e.push(Series::new(*name, &x, vec![b8 / v8, b16 / v16]));
+    }
+    e
+}

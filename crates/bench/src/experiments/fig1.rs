@@ -1,0 +1,56 @@
+//! Figure 1: application speedup as the base vector processor scales from
+//! 1 to 8 lanes. Long-vector applications scale; short-vector and scalar
+//! applications plateau — the motivation for VLT.
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{suite, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+const LANES: [usize; 4] = [1, 2, 4, 8];
+
+/// Paper values digitized from the Figure 1 chart (approximate; the paper
+/// prints no table for this figure).
+fn paper_series(name: &str) -> Vec<f64> {
+    match name {
+        "mxm" => vec![1.0, 2.0, 3.9, 7.2],
+        "sage" => vec![1.0, 1.9, 3.7, 6.6],
+        "mpenc" => vec![1.0, 1.5, 1.9, 2.1],
+        "trfd" => vec![1.0, 1.7, 2.2, 2.5],
+        "multprec" => vec![1.0, 1.7, 2.3, 2.6],
+        "bt" => vec![1.0, 1.3, 1.5, 1.6],
+        _ => vec![1.0, 1.0, 1.0, 1.0], // radix, ocean, barnes: no vectors
+    }
+}
+
+/// Run the lane sweep for every workload.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig1",
+        "Effect of lane count on the base vector processor",
+        "speedup vs 1 lane",
+    );
+    let x: Vec<String> = LANES.iter().map(|l| format!("{l} lanes")).collect();
+
+    let specs: Vec<RunSpec> = suite()
+        .into_iter()
+        .flat_map(|w| {
+            LANES.iter().map(move |l| RunSpec {
+                workload: w,
+                config: SystemConfig::base(*l),
+                threads: 1,
+                scale,
+            })
+        })
+        .collect();
+    let results = run_suite_parallel(specs);
+
+    for (wi, w) in suite().into_iter().enumerate() {
+        let cycles: Vec<u64> = (0..LANES.len()).map(|li| results[wi * 4 + li].cycles).collect();
+        let speedups: Vec<f64> =
+            cycles.iter().map(|c| cycles[0] as f64 / *c as f64).collect();
+        e.push(Series::new(w.name(), &x, speedups).with_paper(paper_series(w.name())));
+    }
+    e
+}

@@ -1,0 +1,61 @@
+//! Figure 3: VLT speedup for vector threads over the base 8-lane
+//! processor, using the maximum-performance configurations (V2-CMP for two
+//! threads, V4-CMP for four). Paper: 1.14–2.15 (2 threads), 1.40–2.3 (4).
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{workload, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+/// The four applications with VLT opportunity (Table 4 middle block).
+pub const APPS: [&str; 4] = ["mpenc", "trfd", "multprec", "bt"];
+
+/// Paper values digitized from the Figure 3 chart (approximate).
+fn paper_series(name: &str) -> Vec<f64> {
+    match name {
+        "mpenc" => vec![1.6, 1.8],
+        "trfd" => vec![2.15, 2.3],
+        "multprec" => vec![1.5, 1.7],
+        "bt" => vec![1.14, 1.4],
+        other => panic!("no Figure 3 data for {other}"),
+    }
+}
+
+/// Cycle counts for (base, V2-CMP, V4-CMP) per app.
+pub fn raw_cycles(scale: Scale) -> Vec<(&'static str, [u64; 3])> {
+    let specs: Vec<RunSpec> = APPS
+        .iter()
+        .flat_map(|name| {
+            let w = workload(name).unwrap();
+            [
+                RunSpec { workload: w, config: SystemConfig::base(8), threads: 1, scale },
+                RunSpec { workload: w, config: SystemConfig::v2_cmp(), threads: 2, scale },
+                RunSpec { workload: w, config: SystemConfig::v4_cmp(), threads: 4, scale },
+            ]
+        })
+        .collect();
+    let results = run_suite_parallel(specs);
+    APPS.iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (*name, [results[i * 3].cycles, results[i * 3 + 1].cycles, results[i * 3 + 2].cycles])
+        })
+        .collect()
+}
+
+/// Run the Figure 3 sweep.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig3",
+        "VLT speedup for vector threads over the base vector processor",
+        "speedup over base",
+    );
+    let x = vec!["VLT-2 (V2-CMP)".to_string(), "VLT-4 (V4-CMP)".to_string()];
+    for (name, cyc) in raw_cycles(scale) {
+        let speedups =
+            vec![cyc[0] as f64 / cyc[1] as f64, cyc[0] as f64 / cyc[2] as f64];
+        e.push(Series::new(name, &x, speedups).with_paper(paper_series(name)));
+    }
+    e
+}

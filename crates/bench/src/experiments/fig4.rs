@@ -1,0 +1,51 @@
+//! Figure 4: normalized datapath utilization of the 24 arithmetic
+//! datapaths (3 per lane x 8 lanes) for base, VLT-2, and VLT-4. Bars are
+//! normalized to the base execution: a shorter bar means faster execution;
+//! the busy fraction is invariant (the same element work), while VLT
+//! compresses the stall and idle datapath-cycles.
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{workload, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+use super::fig3::APPS;
+
+/// Run the utilization breakdown.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig4",
+        "Datapath utilization in the 8 vector lanes (normalized to base)",
+        "fraction of base datapath-cycles",
+    );
+    let x = vec!["base".to_string(), "VLT-2".to_string(), "VLT-4".to_string()];
+
+    let specs: Vec<RunSpec> = APPS
+        .iter()
+        .flat_map(|name| {
+            let w = workload(name).unwrap();
+            [
+                RunSpec { workload: w, config: SystemConfig::base(8), threads: 1, scale },
+                RunSpec { workload: w, config: SystemConfig::v2_cmp(), threads: 2, scale },
+                RunSpec { workload: w, config: SystemConfig::v4_cmp(), threads: 4, scale },
+            ]
+        })
+        .collect();
+    let results = run_suite_parallel(specs);
+
+    for (i, name) in APPS.iter().enumerate() {
+        let base_total = results[i * 3].utilization.total() as f64;
+        let mut cat = |label: &str, pick: fn(&vlt_core::Utilization) -> u64| {
+            let vals: Vec<f64> = (0..3)
+                .map(|k| pick(&results[i * 3 + k].utilization) as f64 / base_total)
+                .collect();
+            e.push(Series::new(format!("{name}/{label}"), &x, vals));
+        };
+        cat("busy", |u| u.busy);
+        cat("partly-idle", |u| u.partly_idle);
+        cat("stalled", |u| u.stalled);
+        cat("all-idle", |u| u.all_idle);
+    }
+    e
+}

@@ -1,0 +1,57 @@
+//! Figure 5: the scalar-unit design space for vector threads. All numbers
+//! are speedup over the base vector design. The paper's findings to
+//! reproduce: V2-SMT ≈ V2-CMP; V4-SMT trails (4 instructions per cycle of
+//! fetch cannot feed 4 threads); V4-CMT ≈ V4-CMP (8/cycle suffices);
+//! V4-CMP-h trails all other VLT-4 points (a 2-way SU throttles its
+//! thread, and barriers make the slowest thread decisive).
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{workload, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+use super::fig3::APPS;
+
+/// The design points, with the thread count each runs.
+pub fn points() -> Vec<(SystemConfig, usize)> {
+    vec![
+        (SystemConfig::v2_smt(), 2),
+        (SystemConfig::v2_cmp(), 2),
+        (SystemConfig::v4_smt(), 4),
+        (SystemConfig::v4_cmt(), 4),
+        (SystemConfig::v4_cmp(), 4),
+        (SystemConfig::v4_cmp_h(), 4),
+    ]
+}
+
+/// Run the design-space sweep.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig5",
+        "Design space for vector threads (speedup over base)",
+        "speedup over base",
+    );
+    let pts = points();
+    let x: Vec<String> = pts.iter().map(|(c, _)| c.name.clone()).collect();
+
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for name in APPS {
+        let w = workload(name).unwrap();
+        specs.push(RunSpec { workload: w, config: SystemConfig::base(8), threads: 1, scale });
+        for (cfg, threads) in points() {
+            specs.push(RunSpec { workload: w, config: cfg, threads, scale });
+        }
+    }
+    let results = run_suite_parallel(specs);
+
+    let per_app = 1 + pts.len();
+    for (i, name) in APPS.iter().enumerate() {
+        let base = results[i * per_app].cycles as f64;
+        let vals: Vec<f64> = (0..pts.len())
+            .map(|k| base / results[i * per_app + 1 + k].cycles as f64)
+            .collect();
+        e.push(Series::new(*name, &x, vals));
+    }
+    e
+}

@@ -1,0 +1,60 @@
+//! Figure 6: 8 VLT scalar threads on the vector lanes (each lane a 2-way
+//! in-order core) versus 4 scalar threads on the CMT baseline (two 4-way
+//! SMT cores, no vector unit). Paper: ~2x for radix and ocean, ~1x for
+//! barnes (whose long divide chains suffer on the simple lane cores).
+
+use vlt_core::SystemConfig;
+use vlt_stats::{Experiment, Series};
+use vlt_workloads::{workload, Scale};
+
+use crate::harness::{run_suite_parallel, RunSpec};
+
+/// The three parallel-but-not-vectorizable applications.
+pub const APPS: [&str; 3] = ["radix", "ocean", "barnes"];
+
+/// Paper values digitized from the Figure 6 chart (approximate; the chart
+/// annotates 2.2 and 1.1).
+fn paper_value(name: &str) -> f64 {
+    match name {
+        "radix" => 2.0,
+        "ocean" => 2.2,
+        "barnes" => 1.1,
+        other => panic!("no Figure 6 data for {other}"),
+    }
+}
+
+/// Run the scalar-thread comparison.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig6",
+        "8 VLT scalar threads on lanes vs 4 threads on the CMT baseline",
+        "VLT speedup over CMT",
+    );
+    let x = vec!["VLT lanes / CMT".to_string()];
+
+    let specs: Vec<RunSpec> = APPS
+        .iter()
+        .flat_map(|name| {
+            let w = workload(name).unwrap();
+            [
+                RunSpec { workload: w, config: SystemConfig::cmt(), threads: 4, scale },
+                RunSpec {
+                    workload: w,
+                    config: SystemConfig::v4_cmt_lane_threads(),
+                    threads: 8,
+                    scale,
+                },
+            ]
+        })
+        .collect();
+    let results = run_suite_parallel(specs);
+
+    for (i, name) in APPS.iter().enumerate() {
+        let cmt = results[i * 2].cycles as f64;
+        let lanes = results[i * 2 + 1].cycles as f64;
+        e.push(
+            Series::new(*name, &x, vec![cmt / lanes]).with_paper(vec![paper_value(name)]),
+        );
+    }
+    e
+}

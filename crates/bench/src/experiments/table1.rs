@@ -1,0 +1,42 @@
+//! Table 1: component area breakdown (mm² at 0.10 µm).
+
+use vlt_area::AreaModel;
+use vlt_stats::{Experiment, Series};
+
+/// Emit the component areas (analytical — Table 1 is the model's input,
+/// echoed here with the derived base-processor total).
+pub fn run() -> Experiment {
+    let m = AreaModel::default();
+    let mut e =
+        Experiment::new("table1", "Area breakdown for vector processor components", "mm^2");
+    let x = vec!["area".to_string()];
+    let rows: [(&str, f64, f64); 6] = [
+        ("2-way scalar unit + L1 caches", m.su2, 5.7),
+        ("4-way scalar unit + L1 caches", m.su4, 20.9),
+        ("2-way VCL", m.vcl2, 2.1),
+        ("Vector lane", m.lane, 6.1),
+        ("L2 cache (4MB)", m.l2, 98.4),
+        ("Base vector processor (4-way SU, 8 lanes)", m.base_processor(8), 170.2),
+    ];
+    for (label, v, paper) in rows {
+        e.push(Series::new(label, &x, vec![v]).with_paper(vec![paper]));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper_exactly() {
+        let e = super::run();
+        for s in &e.series {
+            assert!(
+                (s.values[0] - s.paper[0]).abs() < 0.05,
+                "{}: {} vs {}",
+                s.label,
+                s.values[0],
+                s.paper[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Table 2: percentage area increase of VLT configurations over the base
+//! vector processor.
+
+use vlt_area::{AreaModel, ConfigArea, VltDesign};
+use vlt_stats::{Experiment, Series};
+
+/// The paper's printed Table 2 values. Note V4-CMP: the paper's table
+/// prints 26.9%, but its §4.2 text says 37% — the arithmetic (3 extra
+/// 4-way SUs = 62.7 mm² on 170.2 mm²) supports the text; see
+/// EXPERIMENTS.md.
+fn paper_value(d: VltDesign) -> f64 {
+    match d {
+        VltDesign::V2Smt => 0.8,
+        VltDesign::V4Smt => 1.3,
+        VltDesign::V2Cmp => 12.3,
+        VltDesign::V2CmpH => 3.4,
+        VltDesign::V4Cmp => 26.9,
+        VltDesign::V4CmpH => 10.1,
+        VltDesign::V4Cmt => 13.8,
+    }
+}
+
+/// Emit the Table 2 rows from the area model.
+pub fn run() -> Experiment {
+    let m = AreaModel::default();
+    let mut e = Experiment::new(
+        "table2",
+        "Percentage area increase over the base vector processor",
+        "% area increase",
+    );
+    let x = vec!["% increase".to_string()];
+    for row in ConfigArea::table2(&m, 8) {
+        e.push(
+            Series::new(
+                format!("{} ({})", row.design.name(), row.design.description()),
+                &x,
+                vec![row.pct_increase],
+            )
+            .with_paper(vec![paper_value(row.design)]),
+        );
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_match_paper_except_v4cmp() {
+        let e = run();
+        for s in &e.series {
+            let delta = (s.values[0] - s.paper[0]).abs();
+            if s.label.starts_with("V4-CMP (") {
+                // Known paper-internal inconsistency: we match the text's
+                // 37%, not the table's 26.9%.
+                assert!((s.values[0] - 36.8).abs() < 0.3, "{}", s.values[0]);
+            } else {
+                assert!(delta < 0.15, "{}: {} vs {}", s.label, s.values[0], s.paper[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared experiment-runner infrastructure.
+//!
+//! Simulations are single-threaded and deterministic; independent runs fan
+//! out across a crossbeam scope (one OS thread per pending run, bounded by
+//! the spec list — the per-run working set is small).
+
+use std::path::PathBuf;
+
+use vlt_core::{SimResult, System, SystemConfig};
+use vlt_workloads::{Built, Scale, Workload};
+
+/// Default cycle budget per simulation.
+pub const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Where JSON records land (repo-relative).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Run one built workload on a configuration, verifying the result.
+pub fn run_built(cfg: SystemConfig, built: &Built, threads: usize) -> SimResult {
+    let name = cfg.name.clone();
+    let mut system = System::new(cfg, &built.program, threads);
+    let result = system
+        .run(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("simulation failed on {name}: {e}"));
+    (built.verifier)(system.funcsim())
+        .unwrap_or_else(|e| panic!("verification failed on {name}: {e}"));
+    result
+}
+
+/// One simulation to schedule: a workload at a thread count on a config.
+pub struct RunSpec {
+    /// Workload to build.
+    pub workload: &'static dyn Workload,
+    /// Configuration to run on.
+    pub config: SystemConfig,
+    /// Software threads.
+    pub threads: usize,
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+/// Execute all specs in parallel, preserving order in the result vector.
+pub fn run_suite_parallel(specs: Vec<RunSpec>) -> Vec<SimResult> {
+    let mut out: Vec<Option<SimResult>> = Vec::new();
+    out.resize_with(specs.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, spec) in out.iter_mut().zip(specs.iter()) {
+            scope.spawn(move |_| {
+                let built = spec.workload.build(spec.threads, spec.scale);
+                *slot = Some(run_built(spec.config.clone(), &built, spec.threads));
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}

@@ -1,0 +1,26 @@
+//! # vlt-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (§7), each
+//! producing a [`vlt_stats::Experiment`] record plus an ASCII table. The
+//! binaries under `src/bin/` are thin wrappers:
+//!
+//! ```text
+//! cargo run -p vlt-bench --release --bin fig1    # lane-count scaling
+//! cargo run -p vlt-bench --release --bin table1  # component areas
+//! cargo run -p vlt-bench --release --bin table2  # VLT area overheads
+//! cargo run -p vlt-bench --release --bin table3  # base configuration echo
+//! cargo run -p vlt-bench --release --bin table4  # workload characteristics
+//! cargo run -p vlt-bench --release --bin fig3    # VLT vector-thread speedup
+//! cargo run -p vlt-bench --release --bin fig4    # datapath utilization
+//! cargo run -p vlt-bench --release --bin fig5    # SU design space
+//! cargo run -p vlt-bench --release --bin fig6    # scalar threads on lanes
+//! cargo run -p vlt-bench --release --bin all     # everything + summary
+//! ```
+//!
+//! Every binary writes `results/<id>.json` with measured *and* paper
+//! values, which EXPERIMENTS.md summarizes.
+
+pub mod harness;
+pub mod experiments;
+
+pub use harness::{results_dir, run_built, run_suite_parallel, RunSpec};

@@ -1,0 +1,222 @@
+//! Named system design points (paper §4.1, Table 2, §5, §7).
+//!
+//! Naming follows the paper: `Vn-{SMT,CMP,CMT}{-h}` is a VLT vector
+//! processor supporting `n` vector threads with a multiplexed (`SMT`),
+//! replicated (`CMP`), or hybrid (`CMT` — replicated multithreaded) scalar
+//! unit; `-h` marks heterogeneous scalar units (one 4-way + 2-way others).
+//! `CMT` alone is the scalar baseline: the V4-CMT scalar units *without*
+//! the vector unit.
+
+use vlt_mem::MemConfig;
+use vlt_scalar::CoreConfig;
+
+/// Vector-control-logic sizing (kept separate from lane count so the VCL
+/// ablations can vary it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VclConfig {
+    /// Total vector issue bandwidth per cycle.
+    pub issue_width: usize,
+    /// Vector instruction window entries.
+    pub window: usize,
+    /// Element-wise chaining of dependent vector instructions.
+    pub chaining: bool,
+}
+
+impl Default for VclConfig {
+    fn default() -> Self {
+        VclConfig { issue_width: 2, window: 32, chaining: true }
+    }
+}
+
+/// A full design point.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Configuration name as used in the paper's figures.
+    pub name: String,
+    /// Vector lanes.
+    pub lanes: usize,
+    /// VLT vector-thread partitions (1 = base single-thread operation).
+    pub vlt_threads: usize,
+    /// Scalar units, in order; SMT contexts are configured per core.
+    pub cores: Vec<CoreConfig>,
+    /// Run scalar threads directly on the lanes (paper §5, Figure 6).
+    pub lane_threads: bool,
+    /// Whether the vector unit exists (false for the CMT scalar baseline).
+    pub has_vu: bool,
+    /// VCL sizing.
+    pub vcl: VclConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+}
+
+impl SystemConfig {
+    fn mk(name: &str, lanes: usize, vlt_threads: usize, cores: Vec<CoreConfig>) -> Self {
+        SystemConfig {
+            name: name.to_string(),
+            lanes,
+            vlt_threads,
+            cores,
+            lane_threads: false,
+            has_vu: true,
+            vcl: VclConfig::default(),
+            mem: MemConfig::default(),
+        }
+    }
+
+    /// The base vector processor (Table 3) with a given lane count
+    /// (Figure 1 sweeps 1, 2, 4, 8).
+    pub fn base(lanes: usize) -> Self {
+        Self::mk("base", lanes, 1, vec![CoreConfig::four_way()])
+    }
+
+    /// 2 VLT threads, 1 SMT scalar unit.
+    pub fn v2_smt() -> Self {
+        Self::mk("V2-SMT", 8, 2, vec![CoreConfig::four_way().with_smt(2)])
+    }
+
+    /// 2 VLT threads, 2 replicated 4-way scalar units.
+    pub fn v2_cmp() -> Self {
+        Self::mk("V2-CMP", 8, 2, vec![CoreConfig::four_way(); 2])
+    }
+
+    /// 2 VLT threads, heterogeneous scalar units (4-way + 2-way).
+    pub fn v2_cmp_h() -> Self {
+        Self::mk("V2-CMP-h", 8, 2, vec![CoreConfig::four_way(), CoreConfig::two_way()])
+    }
+
+    /// 4 VLT threads, one 4-context SMT scalar unit.
+    pub fn v4_smt() -> Self {
+        Self::mk("V4-SMT", 8, 4, vec![CoreConfig::four_way().with_smt(4)])
+    }
+
+    /// 4 VLT threads, two 2-way-threaded 4-way scalar units (the paper's
+    /// sweet spot: full performance at 13% area).
+    pub fn v4_cmt() -> Self {
+        Self::mk("V4-CMT", 8, 4, vec![CoreConfig::four_way().with_smt(2); 2])
+    }
+
+    /// 4 VLT threads, four replicated 4-way scalar units.
+    pub fn v4_cmp() -> Self {
+        Self::mk("V4-CMP", 8, 4, vec![CoreConfig::four_way(); 4])
+    }
+
+    /// 4 VLT threads, heterogeneous (one 4-way + three 2-way).
+    pub fn v4_cmp_h() -> Self {
+        Self::mk(
+            "V4-CMP-h",
+            8,
+            4,
+            vec![
+                CoreConfig::four_way(),
+                CoreConfig::two_way(),
+                CoreConfig::two_way(),
+                CoreConfig::two_way(),
+            ],
+        )
+    }
+
+    /// The scalar CMP baseline of Figure 6: the V4-CMT scalar units with no
+    /// vector unit — two 4-way cores, each 2-way threaded (4 threads).
+    pub fn cmt() -> Self {
+        let mut c = Self::mk("CMT", 0, 1, vec![CoreConfig::four_way().with_smt(2); 2]);
+        c.has_vu = false;
+        c
+    }
+
+    /// VLT scalar-thread mode (Figure 6): 8 scalar threads on the 8 lanes,
+    /// each lane a 2-way in-order core. The V4-CMT scalar units serve lane
+    /// I-cache misses but run no threads (paper §7.2 runs 8 = power-of-two
+    /// threads, leaving the SUs idle).
+    pub fn v4_cmt_lane_threads() -> Self {
+        let mut c = Self::mk("V4-CMT-lanes", 8, 1, vec![CoreConfig::four_way().with_smt(2); 2]);
+        c.lane_threads = true;
+        c.has_vu = false; // lanes are re-engineered as scalar cores
+        c
+    }
+
+    /// Total hardware thread contexts across the scalar units.
+    pub fn contexts(&self) -> usize {
+        self.cores.iter().map(|c| c.smt_contexts).sum()
+    }
+
+    /// Maximum software threads this configuration can run.
+    pub fn max_threads(&self) -> usize {
+        if self.lane_threads {
+            self.lanes
+        } else {
+            self.contexts()
+        }
+    }
+
+    /// Scale the lane count (the paper's §9: "manufacturers ... continue
+    /// increasing the number of lanes"; 16-lane extension study).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes.is_power_of_two() && lanes >= self.vlt_threads);
+        self.lanes = lanes;
+        self.name = format!("{}-{}L", self.name, lanes);
+        self
+    }
+
+    /// All design points evaluated in Figure 5, in presentation order.
+    pub fn figure5_points() -> Vec<SystemConfig> {
+        vec![
+            Self::v2_smt(),
+            Self::v2_cmp(),
+            Self::v4_smt(),
+            Self::v4_cmt(),
+            Self::v4_cmp(),
+            Self::v4_cmp_h(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_table3() {
+        let c = SystemConfig::base(8);
+        assert_eq!(c.lanes, 8);
+        assert_eq!(c.vlt_threads, 1);
+        assert_eq!(c.cores.len(), 1);
+        assert_eq!(c.cores[0].width, 4);
+        assert_eq!(c.vcl.issue_width, 2);
+        assert_eq!(c.vcl.window, 32);
+        assert!(c.has_vu);
+    }
+
+    #[test]
+    fn context_counts() {
+        assert_eq!(SystemConfig::base(8).contexts(), 1);
+        assert_eq!(SystemConfig::v2_smt().contexts(), 2);
+        assert_eq!(SystemConfig::v2_cmp().contexts(), 2);
+        assert_eq!(SystemConfig::v4_smt().contexts(), 4);
+        assert_eq!(SystemConfig::v4_cmt().contexts(), 4);
+        assert_eq!(SystemConfig::v4_cmp().contexts(), 4);
+        assert_eq!(SystemConfig::v4_cmp_h().contexts(), 4);
+        assert_eq!(SystemConfig::cmt().contexts(), 4);
+    }
+
+    #[test]
+    fn lane_mode_supports_eight_threads() {
+        let c = SystemConfig::v4_cmt_lane_threads();
+        assert_eq!(c.max_threads(), 8);
+        assert!(c.lane_threads);
+        assert!(!c.has_vu);
+    }
+
+    #[test]
+    fn cmt_has_no_vector_unit() {
+        assert!(!SystemConfig::cmt().has_vu);
+        assert_eq!(SystemConfig::cmt().max_threads(), 4);
+    }
+
+    #[test]
+    fn figure5_has_six_points() {
+        let pts = SystemConfig::figure5_points();
+        assert_eq!(pts.len(), 6);
+        let names: Vec<&str> = pts.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["V2-SMT", "V2-CMP", "V4-SMT", "V4-CMT", "V4-CMP", "V4-CMP-h"]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Simulation results and errors.
+
+use std::collections::BTreeMap;
+
+use vlt_exec::ExecError;
+use vlt_mem::MemStats;
+use vlt_scalar::CoreStats;
+
+/// Datapath utilization in the Figure-4 taxonomy, in datapath-cycles.
+/// The invariant `busy + partly_idle + stalled + all_idle ==
+/// 3 * lanes * cycles` holds for any run with a vector unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Utilization {
+    /// Datapath executing an element operation.
+    pub busy: u64,
+    /// Datapath idle inside an occupied functional unit (vector length
+    /// shorter than the lane partition).
+    pub partly_idle: u64,
+    /// Functional unit idle while vector instructions were pending
+    /// (dependences or insufficient issue bandwidth).
+    pub stalled: u64,
+    /// No vector instructions in flight at all.
+    pub all_idle: u64,
+}
+
+impl Utilization {
+    /// Total datapath-cycles accounted.
+    pub fn total(&self) -> u64 {
+        self.busy + self.partly_idle + self.stalled + self.all_idle
+    }
+
+    /// Fraction of datapath-cycles doing element work.
+    pub fn busy_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy as f64 / t as f64
+        }
+    }
+}
+
+/// Everything a full-system run reports.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Wall-clock cycles until every thread drained.
+    pub cycles: u64,
+    /// Instructions committed, summed over scalar units and lane cores.
+    pub committed: u64,
+    /// Vector-datapath utilization (zeros without a vector unit).
+    pub utilization: Utilization,
+    /// Per-scalar-unit statistics.
+    pub cores: Vec<CoreStats>,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+    /// Cycles attributed to each `region` marker (region 0 = unannotated).
+    pub region_cycles: BTreeMap<u32, u64>,
+}
+
+impl SimResult {
+    /// Fraction of cycles spent inside regions `>= 1` — the paper's
+    /// "% opportunity" (Table 4) when workloads mark their VLT-eligible
+    /// parallel phases with `region 1`.
+    pub fn opportunity(&self) -> f64 {
+        let total: u64 = self.region_cycles.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let eligible: u64 =
+            self.region_cycles.iter().filter(|(r, _)| **r >= 1).map(|(_, c)| *c).sum();
+        100.0 * eligible as f64 / total as f64
+    }
+}
+
+/// Full-system simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The functional layer faulted (wild PC, bad `vltcfg`, ...).
+    Exec(ExecError),
+    /// The cycle budget ran out before all threads drained.
+    Timeout {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "functional fault: {e}"),
+            SimError::Timeout { cycles } => write!(f, "timed out after {cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_fractions() {
+        let u = Utilization { busy: 30, partly_idle: 10, stalled: 40, all_idle: 20 };
+        assert_eq!(u.total(), 100);
+        assert!((u.busy_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(Utilization::default().busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn opportunity_counts_marked_regions() {
+        let mut r = SimResult {
+            cycles: 100,
+            committed: 0,
+            utilization: Utilization::default(),
+            cores: vec![],
+            mem: MemStats::default(),
+            region_cycles: BTreeMap::new(),
+        };
+        r.region_cycles.insert(0, 25);
+        r.region_cycles.insert(1, 50);
+        r.region_cycles.insert(2, 25);
+        assert!((r.opportunity() - 75.0).abs() < 1e-12);
+    }
+}

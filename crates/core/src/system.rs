@@ -1,0 +1,316 @@
+//! The full-system timing simulator: scalar units + vector unit (or lane
+//! cores) + memory hierarchy, driven cycle by cycle over the functional
+//! simulator's instruction streams.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use vlt_exec::{DecodedProgram, DynKind, ExecError, FuncSim, Step};
+use vlt_isa::{Op, Program};
+use vlt_mem::MemSystem;
+use vlt_scalar::{
+    FetchResult, FetchSource, InOrderCore, LaneCoreConfig, NullVectorSink, OooCore,
+};
+
+use crate::config::SystemConfig;
+use crate::result::{SimError, SimResult, Utilization};
+use crate::vu::{VectorUnit, VuConfig};
+
+/// Wraps the functional simulator as a [`FetchSource`], tracking barrier
+/// rendezvous counts (for L1 coherence flushes) and the current `region`
+/// marker (for % opportunity attribution).
+struct TrackedSource {
+    sim: FuncSim,
+    prog: Arc<DecodedProgram>,
+    nthreads: usize,
+    barrier_fetches: u64,
+    cur_region: u32,
+    /// A `vltcfg` observed this cycle: requested lane-partition count.
+    vlt_request: Option<u8>,
+}
+
+impl FetchSource for TrackedSource {
+    fn fetch(&mut self, thread: usize) -> Result<FetchResult, ExecError> {
+        Ok(match self.sim.step_thread(thread)? {
+            Step::Inst(d) => {
+                if d.kind == DynKind::Barrier {
+                    self.barrier_fetches += 1;
+                }
+                if let DynKind::VltCfg { threads } = d.kind {
+                    self.vlt_request = Some(threads);
+                }
+                if thread == 0 {
+                    let si = self.prog.get(d.sidx as usize);
+                    if si.inst.op == Op::Region {
+                        self.cur_region = si.inst.imm as u32;
+                    }
+                }
+                FetchResult::Inst(d)
+            }
+            Step::AtBarrier => FetchResult::AtBarrier,
+            Step::Halted => FetchResult::Halted,
+        })
+    }
+}
+
+/// A configured machine ready to run one program.
+pub struct System {
+    cfg: SystemConfig,
+    src: TrackedSource,
+    cores: Vec<OooCore>,
+    lane_cores: Vec<InOrderCore>,
+    vu: Option<VectorUnit>,
+    mem: MemSystem,
+    barrier_releases: u64,
+    region_cycles: BTreeMap<u32, u64>,
+}
+
+impl System {
+    /// Build the machine for `cfg`, loading `prog` with `nthreads` SPMD
+    /// threads. Vector-mode configurations require
+    /// `nthreads <= cfg.vlt_threads` (one lane partition per thread);
+    /// lane-thread mode requires `nthreads <= lanes`.
+    pub fn new(cfg: SystemConfig, prog: &Program, nthreads: usize) -> Self {
+        assert!(
+            nthreads <= cfg.max_threads(),
+            "{} threads exceed the {} contexts of {}",
+            nthreads,
+            cfg.max_threads(),
+            cfg.name
+        );
+        if cfg.has_vu {
+            assert!(
+                nthreads <= cfg.vlt_threads,
+                "{} vector threads need {} lane partitions ({} configured)",
+                nthreads,
+                nthreads,
+                cfg.vlt_threads
+            );
+        }
+
+        let sim = FuncSim::new(prog, nthreads);
+        let decoded = Arc::clone(&sim.prog);
+        let mem = MemSystem::new(cfg.mem, cfg.cores.len(), cfg.lanes);
+
+        let mut cores: Vec<OooCore> = cfg
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, cc)| OooCore::new(*cc, i, Arc::clone(&decoded)))
+            .collect();
+        let mut lane_cores = Vec::new();
+
+        if cfg.lane_threads {
+            // Threads run on the lanes; the SUs only serve I-cache misses.
+            for t in 0..nthreads {
+                let owner = t * cfg.cores.len() / cfg.lanes.max(1);
+                lane_cores.push(InOrderCore::new(
+                    LaneCoreConfig::default(),
+                    t,
+                    owner.min(cfg.cores.len() - 1),
+                    t,
+                    Arc::clone(&decoded),
+                ));
+            }
+        } else {
+            // Bind software thread t to hardware context t (core-major).
+            let mut flat = 0usize;
+            'outer: for (ci, cc) in cfg.cores.iter().enumerate() {
+                for ctx in 0..cc.smt_contexts {
+                    if flat >= nthreads {
+                        break 'outer;
+                    }
+                    cores[ci].bind(ctx, flat, flat);
+                    flat += 1;
+                }
+            }
+        }
+
+        let vu = if cfg.has_vu {
+            let vcfg = VuConfig {
+                lanes: cfg.lanes,
+                threads: cfg.vlt_threads,
+                issue_width: cfg.vcl.issue_width,
+                window: cfg.vcl.window,
+                chaining: cfg.vcl.chaining,
+            };
+            Some(VectorUnit::new(vcfg, Arc::clone(&decoded)))
+        } else {
+            None
+        };
+
+        System {
+            cfg,
+            src: TrackedSource {
+                sim,
+                prog: decoded,
+                nthreads,
+                barrier_fetches: 0,
+                cur_region: 0,
+                vlt_request: None,
+            },
+            cores,
+            lane_cores,
+            vu,
+            mem,
+            barrier_releases: 0,
+            region_cycles: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The functional simulator (memory image and architectural state) —
+    /// for result verification after a run.
+    pub fn funcsim(&self) -> &FuncSim {
+        &self.src.sim
+    }
+
+    /// Run to completion (all threads halted and pipelines drained).
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimResult, SimError> {
+        let mut now = 0u64;
+        loop {
+            let done = self.cores.iter().all(|c| c.done())
+                && self.lane_cores.iter().all(|c| c.done());
+            if done {
+                break;
+            }
+            if now >= max_cycles {
+                return Err(SimError::Timeout { cycles: now });
+            }
+            self.step(now)?;
+            now += 1;
+        }
+        Ok(self.finish(now))
+    }
+
+    /// Advance the whole machine by one cycle.
+    fn step(&mut self, now: u64) -> Result<(), SimError> {
+        for i in 0..self.cores.len() {
+            let System { cores, mem, src, vu, .. } = self;
+            match vu {
+                Some(v) => cores[i].tick(now, mem, src, v)?,
+                None => {
+                    let mut null = NullVectorSink;
+                    cores[i].tick(now, mem, src, &mut null)?;
+                }
+            }
+        }
+        for i in 0..self.lane_cores.len() {
+            let System { lane_cores, mem, src, .. } = self;
+            lane_cores[i].tick(now, mem, src)?;
+        }
+        if let Some(v) = &mut self.vu {
+            // Per-phase lane repartitioning (paper §3.3): a fetched
+            // `vltcfg` requests it; the VU applies it once drained and
+            // refuses new dispatches meanwhile.
+            if let Some(t) = self.src.vlt_request.take() {
+                if !matches!(t, 1 | 2 | 4) || t as usize > self.cfg.vlt_threads {
+                    // Lane-partition counts beyond the configured maximum
+                    // (e.g. a scalar-thread build's vltcfg 8) are clamped.
+                    v.request_repartition(self.cfg.vlt_threads);
+                } else {
+                    v.request_repartition(t as usize);
+                }
+            }
+            v.tick(now, &mut self.mem);
+        }
+
+        // Barrier rendezvous completed: flush L1 data caches so
+        // post-barrier reads observe other threads' writes.
+        let releases = self.src.barrier_fetches / self.src.nthreads.max(1) as u64;
+        if releases > self.barrier_releases {
+            self.barrier_releases = releases;
+            self.mem.barrier_flush();
+        }
+
+        *self.region_cycles.entry(self.src.cur_region).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Assemble the final result after the machine drains.
+    fn finish(&self, cycles: u64) -> SimResult {
+        let committed = self.cores.iter().map(|c| c.stats.committed).sum::<u64>()
+            + self.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>();
+        SimResult {
+            cycles,
+            committed,
+            utilization: self.vu.as_ref().map(|v| v.util).unwrap_or(Utilization::default()),
+            cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
+            mem: self.mem.stats(),
+            region_cycles: self.region_cycles.clone(),
+        }
+    }
+}
+
+/// A point-in-time snapshot emitted by [`System::run_sampled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Cumulative committed instructions.
+    pub committed: u64,
+    /// Cumulative datapath utilization (Figure-4 categories).
+    pub utilization: Utilization,
+    /// Region active at the snapshot (thread 0's marker).
+    pub region: u32,
+}
+
+impl System {
+    /// Like [`System::run`], but additionally records a [`Sample`] every
+    /// `interval` cycles — the raw material for utilization-over-time plots
+    /// and phase analyses.
+    pub fn run_sampled(
+        &mut self,
+        max_cycles: u64,
+        interval: u64,
+    ) -> Result<(SimResult, Vec<Sample>), SimError> {
+        assert!(interval > 0);
+        let mut samples = Vec::new();
+        let mut next_sample = 0u64;
+        let mut now = 0u64;
+        loop {
+            let done = self.cores.iter().all(|c| c.done())
+                && self.lane_cores.iter().all(|c| c.done());
+            if done {
+                break;
+            }
+            if now >= max_cycles {
+                return Err(SimError::Timeout { cycles: now });
+            }
+            if now >= next_sample {
+                samples.push(Sample {
+                    cycle: now,
+                    committed: self.cores.iter().map(|c| c.stats.committed).sum::<u64>()
+                        + self.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>(),
+                    utilization: self
+                        .vu
+                        .as_ref()
+                        .map(|v| v.util)
+                        .unwrap_or(Utilization::default()),
+                    region: self.src.cur_region,
+                });
+                next_sample += interval;
+            }
+            self.step(now)?;
+            now += 1;
+        }
+        Ok((self.finish(now), samples))
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_program(
+    cfg: SystemConfig,
+    prog: &Program,
+    nthreads: usize,
+    max_cycles: u64,
+) -> Result<SimResult, SimError> {
+    System::new(cfg, prog, nthreads).run(max_cycles)
+}
+
+#[cfg(test)]
+mod tests;

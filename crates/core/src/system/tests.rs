@@ -1,0 +1,508 @@
+//! Full-system tests: assemble real SPMD kernels, run them on named
+//! configurations, verify results *and* timing-shape properties.
+
+use vlt_isa::asm::assemble;
+use vlt_isa::Program;
+
+use crate::config::SystemConfig;
+use crate::system::System;
+
+const MAX: u64 = 20_000_000;
+
+/// A vectorized SPMD daxpy: setup (region 0) fills `xs` with global element
+/// ids as floats; the measured loop (region 1) computes `y[i] += 2 * x[i]`
+/// in chunks of `vl`, with `scalar_work` extra dependent scalar adds per
+/// iteration standing in for the application's non-vectorized fraction.
+fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
+    daxpy_passes(npt, vl, threads, scalar_work, 3)
+}
+
+/// `passes` repetitions of the measured loop (apps iterate over resident
+/// data, so steady-state behaviour dominates the one-time cold fill).
+fn daxpy_passes(
+    npt: usize,
+    vl: usize,
+    threads: usize,
+    scalar_work: usize,
+    passes: usize,
+) -> Program {
+    let total = npt * threads;
+    let sw: String = vec!["add x25, x25, x26"; scalar_work].join("\n        ");
+    let xs_data: Vec<String> = (0..total).map(|i| format!("{}.0", i)).collect();
+    let src = format!(
+        r#"
+        .eq VL, {vl}
+        .eq NPT, {npt}
+        .data
+    xs:
+        .double {xs}
+    ys:
+        .zero {bytes}
+        .text
+        li      x9, {threads}
+        vltcfg  x9
+        tid     x10
+        li      x12, NPT
+        mul     x13, x10, x12      # start element
+        slli    x14, x13, 3
+        la      x15, xs
+        add     x15, x15, x14      # &x[start]
+        la      x16, ys
+        add     x16, x16, x14      # &y[start]
+
+        # --- setup (region 0): touch xs, zero ys; warms the L2 (the
+        # paper's workloads are cache-resident) ---
+        mv      x27, x15
+        mv      x28, x16
+        li      x17, 0
+        vxor.vv v2, v2, v2
+    setup:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vld     v1, x27
+        vst     v2, x28
+        slli    x7, x2, 3
+        add     x27, x27, x7
+        add     x28, x28, x7
+        add     x17, x17, x2
+        blt     x17, x12, setup
+        barrier
+
+        # --- measured loop (region 1): y += a*x in VL chunks, repeated
+        # over the resident arrays for `passes` passes ---
+        region  1
+        li      x18, 2
+        fcvt.f.x f1, x18           # a = 2.0
+        li      x6, VL
+        li      x26, 1
+        li      x29, {passes}
+    pass_loop:
+        la      x15, xs
+        add     x15, x15, x14
+        la      x16, ys
+        add     x16, x16, x14
+        li      x17, 0
+    loop:
+        sub     x3, x12, x17
+        blt     x3, x6, small
+        mv      x4, x6
+        j       doit
+    small:
+        mv      x4, x3
+    doit:
+        setvl   x2, x4
+        vld     v1, x15            # x
+        vld     v2, x16            # y
+        vfma.vs v2, v1, f1         # y += a*x
+        vst     v2, x16
+        {sw}
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x16, x16, x7
+        add     x17, x17, x2
+        blt     x17, x12, loop
+        addi    x29, x29, -1
+        bnez    x29, pass_loop
+        region  0
+        barrier
+        halt
+    "#,
+        xs = xs_data.join(", "),
+        bytes = 8 * total,
+        passes = passes,
+    );
+    assemble(&src).unwrap()
+}
+
+/// Back-compat helper for tests without a scalar fraction.
+fn daxpy_kernel(npt: usize, vl: usize, threads: usize) -> Program {
+    daxpy(npt, vl, threads, 0)
+}
+
+/// Verify the daxpy result in the final memory image (default 3 passes:
+/// y accumulates 2x per pass).
+fn verify_daxpy(sys: &System, total: usize) {
+    let base = sys.funcsim().prog.program.symbol("ys").unwrap();
+    for i in (0..total).step_by((total / 17).max(1)) {
+        let got = sys.funcsim().mem.read_f64(base + 8 * i as u64);
+        assert_eq!(got, 6.0 * i as f64, "y[{i}]");
+    }
+}
+
+/// A scalar SPMD kernel: thread t sums integers [t*n, (t+1)*n) and stores
+/// the result in out[t]; then barriers and halts.
+fn scalar_sum_kernel(n: usize, threads: usize) -> Program {
+    let src = format!(
+        r#"
+        .data
+    out:
+        .zero {out_bytes}
+        .text
+        region  1
+        tid     x10
+        li      x11, {n}
+        mul     x12, x10, x11     # start
+        add     x13, x12, x11     # end
+        li      x14, 0            # acc
+    loop:
+        add     x14, x14, x12
+        addi    x12, x12, 1
+        blt     x12, x13, loop
+        la      x15, out
+        slli    x16, x10, 3
+        add     x15, x15, x16
+        sd      x14, 0(x15)
+        region  0
+        barrier
+        halt
+    "#,
+        out_bytes = 8 * threads,
+        n = n
+    );
+    assemble(&src).unwrap()
+}
+
+fn verify_scalar_sum(sys: &System, n: u64, threads: usize) {
+    let base = sys.funcsim().prog.program.symbol("out").unwrap();
+    for t in 0..threads as u64 {
+        let start = t * n;
+        let expect: u64 = (start..start + n).sum();
+        assert_eq!(sys.funcsim().mem.read_u64(base + 8 * t), expect, "thread {t}");
+    }
+}
+
+#[test]
+fn base_system_runs_vector_code_correctly() {
+    let prog = daxpy_kernel(512, 64, 1);
+    let mut sys = System::new(SystemConfig::base(8), &prog, 1);
+    let r = sys.run(MAX).unwrap();
+    verify_daxpy(&sys, 512);
+    assert!(r.cycles > 0);
+    assert!(r.committed > 0);
+    // Figure-4 invariant: every datapath-cycle is classified.
+    assert_eq!(r.utilization.total(), 3 * 8 * r.cycles);
+    // The measured loop is a substantial marked region (the setup phase
+    // is unmarked, so this sits near half).
+    assert!(r.opportunity() > 35.0, "opportunity: {}", r.opportunity());
+}
+
+#[test]
+fn determinism() {
+    let prog = daxpy_kernel(256, 64, 1);
+    let r1 = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap();
+    let r2 = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap();
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(r1.committed, r2.committed);
+    assert_eq!(r1.utilization, r2.utilization);
+}
+
+#[test]
+fn long_vectors_scale_with_lanes() {
+    // Figure 1, long-vector shape: 8 lanes much faster than 1 lane.
+    let prog = daxpy_kernel(2048, 64, 1);
+    let c1 = System::new(SystemConfig::base(1), &prog, 1).run(MAX).unwrap().cycles;
+    let c8 = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap().cycles;
+    let speedup = c1 as f64 / c8 as f64;
+    assert!(
+        speedup > 2.5,
+        "long vectors should profit from 8 lanes: {speedup:.2} ({c1} vs {c8})"
+    );
+}
+
+#[test]
+fn short_vectors_do_not_scale_with_lanes() {
+    // Figure 1, short-vector shape: VL=8 gains little beyond 8 lanes.
+    let prog = daxpy_kernel(2048, 8, 1);
+    let c4 = System::new(SystemConfig::base(4), &prog, 1).run(MAX).unwrap().cycles;
+    let c8 = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap().cycles;
+    let speedup = c4 as f64 / c8 as f64;
+    assert!(
+        speedup < 1.25,
+        "short vectors cannot use extra lanes: {speedup:.2} ({c4} vs {c8})"
+    );
+}
+
+#[test]
+fn vlt_two_threads_speed_up_short_vectors() {
+    // The headline effect (Figure 3): a short-VL, partially-vectorized
+    // workload on V2-CMP with two VLT threads beats the base run.
+    let total = 4096;
+    let base_prog = daxpy(total, 8, 1, 12);
+    let vlt_prog = daxpy(total / 2, 8, 2, 12);
+    let cb = System::new(SystemConfig::base(8), &base_prog, 1).run(MAX).unwrap().cycles;
+    let mut sys = System::new(SystemConfig::v2_cmp(), &vlt_prog, 2);
+    let cv = sys.run(MAX).unwrap().cycles;
+    verify_daxpy(&sys, total);
+    let speedup = cb as f64 / cv as f64;
+    assert!(
+        speedup > 1.4,
+        "VLT should accelerate short vectors: {speedup:.2} ({cb} vs {cv})"
+    );
+}
+
+#[test]
+fn vlt_four_threads_help_more() {
+    let total = 4096;
+    let v2 = daxpy(total / 2, 8, 2, 12);
+    let v4 = daxpy(total / 4, 8, 4, 12);
+    let c2 = System::new(SystemConfig::v2_cmp(), &v2, 2).run(MAX).unwrap().cycles;
+    let c4 = System::new(SystemConfig::v4_cmp(), &v4, 4).run(MAX).unwrap().cycles;
+    assert!(
+        (c4 as f64) < 0.75 * c2 as f64,
+        "4 VLT threads should beat 2 on partially-vectorized work: {c4} vs {c2}"
+    );
+}
+
+#[test]
+fn smt_su_matches_replicated_su_for_two_threads() {
+    // Paper Figure 5: V2-SMT performs close to V2-CMP.
+    let prog = daxpy(2048, 8, 2, 8);
+    let c_smt = System::new(SystemConfig::v2_smt(), &prog, 2).run(MAX).unwrap().cycles;
+    let c_cmp = System::new(SystemConfig::v2_cmp(), &prog, 2).run(MAX).unwrap().cycles;
+    let ratio = c_smt as f64 / c_cmp as f64;
+    assert!(
+        ratio < 1.35,
+        "V2-SMT should be close to V2-CMP: {ratio:.2} ({c_smt} vs {c_cmp})"
+    );
+}
+
+#[test]
+fn cmt_runs_scalar_threads() {
+    let prog = scalar_sum_kernel(5000, 4);
+    let mut sys = System::new(SystemConfig::cmt(), &prog, 4);
+    let r = sys.run(MAX).unwrap();
+    verify_scalar_sum(&sys, 5000, 4);
+    assert_eq!(r.utilization.total(), 0, "no vector unit in CMT");
+    assert!(r.opportunity() > 50.0);
+}
+
+#[test]
+fn lane_threads_run_eight_scalar_threads() {
+    let prog = scalar_sum_kernel(5000, 8);
+    let mut sys = System::new(SystemConfig::v4_cmt_lane_threads(), &prog, 8);
+    let r = sys.run(MAX).unwrap();
+    verify_scalar_sum(&sys, 5000, 8);
+    assert!(r.committed > 8 * 3 * 5000, "all lane threads committed: {}", r.committed);
+}
+
+#[test]
+fn lane_threads_beat_cmt_on_abundant_tlp() {
+    // Figure 6 shape: 8 simple lane cores beat 4 SMT contexts on 2 OOO
+    // cores when per-thread ILP is low and TLP is abundant.
+    let work = 40_000;
+    let cmt_prog = scalar_sum_kernel(work / 4, 4);
+    let lane_prog = scalar_sum_kernel(work / 8, 8);
+    let c_cmt = System::new(SystemConfig::cmt(), &cmt_prog, 4).run(MAX).unwrap().cycles;
+    let c_lane =
+        System::new(SystemConfig::v4_cmt_lane_threads(), &lane_prog, 8).run(MAX).unwrap().cycles;
+    let speedup = c_cmt as f64 / c_lane as f64;
+    assert!(
+        speedup > 1.0,
+        "8 lane threads should beat the 2-core CMT here: {speedup:.2} ({c_cmt} vs {c_lane})"
+    );
+}
+
+#[test]
+fn thread_count_validation() {
+    let prog = scalar_sum_kernel(10, 1);
+    let result = std::panic::catch_unwind(|| {
+        System::new(SystemConfig::base(8), &prog, 2); // base has 1 context
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn timeout_reported() {
+    let prog = assemble("loop:\nj loop\n").unwrap();
+    let err = System::new(SystemConfig::base(8), &prog, 1).run(10_000).unwrap_err();
+    assert!(matches!(err, crate::result::SimError::Timeout { .. }));
+}
+
+/// Dynamic per-phase repartitioning (paper §3.3): a program that runs a
+/// long-vector phase on the full lane set (thread 0 only, `vltcfg 1`) and
+/// then a short-vector phase across 2 partitions.
+#[test]
+fn dynamic_vltcfg_switches_phases() {
+    let src = r#"
+        .data
+    xs:
+        .zero 8192
+    ys:
+        .zero 8192
+        .text
+        tid     x10
+        # ---- phase A: thread 0 sweeps all 1024 elements at VL 64 on the
+        # full 8-lane unit; thread 1 idles at the barrier ----
+        li      x9, 1
+        vltcfg  x9
+        bnez    x10, phase_a_done
+        la      x15, xs
+        li      x17, 0
+        li      x12, 1024
+    wide:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vid     v1
+        vadd.vs v1, v1, x17
+        vst     v1, x15
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x17, x17, x2
+        blt     x17, x12, wide
+    phase_a_done:
+        barrier
+        # ---- phase B: both threads, 2 partitions, VL <= 32 ----
+        li      x9, 2
+        vltcfg  x9
+        li      x12, 512           # elements per thread
+        mul     x13, x10, x12
+        slli    x14, x13, 3
+        la      x15, xs
+        add     x15, x15, x14
+        la      x16, ys
+        add     x16, x16, x14
+        li      x17, 0
+    narrow:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vld     v1, x15
+        vadd.vv v2, v1, v1
+        vst     v2, x16
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x16, x16, x7
+        add     x17, x17, x2
+        blt     x17, x12, narrow
+        barrier
+        halt
+    "#;
+    let prog = assemble(src).unwrap();
+    let mut sys = System::new(SystemConfig::v2_cmp(), &prog, 2);
+    let r = sys.run(MAX).unwrap();
+    // Results: xs[i] = i, ys[i] = 2i.
+    let xs = sys.funcsim().prog.program.symbol("xs").unwrap();
+    let ys = sys.funcsim().prog.program.symbol("ys").unwrap();
+    for i in (0..1024u64).step_by(97) {
+        assert_eq!(sys.funcsim().mem.read_u64(xs + 8 * i), i, "xs[{i}]");
+        assert_eq!(sys.funcsim().mem.read_u64(ys + 8 * i), 2 * i, "ys[{i}]");
+    }
+    assert!(r.cycles > 0);
+    // The wide phase used VL 64 (only possible on an undivided lane set).
+    // Verify through the functional MVL history: thread 0 ended phase A
+    // with vl up to 64.
+    assert_eq!(r.utilization.total(), 3 * 8 * r.cycles);
+}
+
+/// The same two-phase program forced to a fixed 2-way partition for the
+/// wide phase must be slower: the single active thread only gets 4 lanes.
+#[test]
+fn dynamic_vltcfg_beats_fixed_partitioning() {
+    // Same program as above but WITHOUT the vltcfg 1 (stays at 2).
+    let wide_insts = |cfg1: bool| {
+        format!(
+            r#"
+        .data
+    xs:
+        .zero 32768
+        .text
+        tid     x10
+        {maybe_cfg}
+        bnez    x10, skip
+        la      x15, xs
+        li      x17, 0
+        li      x12, 4096
+    wide:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vid     v1
+        vadd.vs v1, v1, x17
+        vfsplat v2, f1
+        vadd.vv v1, v1, v1
+        vst     v1, x15
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x17, x17, x2
+        blt     x17, x12, wide
+    skip:
+        barrier
+        halt
+    "#,
+            maybe_cfg = if cfg1 { "li x9, 1\n        vltcfg x9" } else { "li x9, 2\n        vltcfg x9" }
+        )
+    };
+    let adaptive = assemble(&wide_insts(true)).unwrap();
+    let fixed = assemble(&wide_insts(false)).unwrap();
+    let ca = System::new(SystemConfig::v2_cmp(), &adaptive, 2).run(MAX).unwrap().cycles;
+    let cf = System::new(SystemConfig::v2_cmp(), &fixed, 2).run(MAX).unwrap().cycles;
+    assert!(
+        (ca as f64) < 0.8 * cf as f64,
+        "adaptive vltcfg must reclaim the idle partition: {ca} vs {cf}"
+    );
+}
+
+/// `run_sampled` produces monotone cumulative counters that end at the
+/// final result's values.
+#[test]
+fn sampled_run_matches_plain_run() {
+    let prog = daxpy(256, 16, 1, 4);
+    let plain = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap();
+    let (sampled, samples) =
+        System::new(SystemConfig::base(8), &prog, 1).run_sampled(MAX, 256).unwrap();
+    assert_eq!(plain.cycles, sampled.cycles);
+    assert_eq!(plain.committed, sampled.committed);
+    assert!(!samples.is_empty());
+    // Monotonicity.
+    for w in samples.windows(2) {
+        assert!(w[1].cycle > w[0].cycle);
+        assert!(w[1].committed >= w[0].committed);
+        assert!(w[1].utilization.busy >= w[0].utilization.busy);
+        assert!(w[1].utilization.total() >= w[0].utilization.total());
+    }
+    // Final sample does not exceed the end state.
+    let last = samples.last().unwrap();
+    assert!(last.committed <= sampled.committed);
+    assert!(last.cycle < sampled.cycles);
+}
+
+/// The VU refuses dispatch while a repartition is pending and applies it
+/// once drained (unit-level check through the public trait).
+#[test]
+fn repartition_backpressure() {
+    use std::sync::Arc;
+    use crate::{VectorUnit, VuConfig};
+    use vlt_exec::DecodedProgram;
+    use vlt_mem::{MemConfig, MemSystem};
+    use vlt_scalar::{VecDispatch, VectorSink};
+
+    let prog: Arc<DecodedProgram> =
+        DecodedProgram::new(&assemble("vfadd.vv v1, v2, v3\nhalt\n").unwrap());
+    let mut vu = VectorUnit::new(VuConfig::base(8), prog);
+    let mut mem = MemSystem::new(MemConfig::default(), 1, 8);
+    let d = |seq| VecDispatch {
+        vthread: 0,
+        sidx: 0,
+        vl: 32,
+        class: vlt_isa::OpClass::VAdd,
+        addrs: vec![],
+        seq,
+        deps: vec![],
+        ready_base: 0,
+    };
+    let tok = vu.try_dispatch(d(0), 0).unwrap();
+    vu.request_repartition(2);
+    // Pending repartition: dispatch refused even though the window has room.
+    assert!(vu.try_dispatch(d(1), 0).is_none());
+    assert_eq!(vu.threads(), 1, "not yet drained");
+    // Drain and observe the repartition.
+    let mut now = 0;
+    while vu.poll(tok).is_none() {
+        vu.tick(now, &mut mem);
+        now += 1;
+        assert!(now < 1000);
+    }
+    vu.tick(now, &mut mem); // retire + apply
+    vu.tick(now + 1, &mut mem);
+    assert_eq!(vu.threads(), 2);
+    // Dispatch flows again, into the new partitioning.
+    assert!(vu.try_dispatch(d(2), now + 2).is_some());
+}

@@ -1,0 +1,443 @@
+//! The vector unit: vector control logic + lanes, with VLT partitioning.
+//!
+//! With `threads == 1` this is the base vector unit of Table 3: a 32-entry
+//! window fed by the SU, 2-way out-of-order issue, and `lanes` lanes each
+//! holding three arithmetic datapaths (add/logical, multiply, divide/misc)
+//! and two memory ports into the banked L2.
+//!
+//! With `threads ∈ {2, 4}` the unit is statically partitioned (paper §3.2):
+//! each VLT thread owns `lanes/threads` lanes, `window/threads` window
+//! entries, and a share of the 2-per-cycle issue bandwidth — the
+//! "multiplexed VCL" the paper finds performs as well as a replicated one.
+//!
+//! Per-cycle utilization of every arithmetic datapath is classified as
+//! busy / partly-idle (short VL) / stalled / all-idle, reproducing the
+//! taxonomy of Figure 4.
+
+use std::sync::Arc;
+
+use vlt_exec::DecodedProgram;
+use vlt_isa::{Op, OpClass};
+use vlt_mem::MemSystem;
+use vlt_scalar::{VecDispatch, VecToken, VectorSink};
+
+use crate::result::Utilization;
+
+/// Vector-unit configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VuConfig {
+    /// Total vector lanes (8 in the base design).
+    pub lanes: usize,
+    /// VLT threads the lanes are partitioned across (1, 2, or 4).
+    pub threads: usize,
+    /// Total VCL issue bandwidth per cycle (2 in the base design).
+    pub issue_width: usize,
+    /// Total vector instruction window entries (32 in the base design).
+    pub window: usize,
+    /// Chain dependent vector instructions element-wise (Cray-style). When
+    /// false, consumers wait for the producer's full completion — the
+    /// ablation for DESIGN.md §4.
+    pub chaining: bool,
+}
+
+impl VuConfig {
+    /// The base (Table 3) vector unit with a given lane count.
+    pub fn base(lanes: usize) -> Self {
+        VuConfig { lanes, threads: 1, issue_width: 2, window: 32, chaining: true }
+    }
+
+    /// Partition for `threads` VLT threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(matches!(threads, 1 | 2 | 4), "VLT vector threads must be 1, 2, or 4");
+        assert!(self.lanes % threads == 0, "lanes must divide evenly across threads");
+        self.threads = threads;
+        self
+    }
+
+    /// Lanes owned by each partition.
+    pub fn lanes_per_thread(&self) -> usize {
+        self.lanes / self.threads
+    }
+
+    /// Window entries per partition.
+    pub fn window_per_thread(&self) -> usize {
+        (self.window / self.threads).max(1)
+    }
+}
+
+/// Pipeline startup latency per arithmetic class. Kept small: the modeled
+/// machine chains dependent vector instructions (Cray X1 style), so the
+/// effective dead time between dependent ops is a few cycles, not the full
+/// pipeline depth.
+fn startup(class: OpClass) -> u64 {
+    match class {
+        OpClass::VAdd => 2,
+        OpClass::VMul => 3,
+        OpClass::VDiv => 6,
+        _ => 1,
+    }
+}
+
+/// Per-element occupancy cost. Only true divides and square roots are
+/// multi-cycle; everything else on the divide/misc unit (conversions,
+/// reductions, inserts/extracts) is pipelined at one element per cycle.
+fn elem_cost(op: Op) -> u64 {
+    match op {
+        Op::VfdivVV | Op::VfdivVS | Op::Vfsqrt => 4,
+        _ => 1,
+    }
+}
+
+/// Index of the arithmetic datapath class (0 = add, 1 = mul, 2 = div/misc).
+fn fu_index(class: OpClass) -> Option<usize> {
+    match class {
+        OpClass::VAdd => Some(0),
+        OpClass::VMul => Some(1),
+        OpClass::VDiv => Some(2),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum St {
+    Waiting,
+    Done(u64),
+    Reported,
+}
+
+#[derive(Debug)]
+struct VuEntry {
+    token: VecToken,
+    /// Originating VLT thread (dep scoping — seqs are only unique per SU).
+    vthread: usize,
+    seq: u64,
+    sidx: u32,
+    class: OpClass,
+    vl: u16,
+    addrs: Vec<u64>,
+    deps: Vec<u64>,
+    ready_base: u64,
+    dispatched_at: u64,
+    state: St,
+}
+
+/// One functional-unit pipeline inside a partition: occupied for a window
+/// of cycles by the vector instruction it is executing.
+#[derive(Debug, Clone, Copy, Default)]
+struct Fu {
+    busy_until: u64,
+    /// (start, duration, vl, per-element-group cost) of the current op.
+    cur: Option<(u64, u64, u16, u64)>,
+}
+
+impl Fu {
+    /// Datapaths of this unit doing element work at cycle `now`, given the
+    /// partition owns `lanes` lanes.
+    fn busy_datapaths(&self, now: u64, lanes: usize) -> Option<usize> {
+        let (start, dur, vl, step) = self.cur?;
+        if now < start || now >= start + dur {
+            return None;
+        }
+        // Elements retire `lanes` per `step` cycles; the final group may
+        // use fewer than `lanes` datapaths (short-VL partial idling).
+        let group = ((now - start) / step) as usize;
+        let done_before = group * lanes;
+        Some((vl as usize - done_before.min(vl as usize)).min(lanes))
+    }
+}
+
+#[derive(Debug)]
+struct Partition {
+    lanes: usize,
+    window: Vec<VuEntry>,
+    arith: [Fu; 3],
+    vmem: [Fu; 2],
+}
+
+/// The vector unit.
+#[derive(Debug)]
+pub struct VectorUnit {
+    cfg: VuConfig,
+    partitions: Vec<Partition>,
+    /// A requested repartition waiting for the unit to drain; while set,
+    /// dispatch is refused (natural backpressure on the scalar units).
+    pending_threads: Option<usize>,
+    next_token: u64,
+    /// Aggregate datapath utilization (Figure 4 categories).
+    pub util: Utilization,
+    /// Total vector instructions issued to functional units.
+    pub issued: u64,
+    prog: Arc<DecodedProgram>,
+}
+
+impl VectorUnit {
+    /// Build the unit for the given configuration.
+    pub fn new(cfg: VuConfig, prog: Arc<DecodedProgram>) -> Self {
+        let partitions = (0..cfg.threads)
+            .map(|_| Partition {
+                lanes: cfg.lanes_per_thread(),
+                window: Vec::new(),
+                arith: [Fu::default(); 3],
+                vmem: [Fu::default(); 2],
+            })
+            .collect();
+        VectorUnit {
+            cfg,
+            partitions,
+            pending_threads: None,
+            next_token: 0,
+            util: Utilization::default(),
+            issued: 0,
+            prog,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &VuConfig {
+        &self.cfg
+    }
+
+    /// Advance one cycle: issue ready entries, then account utilization
+    /// (so work started this cycle is classified as busy, not stalled).
+    ///
+    /// The multiplexed VCL time-shares its issue bandwidth: `issue_width`
+    /// slots total per cycle, offered to the partitions in rotating priority
+    /// order, work-conserving — an idle partition's slots flow to the
+    /// others. This is the paper's finding that a multiplexed VCL performs
+    /// as fast as a replicated one (§3.2).
+    pub fn tick(&mut self, now: u64, mem: &mut MemSystem) {
+        if let Some(t) = self.pending_threads {
+            if self.drained() {
+                self.repartition(t);
+                self.pending_threads = None;
+            }
+        }
+        let t = self.cfg.threads;
+        let mut budget = self.cfg.issue_width;
+        for k in 0..t {
+            if budget == 0 {
+                break;
+            }
+            let pi = (now as usize + k) % t;
+            budget = self.issue_partition(pi, budget, now, mem);
+        }
+
+        self.account(now);
+
+        for p in &mut self.partitions {
+            p.window.retain(|e| e.state != St::Reported);
+        }
+    }
+
+    /// Issue from one partition; returns the unused budget.
+    fn issue_partition(
+        &mut self,
+        pi: usize,
+        mut budget: usize,
+        now: u64,
+        mem: &mut MemSystem,
+    ) -> usize {
+        let mut resolutions: Vec<(usize, u64, u64)> = Vec::new();
+        {
+            let prog = Arc::clone(&self.prog);
+            let p = &mut self.partitions[pi];
+            let lanes = p.lanes;
+            for i in 0..p.window.len() {
+                if budget == 0 {
+                    break;
+                }
+                let e = &p.window[i];
+                if e.state != St::Waiting
+                    || !e.deps.is_empty()
+                    || e.ready_base > now
+                    || e.dispatched_at >= now
+                {
+                    continue;
+                }
+                let class = e.class;
+                let op = prog.get(e.sidx as usize).inst.op;
+                // `done` is full completion (what the SU polls and what the
+                // ROB retires on); `chain_ready` is when the first element
+                // group is available — dependent vector instructions in the
+                // same partition chain from it, Cray-style (the consumer's
+                // own occupancy then finishes no earlier than the producer).
+                let (done, chain_ready) = match class {
+                    OpClass::VMask => (now + 1, now + 1),
+                    OpClass::VAdd | OpClass::VMul | OpClass::VDiv => {
+                        let f = fu_index(class).unwrap();
+                        if p.arith[f].busy_until > now {
+                            continue;
+                        }
+                        let vl = e.vl.max(1) as u64;
+                        let step = elem_cost(op);
+                        let dur = vl.div_ceil(lanes as u64) * step;
+                        p.arith[f].busy_until = now + dur;
+                        p.arith[f].cur = Some((now, dur, e.vl, step));
+                        (now + startup(class) + dur, now + startup(class) + step)
+                    }
+                    OpClass::VLoad | OpClass::VStore => {
+                        let Some(f) = p.vmem.iter().position(|f| f.busy_until <= now) else {
+                            continue;
+                        };
+                        let n = e.addrs.len().max(1) as u64;
+                        let dur = n.div_ceil(lanes as u64);
+                        let write = class == OpClass::VStore;
+                        let mut last = now + dur;
+                        let mut first_group = now + 1;
+                        for (i, a) in e.addrs.iter().enumerate() {
+                            let at = now + (i / lanes) as u64;
+                            let t = mem.l2_access(*a, write, at);
+                            if !write {
+                                last = last.max(t);
+                                if i < lanes {
+                                    first_group = first_group.max(t);
+                                }
+                            }
+                        }
+                        p.vmem[f].busy_until = now + dur;
+                        p.vmem[f].cur = Some((now, dur, e.vl, 1));
+                        (last + 1, first_group + 1)
+                    }
+                    other => unreachable!("non-vector class {other:?} in the vector unit"),
+                };
+                budget -= 1;
+                self.issued += 1;
+                let seq = e.seq;
+                let vthread = e.vthread;
+                p.window[i].state = St::Done(done);
+                resolutions.push((vthread, seq, if self.cfg.chaining { chain_ready } else { done }));
+            }
+        }
+        // Wake same-partition consumers (vector-vector chaining through the
+        // window happens at completion granularity).
+        for (vthread, seq, done) in resolutions {
+            self.resolve(vthread, seq, done);
+        }
+        budget
+    }
+
+    /// Per-cycle Figure-4 accounting across all arithmetic datapaths.
+    fn account(&mut self, now: u64) {
+        for p in &self.partitions {
+            let waiting = p.window.iter().any(|e| matches!(e.state, St::Waiting));
+            for f in 0..3 {
+                match p.arith[f].busy_datapaths(now, p.lanes) {
+                    Some(busy) => {
+                        self.util.busy += busy as u64;
+                        self.util.partly_idle += (p.lanes - busy) as u64;
+                    }
+                    None => {
+                        if waiting {
+                            self.util.stalled += p.lanes as u64;
+                        } else {
+                            self.util.all_idle += p.lanes as u64;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when no vector instructions are in flight.
+    pub fn drained(&self) -> bool {
+        self.partitions.iter().all(|p| p.window.is_empty())
+    }
+
+    /// Repartition the lanes across a new VLT thread count (paper §3.3:
+    /// programs switch the partition at region boundaries where the unit
+    /// is drained and the vector registers hold no live values).
+    ///
+    /// Panics if instructions are still in flight — callers gate on
+    /// [`VectorUnit::drained`].
+    pub fn repartition(&mut self, threads: usize) {
+        assert!(self.drained(), "repartition requires a drained vector unit");
+        assert!(matches!(threads, 1 | 2 | 4), "VLT vector threads must be 1, 2, or 4");
+        assert!(self.cfg.lanes % threads == 0);
+        self.cfg.threads = threads;
+        self.partitions = (0..threads)
+            .map(|_| Partition {
+                lanes: self.cfg.lanes_per_thread(),
+                window: Vec::new(),
+                arith: [Fu::default(); 3],
+                vmem: [Fu::default(); 2],
+            })
+            .collect();
+    }
+
+    /// The current number of lane partitions.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// Request a repartition (paper §3.3: per-phase `vltcfg`). Applied at
+    /// the next cycle the unit is drained; until then dispatch is refused.
+    /// No-op when the partitioning already matches.
+    pub fn request_repartition(&mut self, threads: usize) {
+        assert!(matches!(threads, 1 | 2 | 4));
+        if threads != self.cfg.threads {
+            self.pending_threads = Some(threads);
+        }
+    }
+}
+
+impl VectorSink for VectorUnit {
+    fn try_dispatch(&mut self, d: VecDispatch, now: u64) -> Option<VecToken> {
+        if self.pending_threads.is_some() {
+            return None; // draining toward a repartition
+        }
+        let cap = self.cfg.window_per_thread();
+        // Under a narrower partitioning than the thread count (a wide-DLP
+        // phase after `vltcfg 1`), thread groups share a partition.
+        let pi = d.vthread % self.partitions.len();
+        let p = &mut self.partitions[pi];
+        if p.window.len() >= cap {
+            return None;
+        }
+        let token = VecToken(self.next_token);
+        self.next_token += 1;
+        p.window.push(VuEntry {
+            token,
+            vthread: d.vthread,
+            seq: d.seq,
+            sidx: d.sidx,
+            class: d.class,
+            vl: d.vl,
+            addrs: d.addrs,
+            deps: d.deps,
+            ready_base: d.ready_base,
+            dispatched_at: now,
+            state: St::Waiting,
+        });
+        Some(token)
+    }
+
+    fn resolve(&mut self, vthread: usize, seq: u64, done_at: u64) {
+        let pi = vthread % self.partitions.len();
+        for e in self.partitions[pi].window.iter_mut() {
+            if e.state == St::Waiting && e.vthread == vthread {
+                if let Some(pos) = e.deps.iter().position(|d| *d == seq) {
+                    e.deps.swap_remove(pos);
+                    e.ready_base = e.ready_base.max(done_at);
+                }
+            }
+        }
+    }
+
+    fn poll(&mut self, token: VecToken) -> Option<u64> {
+        for p in &mut self.partitions {
+            for e in p.window.iter_mut() {
+                if e.token == token {
+                    if let St::Done(t) = e.state {
+                        e.state = St::Reported;
+                        return Some(t);
+                    }
+                    return None;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,334 @@
+//! Multi-threaded SPMD functional simulation driver.
+//!
+//! All threads run the same program (they branch on `tid`) against a shared
+//! memory. Threads rendezvous at `barrier` instructions: a thread that has
+//! executed `barrier` yields [`Step::AtBarrier`] until every other live
+//! thread has also arrived. Workloads only communicate across barriers
+//! (disjoint writes in between), so any interleaving of the per-thread
+//! streams between barriers is architecturally equivalent — this is what
+//! lets the timing models pull instructions on their own schedule.
+
+use std::sync::Arc;
+
+use vlt_isa::Program;
+
+use crate::error::ExecError;
+use crate::interp;
+use crate::memory::Memory;
+use crate::program::DecodedProgram;
+use crate::state::ArchState;
+use crate::trace::{DynInst, DynKind};
+
+/// Result of stepping one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// The thread executed this instruction.
+    Inst(DynInst),
+    /// The thread is parked at a barrier waiting for the others.
+    AtBarrier,
+    /// The thread has executed `halt`.
+    Halted,
+}
+
+/// Aggregate statistics from a functional run (Table 4 inputs).
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Total dynamic instructions across all threads.
+    pub insts: u64,
+    /// Dynamic instructions per thread.
+    pub per_thread: Vec<u64>,
+    /// Dynamic vector instructions (arith + memory + VCL ops).
+    pub vector_insts: u64,
+    /// Total vector *element* operations (sum of effective VL).
+    pub elem_ops: u64,
+    /// Scalar operations (non-vector, non-system instructions).
+    pub scalar_ops: u64,
+    /// Histogram of vector lengths (index = VL, 0..=64).
+    pub vl_histogram: Vec<u64>,
+}
+
+impl RunSummary {
+    /// Percentage of operations that are vector element operations —
+    /// the paper's "% Vect" (Table 4), measured in operations.
+    pub fn pct_vectorization(&self) -> f64 {
+        let total = (self.scalar_ops + self.elem_ops) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            100.0 * self.elem_ops as f64 / total
+        }
+    }
+
+    /// Average vector length over vector instructions with a VL.
+    pub fn avg_vl(&self) -> f64 {
+        let count: u64 = self.vl_histogram.iter().sum();
+        if count == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.vl_histogram.iter().enumerate().map(|(vl, n)| vl as u64 * n).sum();
+        weighted as f64 / count as f64
+    }
+
+    /// The most frequent vector lengths, most common first (up to `k`).
+    pub fn common_vls(&self, k: usize) -> Vec<usize> {
+        let mut pairs: Vec<(usize, u64)> = self
+            .vl_histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(vl, n)| (vl, *n))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.into_iter().take(k).map(|(vl, _)| vl).collect()
+    }
+}
+
+/// The functional simulator: shared memory + per-thread state + barriers.
+#[derive(Debug)]
+pub struct FuncSim {
+    /// Pre-decoded program (shared with the timing models).
+    pub prog: Arc<DecodedProgram>,
+    /// Shared memory image.
+    pub mem: Memory,
+    threads: Vec<ArchState>,
+    waiting: Vec<bool>,
+    /// Total instructions executed so far.
+    pub executed: u64,
+}
+
+impl FuncSim {
+    /// Set up `nthr` threads at the program entry point.
+    pub fn new(prog: &Program, nthr: usize) -> Self {
+        assert!(nthr >= 1 && nthr <= 64, "thread count out of range");
+        let decoded = DecodedProgram::new(prog);
+        let mem = Memory::load(prog);
+        let threads =
+            (0..nthr).map(|t| ArchState::new(prog.entry, t, nthr)).collect();
+        FuncSim { prog: decoded, mem, threads, waiting: vec![false; nthr], executed: 0 }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Immutable view of a thread's architectural state.
+    pub fn thread(&self, t: usize) -> &ArchState {
+        &self.threads[t]
+    }
+
+    /// Mutable view (used by tests and custom setup code).
+    pub fn thread_mut(&mut self, t: usize) -> &mut ArchState {
+        &mut self.threads[t]
+    }
+
+    /// True when every thread has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Advance thread `t` by one instruction (or report its parked state).
+    pub fn step_thread(&mut self, t: usize) -> Result<Step, ExecError> {
+        if self.threads[t].halted {
+            return Ok(Step::Halted);
+        }
+        if self.waiting[t] {
+            if self.barrier_released() {
+                for w in self.waiting.iter_mut() {
+                    *w = false;
+                }
+            } else {
+                return Ok(Step::AtBarrier);
+            }
+        }
+        let d = interp::step(&mut self.threads[t], &mut self.mem, &self.prog)?;
+        self.executed += 1;
+        if d.kind == DynKind::Barrier {
+            self.waiting[t] = true;
+        }
+        Ok(Step::Inst(d))
+    }
+
+    /// A barrier opens once every live (non-halted) thread is waiting.
+    fn barrier_released(&self) -> bool {
+        self.threads.iter().zip(&self.waiting).all(|(st, w)| st.halted || *w)
+    }
+
+    /// Round-robin all threads to completion, collecting summary statistics.
+    ///
+    /// `budget` bounds total instructions to catch runaway kernels.
+    pub fn run_to_completion(&mut self, budget: u64) -> Result<RunSummary, ExecError> {
+        let n = self.num_threads();
+        let mut summary = RunSummary {
+            per_thread: vec![0; n],
+            vl_histogram: vec![0; 65],
+            ..RunSummary::default()
+        };
+        // Batch per thread between scheduling points to keep this fast while
+        // still interleaving at barriers.
+        while !self.all_halted() {
+            let mut progressed = false;
+            for t in 0..n {
+                loop {
+                    match self.step_thread(t)? {
+                        Step::Inst(d) => {
+                            progressed = true;
+                            summary.insts += 1;
+                            summary.per_thread[t] += 1;
+                            self.record(&d, &mut summary);
+                            if summary.insts > budget {
+                                return Err(ExecError::Budget { executed: summary.insts });
+                            }
+                            if matches!(d.kind, DynKind::Barrier | DynKind::Halt) {
+                                break;
+                            }
+                        }
+                        Step::AtBarrier | Step::Halted => break,
+                    }
+                }
+            }
+            if !progressed && !self.all_halted() {
+                // All live threads are parked and the barrier never opened:
+                // impossible by construction, but guard against hangs.
+                unreachable!("barrier deadlock with live threads");
+            }
+        }
+        Ok(summary)
+    }
+
+    fn record(&self, d: &DynInst, s: &mut RunSummary) {
+        let class = self.prog.get(d.sidx as usize).class;
+        if class.is_vector() {
+            s.vector_insts += 1;
+            let elems = d.elems();
+            s.elem_ops += elems as u64;
+            if d.vl > 0 {
+                s.vl_histogram[(d.vl as usize).min(64)] += 1;
+            }
+        } else if !matches!(
+            d.kind,
+            DynKind::Barrier | DynKind::Halt | DynKind::VltCfg { .. }
+        ) {
+            s.scalar_ops += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlt_isa::asm::assemble;
+
+    #[test]
+    fn single_thread_halts() {
+        let p = assemble("li x1, 5\nhalt\n").unwrap();
+        let mut sim = FuncSim::new(&p, 1);
+        let s = sim.run_to_completion(100).unwrap();
+        assert!(sim.all_halted());
+        assert_eq!(sim.thread(0).x[1], 5);
+        assert_eq!(s.insts, 2);
+    }
+
+    #[test]
+    fn budget_catches_infinite_loops() {
+        let p = assemble("loop:\nj loop\n").unwrap();
+        let mut sim = FuncSim::new(&p, 1);
+        assert!(matches!(
+            sim.run_to_completion(1000),
+            Err(ExecError::Budget { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_rendezvous_two_threads() {
+        // Each thread stores its tid, barriers, then reads the other's slot.
+        let src = r#"
+            .data
+        slots:
+            .dword 0, 0
+            .text
+            tid   x1
+            la    x2, slots
+            slli  x3, x1, 3
+            add   x2, x2, x3
+            sd    x1, 0(x2)
+            barrier
+            # read the sibling slot: (1 - tid) * 8 + slots
+            li    x4, 1
+            sub   x4, x4, x1
+            slli  x4, x4, 3
+            la    x5, slots
+            add   x5, x5, x4
+            ld    x6, 0(x5)
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let mut sim = FuncSim::new(&p, 2);
+        sim.run_to_completion(10_000).unwrap();
+        // Thread 0 saw thread 1's store and vice versa.
+        assert_eq!(sim.thread(0).x[6], 1);
+        assert_eq!(sim.thread(1).x[6], 0);
+    }
+
+    #[test]
+    fn step_thread_parks_at_barrier() {
+        let p = assemble("barrier\nhalt\n").unwrap();
+        let mut sim = FuncSim::new(&p, 2);
+        // Thread 0 executes the barrier...
+        assert!(matches!(sim.step_thread(0).unwrap(), Step::Inst(_)));
+        // ...and is now parked.
+        assert_eq!(sim.step_thread(0).unwrap(), Step::AtBarrier);
+        assert_eq!(sim.step_thread(0).unwrap(), Step::AtBarrier);
+        // Thread 1 arrives; barrier opens.
+        assert!(matches!(sim.step_thread(1).unwrap(), Step::Inst(_)));
+        assert!(matches!(sim.step_thread(0).unwrap(), Step::Inst(_))); // halt
+        assert!(matches!(sim.step_thread(1).unwrap(), Step::Inst(_))); // halt
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn halted_thread_does_not_block_barrier() {
+        let src = r#"
+            tid  x1
+            bnez x1, worker
+            halt
+        worker:
+            barrier
+            halt
+        "#;
+        // With 2 threads: thread 0 halts immediately; thread 1 barriers alone.
+        let p = assemble(src).unwrap();
+        let mut sim = FuncSim::new(&p, 2);
+        sim.run_to_completion(1000).unwrap();
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn summary_counts_vector_work() {
+        let src = r#"
+            li      x1, 16
+            setvl   x2, x1
+            vid     v1
+            vadd.vv v2, v1, v1
+            vadd.vv v3, v2, v1
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let mut sim = FuncSim::new(&p, 1);
+        let s = sim.run_to_completion(1000).unwrap();
+        assert_eq!(s.vl_histogram[16], 3); // vid + 2 vadds
+        assert_eq!(s.elem_ops, 48);
+        assert!(s.pct_vectorization() > 50.0);
+        assert_eq!(s.common_vls(1), vec![16]);
+        assert!((s.avg_vl() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_pc_reported() {
+        let p = assemble("jr x5\n").unwrap(); // x5 = 0 -> wild jump
+        let mut sim = FuncSim::new(&p, 1);
+        sim.step_thread(0).unwrap();
+        assert!(matches!(sim.step_thread(0), Err(ExecError::BadPc { .. })));
+    }
+}

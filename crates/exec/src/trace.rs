@@ -1,0 +1,118 @@
+//! Dynamic instruction records — the interface between the functional
+//! simulator and the timing models.
+
+/// Dynamic outcome of one executed instruction.
+///
+/// Static properties (opcode, class, defs/uses) live in
+/// [`crate::StaticInst`], reached through `sidx`; only values that vary per
+/// execution are recorded here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynKind {
+    /// Non-memory scalar computation (ALU/FP/etc.).
+    Plain,
+    /// A control transfer: conditional branches, `j`/`jal`/`jr`/`jalr`.
+    /// `taken` is false only for untaken conditional branches.
+    Branch {
+        /// Whether the transfer redirected the PC.
+        taken: bool,
+        /// The (resolved) target address.
+        target: u64,
+    },
+    /// Scalar memory access.
+    Mem {
+        /// Effective byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Vector computation in the lanes (vl recorded in [`DynInst::vl`]).
+    Vector,
+    /// Vector memory access.
+    VMem {
+        /// Element byte addresses, post-mask, in element order.
+        addrs: Vec<u64>,
+    },
+    /// SPMD barrier rendezvous.
+    Barrier,
+    /// Lane repartition.
+    VltCfg {
+        /// The new number of VLT threads (1, 2, 4, or 8).
+        threads: u8,
+    },
+    /// Thread finished.
+    Halt,
+}
+
+/// One executed instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynInst {
+    /// Index into [`crate::DecodedProgram::insts`].
+    pub sidx: u32,
+    /// Byte address.
+    pub pc: u64,
+    /// Vector length in effect (0 for scalar instructions).
+    pub vl: u16,
+    /// Dynamic outcome.
+    pub kind: DynKind,
+}
+
+impl DynInst {
+    /// The next sequential PC (what a non-taken path would fetch).
+    #[inline]
+    pub fn fallthrough(&self) -> u64 {
+        self.pc + 4
+    }
+
+    /// The PC the front end must fetch after this instruction.
+    #[inline]
+    pub fn next_pc(&self) -> u64 {
+        match &self.kind {
+            DynKind::Branch { taken: true, target } => *target,
+            _ => self.fallthrough(),
+        }
+    }
+
+    /// Element count this instruction processes in the lanes (0 if scalar).
+    pub fn elems(&self) -> usize {
+        match &self.kind {
+            DynKind::Vector => self.vl as usize,
+            DynKind::VMem { addrs } => addrs.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let b = DynInst {
+            sidx: 0,
+            pc: 0x1000,
+            vl: 0,
+            kind: DynKind::Branch { taken: true, target: 0x2000 },
+        };
+        assert_eq!(b.next_pc(), 0x2000);
+        let nb = DynInst {
+            sidx: 0,
+            pc: 0x1000,
+            vl: 0,
+            kind: DynKind::Branch { taken: false, target: 0x2000 },
+        };
+        assert_eq!(nb.next_pc(), 0x1004);
+        let p = DynInst { sidx: 0, pc: 0x1000, vl: 0, kind: DynKind::Plain };
+        assert_eq!(p.next_pc(), 0x1004);
+    }
+
+    #[test]
+    fn element_counts() {
+        let v = DynInst { sidx: 0, pc: 0, vl: 17, kind: DynKind::Vector };
+        assert_eq!(v.elems(), 17);
+        let m = DynInst { sidx: 0, pc: 0, vl: 8, kind: DynKind::VMem { addrs: vec![0; 5] } };
+        assert_eq!(m.elems(), 5); // masked-off elements generate no accesses
+        let s = DynInst { sidx: 0, pc: 0, vl: 0, kind: DynKind::Plain };
+        assert_eq!(s.elems(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Immediate expression evaluation for the assembler.
+//!
+//! Supported grammar: `term (('+' | '-') term)*` where a term is a decimal
+//! integer, a hex integer (`0x...`), a character literal (`'a'`), or a name
+//! previously defined with `.eq` (or, in pass 2, a label).
+
+use std::collections::HashMap;
+
+use crate::error::IsaError;
+
+/// Evaluate an immediate expression against a constant/symbol environment.
+pub fn eval(expr: &str, env: &HashMap<String, i64>, line: usize) -> Result<i64, IsaError> {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return Err(IsaError::asm(line, "empty immediate expression"));
+    }
+    let mut total: i64 = 0;
+    let mut sign: i64 = 1;
+    let mut rest = expr;
+    let mut first = true;
+    loop {
+        rest = rest.trim_start();
+        if !first || rest.starts_with('-') || rest.starts_with('+') {
+            if let Some(r) = rest.strip_prefix('-') {
+                sign = -1;
+                rest = r;
+            } else if let Some(r) = rest.strip_prefix('+') {
+                sign = 1;
+                rest = r;
+            } else if !first {
+                return Err(IsaError::asm(line, format!("expected + or - in `{expr}`")));
+            }
+        }
+        first = false;
+        rest = rest.trim_start();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| *c == '+' || *c == '-')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let (term, next) = rest.split_at(end);
+        let term = term.trim();
+        if term.is_empty() {
+            return Err(IsaError::asm(line, format!("dangling operator in `{expr}`")));
+        }
+        total = total.wrapping_add(sign * parse_term(term, env, line)?);
+        rest = next;
+        if rest.trim().is_empty() {
+            return Ok(total);
+        }
+    }
+}
+
+fn parse_term(term: &str, env: &HashMap<String, i64>, line: usize) -> Result<i64, IsaError> {
+    if let Some(hex) = term.strip_prefix("0x").or_else(|| term.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .map(|v| v as i64)
+            .map_err(|_| IsaError::asm(line, format!("bad hex literal `{term}`")));
+    }
+    if let Some(bin) = term.strip_prefix("0b").or_else(|| term.strip_prefix("0B")) {
+        return u64::from_str_radix(bin, 2)
+            .map(|v| v as i64)
+            .map_err(|_| IsaError::asm(line, format!("bad binary literal `{term}`")));
+    }
+    if term.starts_with('\'') && term.ends_with('\'') && term.chars().count() == 3 {
+        return Ok(term.chars().nth(1).unwrap() as i64);
+    }
+    if term.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        // Accept the full u64 range (data directives store raw bit
+        // patterns); values above i64::MAX wrap to their two's-complement
+        // representation.
+        return term
+            .parse::<i64>()
+            .or_else(|_| term.parse::<u64>().map(|v| v as i64))
+            .map_err(|_| IsaError::asm(line, format!("bad integer literal `{term}`")));
+    }
+    env.get(term)
+        .copied()
+        .ok_or_else(|| IsaError::asm(line, format!("undefined symbol `{term}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn literals() {
+        let e = env(&[]);
+        assert_eq!(eval("42", &e, 1).unwrap(), 42);
+        assert_eq!(eval("-42", &e, 1).unwrap(), -42);
+        assert_eq!(eval("0x10", &e, 1).unwrap(), 16);
+        assert_eq!(eval("'a'", &e, 1).unwrap(), 97);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = env(&[("N", 64), ("BASE", 0x1000)]);
+        assert_eq!(eval("N+1", &e, 1).unwrap(), 65);
+        assert_eq!(eval("BASE + N - 4", &e, 1).unwrap(), 0x1000 + 60);
+        assert_eq!(eval("N + N + N", &e, 1).unwrap(), 192);
+        assert_eq!(eval("-N + 1", &e, 1).unwrap(), -63);
+    }
+
+    #[test]
+    fn errors() {
+        let e = env(&[]);
+        assert!(eval("", &e, 1).is_err());
+        assert!(eval("FOO", &e, 1).is_err());
+        assert!(eval("1 +", &e, 1).is_err());
+        assert!(eval("0xZZ", &e, 1).is_err());
+        assert!(eval("1 * 2", &e, 1).is_err()); // * unsupported: parses as bad term
+    }
+}

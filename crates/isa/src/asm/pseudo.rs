@@ -1,0 +1,168 @@
+//! Pseudo-instruction expansion.
+
+use std::collections::HashMap;
+
+use super::{parse_reg_alias, Fixup};
+use crate::asm::expr::eval;
+use crate::error::IsaError;
+use crate::inst::Inst;
+use crate::opcode::Op;
+
+/// True if the mnemonic is a pseudo-instruction handled by [`expand`].
+pub fn is_pseudo(mn: &str) -> bool {
+    matches!(mn, "li" | "la" | "mv" | "neg" | "beqz" | "bnez" | "ble" | "bgt" | "call" | "ret")
+}
+
+type Expanded = Vec<(Inst, Option<Fixup>)>;
+
+/// Expand a pseudo-instruction into real instructions (possibly with label
+/// fixups for pass 2).
+pub fn expand(
+    mn: &str,
+    ops: &[&str],
+    consts: &HashMap<String, i64>,
+    line: usize,
+) -> Result<Expanded, IsaError> {
+    let arity = |n: usize| -> Result<(), IsaError> {
+        if ops.len() != n {
+            Err(IsaError::asm(line, format!("`{mn}` expects {n} operand(s), got {}", ops.len())))
+        } else {
+            Ok(())
+        }
+    };
+    match mn {
+        "li" => {
+            arity(2)?;
+            let rd = parse_reg_alias(ops[0], line, 'x')?;
+            let v = eval(ops[1], consts, line)?;
+            expand_li(rd, v, line)
+        }
+        "la" => {
+            arity(2)?;
+            let rd = parse_reg_alias(ops[0], line, 'x')?;
+            let sym = ops[1].trim().to_string();
+            Ok(vec![
+                (Inst { op: Op::Lui, rd, rs1: 0, rs2: 0, imm: 0, masked: false },
+                 Some(Fixup::Hi(sym.clone()))),
+                (Inst::i(Op::Ori, rd, rd, 0), Some(Fixup::Lo(sym))),
+            ])
+        }
+        "mv" => {
+            arity(2)?;
+            let rd = parse_reg_alias(ops[0], line, 'x')?;
+            let rs = parse_reg_alias(ops[1], line, 'x')?;
+            Ok(vec![(Inst::i(Op::Addi, rd, rs, 0), None)])
+        }
+        "neg" => {
+            arity(2)?;
+            let rd = parse_reg_alias(ops[0], line, 'x')?;
+            let rs = parse_reg_alias(ops[1], line, 'x')?;
+            Ok(vec![(Inst::r(Op::Sub, rd, 0, rs), None)])
+        }
+        "beqz" | "bnez" => {
+            arity(2)?;
+            let rs = parse_reg_alias(ops[0], line, 'x')?;
+            let op = if mn == "beqz" { Op::Beq } else { Op::Bne };
+            Ok(vec![(
+                Inst { op, rd: 0, rs1: rs, rs2: 0, imm: 0, masked: false },
+                Some(Fixup::Rel(ops[1].trim().to_string())),
+            )])
+        }
+        "ble" | "bgt" => {
+            arity(3)?;
+            let a = parse_reg_alias(ops[0], line, 'x')?;
+            let b = parse_reg_alias(ops[1], line, 'x')?;
+            // `ble a, b` == `bge b, a`; `bgt a, b` == `blt b, a`.
+            let op = if mn == "ble" { Op::Bge } else { Op::Blt };
+            Ok(vec![(
+                Inst { op, rd: 0, rs1: b, rs2: a, imm: 0, masked: false },
+                Some(Fixup::Rel(ops[2].trim().to_string())),
+            )])
+        }
+        "call" => {
+            arity(1)?;
+            Ok(vec![(Inst::sys(Op::Jal), Some(Fixup::Rel(ops[0].trim().to_string())))])
+        }
+        "ret" => {
+            if !ops.is_empty() && !(ops.len() == 1 && ops[0].is_empty()) {
+                return Err(IsaError::asm(line, "`ret` takes no operands"));
+            }
+            Ok(vec![(
+                Inst { op: Op::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0, masked: false },
+                None,
+            )])
+        }
+        other => Err(IsaError::asm(line, format!("not a pseudo-instruction `{other}`"))),
+    }
+}
+
+/// Materialize a constant: `addi` when it fits 14 bits, else `lui`+`ori`.
+/// Supports the full signed 32-bit range (all simulated addresses fit).
+fn expand_li(rd: u8, v: i64, line: usize) -> Result<Expanded, IsaError> {
+    if (-8192..=8191).contains(&v) {
+        return Ok(vec![(Inst::i(Op::Addi, rd, 0, v as i32), None)]);
+    }
+    let hi = v >> 13;
+    let lo = (v & 0x1FFF) as i32;
+    if !(-262144..=262143).contains(&hi) {
+        return Err(IsaError::asm(line, format!("`li` constant {v} exceeds 32-bit range")));
+    }
+    Ok(vec![
+        (Inst { op: Op::Lui, rd, rs1: 0, rs2: 0, imm: hi as i32, masked: false }, None),
+        (Inst::i(Op::Ori, rd, rd, lo), None),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts() -> HashMap<String, i64> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn li_small() {
+        let e = expand("li", &["x1", "42"], &consts(), 1).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].0, Inst::i(Op::Addi, 1, 0, 42));
+    }
+
+    #[test]
+    fn li_large_reconstructs() {
+        for v in [8192i64, -8193, 0x12345678, -0x12345678, i32::MAX as i64, i32::MIN as i64] {
+            let e = expand("li", &["x1", &v.to_string()], &consts(), 1).unwrap();
+            assert_eq!(e.len(), 2, "for {v}");
+            let (lui, ori) = (&e[0].0, &e[1].0);
+            assert_eq!(lui.op, Op::Lui);
+            assert_eq!(ori.op, Op::Ori);
+            // Reconstruct the interpreter's semantics: rd = (hi << 13) | lo.
+            let got = ((lui.imm as i64) << 13) | (ori.imm as i64);
+            assert_eq!(got, v, "li {v} reconstructed wrong");
+            assert!((0..8192).contains(&ori.imm), "lo must be 13-bit non-negative");
+        }
+    }
+
+    #[test]
+    fn li_out_of_range() {
+        assert!(expand("li", &["x1", "4294967296"], &consts(), 1).is_err());
+    }
+
+    #[test]
+    fn branch_pseudos_swap_operands() {
+        let e = expand("ble", &["x1", "x2", "loop"], &consts(), 1).unwrap();
+        assert_eq!(e[0].0.op, Op::Bge);
+        assert_eq!(e[0].0.rs1, 2);
+        assert_eq!(e[0].0.rs2, 1);
+        let e = expand("bgt", &["x1", "x2", "loop"], &consts(), 1).unwrap();
+        assert_eq!(e[0].0.op, Op::Blt);
+        assert_eq!(e[0].0.rs1, 2);
+    }
+
+    #[test]
+    fn ret_is_jr_ra() {
+        let e = expand("ret", &[], &consts(), 1).unwrap();
+        assert_eq!(e[0].0.op, Op::Jr);
+        assert_eq!(e[0].0.rs1, 31);
+    }
+}

@@ -1,0 +1,255 @@
+//! Assembler integration tests.
+
+use crate::asm::assemble;
+use crate::encode::decode;
+use crate::opcode::Op;
+use crate::program::{DATA_BASE, TEXT_BASE};
+
+fn ops(src: &str) -> Vec<Op> {
+    assemble(src).unwrap().decoded().iter().map(|i| i.op).collect()
+}
+
+#[test]
+fn empty_program() {
+    let p = assemble("").unwrap();
+    assert!(p.text.is_empty());
+    assert!(p.data.is_empty());
+}
+
+#[test]
+fn comments_and_blank_lines() {
+    let p = assemble("# a comment\n\n   // another\nnop # trailing\n").unwrap();
+    assert_eq!(p.text.len(), 1);
+}
+
+#[test]
+fn basic_arith() {
+    let p = assemble("add x1, x2, x3\naddi x4, x1, -7\n").unwrap();
+    let d = p.decoded();
+    assert_eq!(d[0].op, Op::Add);
+    assert_eq!((d[0].rd, d[0].rs1, d[0].rs2), (1, 2, 3));
+    assert_eq!(d[1].op, Op::Addi);
+    assert_eq!(d[1].imm, -7);
+}
+
+#[test]
+fn reg_aliases() {
+    let p = assemble("add sp, ra, zero\n").unwrap();
+    let d = p.decoded();
+    assert_eq!((d[0].rd, d[0].rs1, d[0].rs2), (30, 31, 0));
+}
+
+#[test]
+fn mem_operands() {
+    let p = assemble("ld x1, 16(x2)\nsd x3, -8(sp)\nfld f1, (x4)\n").unwrap();
+    let d = p.decoded();
+    assert_eq!((d[0].rd, d[0].rs1, d[0].imm), (1, 2, 16));
+    assert_eq!((d[1].rd, d[1].rs1, d[1].imm), (3, 30, -8));
+    assert_eq!((d[2].rd, d[2].rs1, d[2].imm), (1, 4, 0));
+}
+
+#[test]
+fn forward_and_backward_branches() {
+    let src = r#"
+        li   x1, 0
+        li   x2, 10
+    loop:
+        addi x1, x1, 1
+        blt  x1, x2, loop
+        beq  x1, x2, done
+        nop
+    done:
+        halt
+    "#;
+    let p = assemble(src).unwrap();
+    let d = p.decoded();
+    // loop: at index 2; blt at index 3 => offset -1
+    assert_eq!(d[3].op, Op::Blt);
+    assert_eq!(d[3].imm, -1);
+    // beq at index 4, done at index 6 => offset +2
+    assert_eq!(d[4].imm, 2);
+}
+
+#[test]
+fn label_addresses() {
+    let src = "start:\nnop\nmid: nop\nend:\nhalt\n";
+    let p = assemble(src).unwrap();
+    assert_eq!(p.symbol("start"), Some(TEXT_BASE));
+    assert_eq!(p.symbol("mid"), Some(TEXT_BASE + 4));
+    assert_eq!(p.symbol("end"), Some(TEXT_BASE + 8));
+}
+
+#[test]
+fn duplicate_label_rejected() {
+    assert!(assemble("a:\nnop\na:\nnop\n").is_err());
+}
+
+#[test]
+fn undefined_label_rejected() {
+    assert!(assemble("j nowhere\n").is_err());
+}
+
+#[test]
+fn unknown_mnemonic_rejected() {
+    let e = assemble("frobnicate x1, x2\n").unwrap_err();
+    assert!(e.to_string().contains("frobnicate"));
+}
+
+#[test]
+fn wrong_operand_count_rejected() {
+    assert!(assemble("add x1, x2\n").is_err());
+    assert!(assemble("nop x1\n").is_err());
+}
+
+#[test]
+fn wrong_register_class_rejected() {
+    assert!(assemble("add x1, f2, x3\n").is_err());
+    assert!(assemble("vadd.vv v1, v2, x3\n").is_err());
+    assert!(assemble("fadd f1, f2, v3\n").is_err());
+}
+
+#[test]
+fn vector_ops_and_mask() {
+    let src = r#"
+        setvl   x1, x2
+        vld     v1, x3
+        vlds    v2, x3, x4
+        vldx    v3, x3, v1
+        vadd.vv v4, v1, v2
+        vadd.vv v5, v1, v2, vm
+        vfma.vs v6, v1, f2, vm
+        vst     v4, x5
+        vseq.vv v1, v2
+    "#;
+    let p = assemble(src).unwrap();
+    let d = p.decoded();
+    assert_eq!(d[1].op, Op::Vld);
+    assert!(!d[4].masked);
+    assert!(d[5].masked);
+    assert!(d[6].masked);
+    assert_eq!(d[8].op, Op::Vseq);
+    assert_eq!((d[8].rs1, d[8].rs2), (1, 2));
+}
+
+#[test]
+fn mask_on_scalar_op_rejected() {
+    assert!(assemble("add x1, x2, x3, vm\n").is_err());
+}
+
+#[test]
+fn eq_constants() {
+    let src = ".eq N, 64\n.eq N2, N+N\nli x1, N2\naddi x2, x0, N\n";
+    let p = assemble(src).unwrap();
+    let d = p.decoded();
+    assert_eq!(d[0].imm, 128);
+    assert_eq!(d[1].imm, 64);
+}
+
+#[test]
+fn data_section_layout() {
+    let src = r#"
+        .data
+    arr:
+        .dword 1, 2, 3
+    tbl:
+        .word 0xdeadbeef
+        .byte 1, 2
+        .align 8
+    big:
+        .zero 16
+    pi:
+        .double 3.25
+    "#;
+    let p = assemble(src).unwrap();
+    assert_eq!(p.symbol("arr"), Some(DATA_BASE));
+    assert_eq!(p.symbol("tbl"), Some(DATA_BASE + 24));
+    assert_eq!(p.symbol("big"), Some(DATA_BASE + 32));
+    assert_eq!(p.symbol("pi"), Some(DATA_BASE + 48));
+    assert_eq!(&p.data[0..8], &1u64.to_le_bytes());
+    assert_eq!(&p.data[24..28], &0xdeadbeefu32.to_le_bytes());
+    assert_eq!(&p.data[48..56], &3.25f64.to_bits().to_le_bytes());
+}
+
+#[test]
+fn dword_may_reference_earlier_labels() {
+    let src = ".data\na:\n.dword 7\nptrs:\n.dword a\n";
+    let p = assemble(src).unwrap();
+    let lo = p.data[8..16].try_into().map(u64::from_le_bytes).unwrap();
+    assert_eq!(lo, DATA_BASE);
+}
+
+#[test]
+fn la_materializes_addresses() {
+    let src = ".data\nbuf:\n.zero 64\n.text\nla x1, buf\nhalt\n";
+    let p = assemble(src).unwrap();
+    let d = p.decoded();
+    assert_eq!(d[0].op, Op::Lui);
+    assert_eq!(d[1].op, Op::Ori);
+    let addr = ((d[0].imm as i64) << 13) | (d[1].imm as i64);
+    assert_eq!(addr as u64, DATA_BASE);
+}
+
+#[test]
+fn data_directive_in_text_rejected() {
+    assert!(assemble(".dword 1\n").is_err());
+    assert!(assemble(".text\n.zero 8\n").is_err());
+}
+
+#[test]
+fn instruction_in_data_rejected() {
+    assert!(assemble(".data\nadd x1, x2, x3\n").is_err());
+}
+
+#[test]
+fn error_reports_line_numbers() {
+    let e = assemble("nop\nnop\nbogus\n").unwrap_err();
+    assert!(e.to_string().starts_with("line 3"));
+}
+
+#[test]
+fn call_ret_roundtrip() {
+    let src = "call f\nhalt\nf:\nret\n";
+    assert_eq!(ops(src), vec![Op::Jal, Op::Halt, Op::Jr]);
+    let p = assemble(src).unwrap();
+    assert_eq!(p.decoded()[0].imm, 2); // jal forward 2 words
+}
+
+#[test]
+fn branch_offset_out_of_range_reported() {
+    // Distance beyond the 14-bit signed word offset must error, not wrap.
+    let mut src = String::from("start:\n");
+    for _ in 0..9000 {
+        src.push_str("nop\n");
+    }
+    src.push_str("beq x0, x0, start\n");
+    let e = assemble(&src).unwrap_err();
+    assert!(e.to_string().contains("out of range"), "got: {e}");
+}
+
+#[test]
+fn all_encoded_words_decode() {
+    let src = r#"
+        .eq N, 8
+        li      x1, N
+        setvl   x2, x1
+        vid     v1
+        vsplat  v2, x2
+        vfsplat v3, f1
+        vfma.vv v4, v1, v2
+        vredsum x3, v4
+        vfredsum f2, v4
+        vpopc   x4
+        vmset
+        vmnot
+        barrier
+        vltcfg  x1
+        region  3
+        tid     x5
+        nthr    x6
+        halt
+    "#;
+    let p = assemble(src).unwrap();
+    for w in &p.text {
+        decode(*w).unwrap();
+    }
+}

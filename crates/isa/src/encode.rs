@@ -1,0 +1,226 @@
+//! Binary encoding and decoding of instructions to/from 32-bit words.
+
+use crate::error::IsaError;
+use crate::inst::Inst;
+use crate::opcode::{Format, Op};
+
+const MASK_BIT: u32 = 1 << 8;
+
+fn field(v: u8, shift: u32) -> u32 {
+    ((v as u32) & 0x1F) << shift
+}
+
+fn check_signed(op: Op, imm: i64, bits: u32) -> Result<u32, IsaError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        return Err(IsaError::ImmOutOfRange { op: op.mnemonic(), imm, bits });
+    }
+    Ok((imm as u32) & ((1u32 << bits) - 1))
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Encode a decoded instruction into its 32-bit word.
+///
+/// Fails if the immediate does not fit the format's field, or a register
+/// field exceeds 31.
+pub fn encode(inst: &Inst) -> Result<u32, IsaError> {
+    for r in [inst.rd, inst.rs1, inst.rs2] {
+        if r >= 32 {
+            return Err(IsaError::BadRegister(r));
+        }
+    }
+    let op = inst.op;
+    let base = (op as u8 as u32) << 24;
+    let m = if inst.masked { MASK_BIT } else { 0 };
+    let w = match op.format() {
+        Format::R0 => base,
+        Format::R1 => base | field(inst.rd, 19),
+        Format::Rs => base | field(inst.rs1, 14),
+        Format::R2 => base | field(inst.rd, 19) | field(inst.rs1, 14) | m,
+        Format::R => base | field(inst.rd, 19) | field(inst.rs1, 14) | field(inst.rs2, 9) | m,
+        Format::RR0 => base | field(inst.rs1, 14) | field(inst.rs2, 9),
+        Format::I => {
+            base | field(inst.rd, 19)
+                | field(inst.rs1, 14)
+                | check_signed(op, inst.imm as i64, 14)?
+        }
+        Format::U => base | field(inst.rd, 19) | check_signed(op, inst.imm as i64, 19)?,
+        Format::UI => base | check_signed(op, inst.imm as i64, 19)?,
+        Format::B => {
+            base | field(inst.rs1, 19)
+                | field(inst.rs2, 14)
+                | check_signed(op, inst.imm as i64, 14)?
+        }
+        Format::J => base | check_signed(op, inst.imm as i64, 24)?,
+    };
+    Ok(w)
+}
+
+/// Decode a 32-bit word back into an instruction.
+pub fn decode(word: u32) -> Result<Inst, IsaError> {
+    let opb = (word >> 24) as u8;
+    let op = Op::from_u8(opb).ok_or(IsaError::BadOpcode(opb))?;
+    let rd = ((word >> 19) & 0x1F) as u8;
+    let rs1 = ((word >> 14) & 0x1F) as u8;
+    let rs2 = ((word >> 9) & 0x1F) as u8;
+    let masked = word & MASK_BIT != 0;
+    let inst = match op.format() {
+        Format::R0 => Inst::sys(op),
+        Format::R1 => Inst { op, rd, rs1: 0, rs2: 0, imm: 0, masked: false },
+        Format::Rs => Inst { op, rd: 0, rs1, rs2: 0, imm: 0, masked: false },
+        Format::R2 => Inst { op, rd, rs1, rs2: 0, imm: 0, masked },
+        Format::R => Inst { op, rd, rs1, rs2, imm: 0, masked },
+        Format::RR0 => Inst { op, rd: 0, rs1, rs2, imm: 0, masked: false },
+        Format::I => Inst { op, rd, rs1, rs2: 0, imm: sext(word & 0x3FFF, 14), masked: false },
+        Format::U => Inst { op, rd, rs1: 0, rs2: 0, imm: sext(word & 0x7FFFF, 19), masked: false },
+        Format::UI => {
+            Inst { op, rd: 0, rs1: 0, rs2: 0, imm: sext(word & 0x7FFFF, 19), masked: false }
+        }
+        Format::B => {
+            let brs1 = ((word >> 19) & 0x1F) as u8;
+            let brs2 = ((word >> 14) & 0x1F) as u8;
+            Inst { op, rd: 0, rs1: brs1, rs2: brs2, imm: sext(word & 0x3FFF, 14), masked: false }
+        }
+        Format::J => {
+            Inst { op, rd: 0, rs1: 0, rs2: 0, imm: sext(word & 0xFF_FFFF, 24), masked: false }
+        }
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{Format, Op};
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let cases = [
+            Inst::r(Op::Add, 1, 2, 3),
+            Inst::i(Op::Addi, 4, 5, -100),
+            Inst::i(Op::Ld, 7, 30, 8191),
+            Inst::i(Op::Sd, 7, 30, -8192),
+            Inst { op: Op::Lui, rd: 9, rs1: 0, rs2: 0, imm: -262144, masked: false },
+            Inst { op: Op::Beq, rd: 0, rs1: 3, rs2: 4, imm: -20, masked: false },
+            Inst { op: Op::Jal, rd: 0, rs1: 0, rs2: 0, imm: 100000, masked: false },
+            Inst::r(Op::VfmaVV, 10, 11, 12).with_mask(),
+            Inst::r2(Op::Vld, 1, 2),
+            Inst::sys(Op::Barrier),
+            Inst { op: Op::VltCfg, rd: 0, rs1: 17, rs2: 0, imm: 0, masked: false },
+        ];
+        for c in &cases {
+            let w = encode(c).unwrap();
+            assert_eq!(&decode(w).unwrap(), c, "roundtrip failed for {c:?}");
+        }
+    }
+
+    #[test]
+    fn imm_out_of_range() {
+        let i = Inst::i(Op::Addi, 1, 2, 8192);
+        assert!(matches!(encode(&i), Err(IsaError::ImmOutOfRange { .. })));
+        let i = Inst::i(Op::Addi, 1, 2, -8193);
+        assert!(matches!(encode(&i), Err(IsaError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let i = Inst::r(Op::Add, 32, 0, 0);
+        assert!(matches!(encode(&i), Err(IsaError::BadRegister(32))));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(decode(0xFF00_0000), Err(IsaError::BadOpcode(0xFF))));
+    }
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        (0..Op::ALL.len(), 0u8..32, 0u8..32, 0u8..32, any::<i16>(), any::<bool>()).prop_map(
+            |(opi, rd, rs1, rs2, imm16, masked)| {
+                let op = Op::ALL[opi];
+                // Clamp the immediate to the field width for the format.
+                let imm = match op.format() {
+                    Format::I | Format::B => (imm16 as i32).clamp(-8192, 8191),
+                    Format::U | Format::UI => (imm16 as i32).clamp(-262144, 262143),
+                    Format::J => imm16 as i32,
+                    _ => 0,
+                };
+                let mut i = Inst { op, rd, rs1, rs2, imm, masked };
+                // Normalize fields the format does not carry, mirroring decode.
+                match op.format() {
+                    Format::R0 => i = Inst::sys(op),
+                    Format::R1 => {
+                        i.rs1 = 0;
+                        i.rs2 = 0;
+                        i.masked = false;
+                    }
+                    Format::Rs => {
+                        i.rd = 0;
+                        i.rs2 = 0;
+                        i.masked = false;
+                    }
+                    Format::R2 => i.rs2 = 0,
+                    Format::R => {}
+                    Format::RR0 => {
+                        i.rd = 0;
+                        i.masked = false;
+                    }
+                    Format::I => {
+                        i.rs2 = 0;
+                        i.masked = false;
+                    }
+                    Format::U => {
+                        i.rs1 = 0;
+                        i.rs2 = 0;
+                        i.masked = false;
+                    }
+                    Format::UI => {
+                        i.rd = 0;
+                        i.rs1 = 0;
+                        i.rs2 = 0;
+                        i.masked = false;
+                    }
+                    Format::B => {
+                        i.rd = 0;
+                        i.masked = false;
+                    }
+                    Format::J => {
+                        i.rd = 0;
+                        i.rs1 = 0;
+                        i.rs2 = 0;
+                        i.masked = false;
+                    }
+                }
+                i
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in arb_inst()) {
+            let w = encode(&inst).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), inst);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decode_encode_roundtrip(word in any::<u32>()) {
+            // Any word that decodes must re-encode to itself modulo
+            // don't-care bits, and then roundtrip stably.
+            if let Ok(inst) = decode(word) {
+                let w2 = encode(&inst).unwrap();
+                prop_assert_eq!(decode(w2).unwrap(), inst);
+            }
+        }
+    }
+}

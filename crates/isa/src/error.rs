@@ -1,0 +1,50 @@
+//! Error types for encoding, decoding, and assembling.
+
+use std::fmt;
+
+/// Errors produced by the ISA layer (encoder, decoder, assembler).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A 32-bit word whose opcode byte does not name any instruction.
+    BadOpcode(u8),
+    /// An immediate that does not fit the field width of the target format.
+    ImmOutOfRange {
+        /// Mnemonic of the offending instruction.
+        op: &'static str,
+        /// The immediate value that did not fit.
+        imm: i64,
+        /// Field width in bits.
+        bits: u32,
+    },
+    /// A register index outside `0..32`.
+    BadRegister(u8),
+    /// Assembler error with source location.
+    Asm {
+        /// 1-based source line number.
+        line: usize,
+        /// Human-readable message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            IsaError::ImmOutOfRange { op, imm, bits } => {
+                write!(f, "immediate {imm} does not fit in {bits} bits for `{op}`")
+            }
+            IsaError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            IsaError::Asm { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+impl IsaError {
+    /// Convenience constructor for assembler errors.
+    pub fn asm(line: usize, msg: impl Into<String>) -> Self {
+        IsaError::Asm { line, msg: msg.into() }
+    }
+}

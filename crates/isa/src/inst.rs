@@ -1,0 +1,413 @@
+//! The decoded instruction form and its register defs/uses.
+
+use crate::opcode::{Format, Op};
+use crate::reg::RegRef;
+
+/// A decoded instruction: an opcode plus raw operand fields.
+///
+/// Which register file each field names is determined by the opcode's
+/// operand signature (see [`Op::sig`]); the flat layout keeps the encoder,
+/// decoder, and interpreter compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Destination register field (or source value for stores).
+    pub rd: u8,
+    /// First source register field.
+    pub rs1: u8,
+    /// Second source register field.
+    pub rs2: u8,
+    /// Immediate field (sign-extended to 32 bits as appropriate per format).
+    pub imm: i32,
+    /// Mask bit: vector operation executes under the mask register.
+    pub masked: bool,
+}
+
+impl Inst {
+    /// A canonical `nop`.
+    pub const NOP: Inst = Inst { op: Op::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0, masked: false };
+
+    /// R-format constructor (`rd, rs1, rs2`).
+    pub fn r(op: Op, rd: u8, rs1: u8, rs2: u8) -> Self {
+        Inst { op, rd, rs1, rs2, imm: 0, masked: false }
+    }
+
+    /// I-format constructor (`rd, rs1, imm`).
+    pub fn i(op: Op, rd: u8, rs1: u8, imm: i32) -> Self {
+        Inst { op, rd, rs1, rs2: 0, imm, masked: false }
+    }
+
+    /// Two-register constructor (`rd, rs1`).
+    pub fn r2(op: Op, rd: u8, rs1: u8) -> Self {
+        Inst { op, rd, rs1, rs2: 0, imm: 0, masked: false }
+    }
+
+    /// Opcode-only constructor.
+    pub fn sys(op: Op) -> Self {
+        Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0, masked: false }
+    }
+
+    /// Mark a vector instruction as executing under the mask register.
+    pub fn with_mask(mut self) -> Self {
+        self.masked = true;
+        self
+    }
+
+    /// Registers written (defs) and read (uses) by this instruction.
+    ///
+    /// `x0` never appears (writes are discarded, reads are constant-ready).
+    /// Vector instructions implicitly read the vector-length register and,
+    /// when masked, the mask register. This drives the timing models'
+    /// dependence tracking, so it must be exact.
+    pub fn defs_uses(&self) -> (Vec<RegRef>, Vec<RegRef>) {
+        use Op::*;
+        let mut defs = Vec::new();
+        let mut uses = Vec::new();
+        let rd = self.rd;
+        let rs1 = self.rs1;
+        let rs2 = self.rs2;
+        let def_i = |v: &mut Vec<RegRef>, r: u8| {
+            if r != 0 {
+                v.push(RegRef::I(r));
+            }
+        };
+        let use_i = |v: &mut Vec<RegRef>, r: u8| {
+            if r != 0 {
+                v.push(RegRef::I(r));
+            }
+        };
+
+        match self.op {
+            Nop | Halt | Barrier | Region => {}
+            Tid | Nthr => def_i(&mut defs, rd),
+            GetVl => {
+                def_i(&mut defs, rd);
+                uses.push(RegRef::Vl);
+            }
+            SetVl => {
+                def_i(&mut defs, rd);
+                defs.push(RegRef::Vl);
+                use_i(&mut uses, rs1);
+            }
+            VltCfg => use_i(&mut uses, rs1),
+
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
+                def_i(&mut defs, rd);
+                use_i(&mut uses, rs1);
+                use_i(&mut uses, rs2);
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+                def_i(&mut defs, rd);
+                use_i(&mut uses, rs1);
+            }
+            Lui => def_i(&mut defs, rd),
+
+            Ld | Lw | Lwu | Lb | Lbu => {
+                def_i(&mut defs, rd);
+                use_i(&mut uses, rs1);
+            }
+            Fld => {
+                defs.push(RegRef::F(rd));
+                use_i(&mut uses, rs1);
+            }
+            Sd | Sw | Sb => {
+                use_i(&mut uses, rd); // store value
+                use_i(&mut uses, rs1);
+            }
+            Fsd => {
+                uses.push(RegRef::F(rd));
+                use_i(&mut uses, rs1);
+            }
+
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                use_i(&mut uses, rs1);
+                use_i(&mut uses, rs2);
+            }
+            J => {}
+            Jal => defs.push(RegRef::I(31)),
+            Jr => use_i(&mut uses, rs1),
+            Jalr => {
+                def_i(&mut defs, rd);
+                use_i(&mut uses, rs1);
+            }
+
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
+                defs.push(RegRef::F(rd));
+                uses.push(RegRef::F(rs1));
+                uses.push(RegRef::F(rs2));
+            }
+            Fma => {
+                defs.push(RegRef::F(rd));
+                uses.push(RegRef::F(rd));
+                uses.push(RegRef::F(rs1));
+                uses.push(RegRef::F(rs2));
+            }
+            Fsqrt | Fneg | Fabs | Fmov => {
+                defs.push(RegRef::F(rd));
+                uses.push(RegRef::F(rs1));
+            }
+            Feq | Flt | Fle => {
+                def_i(&mut defs, rd);
+                uses.push(RegRef::F(rs1));
+                uses.push(RegRef::F(rs2));
+            }
+            FcvtFx => {
+                defs.push(RegRef::F(rd));
+                use_i(&mut uses, rs1);
+            }
+            FcvtXf => {
+                def_i(&mut defs, rd);
+                uses.push(RegRef::F(rs1));
+            }
+
+            VaddVV | VsubVV | VmulVV | VandVV | VorVV | VxorVV | VsllVV | VsrlVV | VsraVV
+            | VminVV | VmaxVV | VfaddVV | VfsubVV | VfmulVV | VfdivVV | VfminVV | VfmaxVV => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::V(rs2));
+                uses.push(RegRef::Vl);
+            }
+            VfmaVV => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::V(rs2));
+                uses.push(RegRef::Vl);
+            }
+            VaddVS | VsubVS | VmulVS | VandVS | VorVS | VxorVS | VsllVS | VsrlVS | VsraVS => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                use_i(&mut uses, rs2);
+                uses.push(RegRef::Vl);
+            }
+            VfaddVS | VfsubVS | VfmulVS | VfdivVS => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::F(rs2));
+                uses.push(RegRef::Vl);
+            }
+            VfmaVS => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::F(rs2));
+                uses.push(RegRef::Vl);
+            }
+            Vfsqrt | Vmv | VcvtFx | VcvtXf => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::Vl);
+            }
+
+            Vseq | Vsne | Vslt | Vsge | Vfeq | Vflt | Vfle => {
+                defs.push(RegRef::Vm);
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::V(rs2));
+                uses.push(RegRef::Vl);
+            }
+            Vmnot => {
+                defs.push(RegRef::Vm);
+                uses.push(RegRef::Vm);
+            }
+            Vmset => defs.push(RegRef::Vm),
+            Vpopc | Vmfirst | Vmgetb => {
+                def_i(&mut defs, rd);
+                uses.push(RegRef::Vm);
+                uses.push(RegRef::Vl);
+            }
+            Vmsetb => {
+                defs.push(RegRef::Vm);
+                use_i(&mut uses, rs1);
+            }
+
+            Vmerge => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::V(rs2));
+                uses.push(RegRef::Vm);
+                uses.push(RegRef::Vl);
+            }
+            Vid => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::Vl);
+            }
+            Vsplat => {
+                defs.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                uses.push(RegRef::Vl);
+            }
+            Vfsplat => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::F(rs1));
+                uses.push(RegRef::Vl);
+            }
+            Vextract => {
+                def_i(&mut defs, rd);
+                uses.push(RegRef::V(rs1));
+                use_i(&mut uses, rs2);
+            }
+            Vfextract => {
+                defs.push(RegRef::F(rd));
+                uses.push(RegRef::V(rs1));
+                use_i(&mut uses, rs2);
+            }
+            Vinsert => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                use_i(&mut uses, rs2);
+            }
+            Vfinsert => {
+                defs.push(RegRef::V(rd));
+                uses.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                uses.push(RegRef::F(rs2));
+            }
+
+            Vredsum | Vredmin | Vredmax => {
+                def_i(&mut defs, rd);
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::Vl);
+            }
+            Vfredsum | Vfredmin | Vfredmax => {
+                defs.push(RegRef::F(rd));
+                uses.push(RegRef::V(rs1));
+                uses.push(RegRef::Vl);
+            }
+
+            Vld => {
+                defs.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                uses.push(RegRef::Vl);
+            }
+            Vlds => {
+                defs.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                use_i(&mut uses, rs2);
+                uses.push(RegRef::Vl);
+            }
+            Vldx => {
+                defs.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                uses.push(RegRef::V(rs2));
+                uses.push(RegRef::Vl);
+            }
+            Vst => {
+                uses.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                uses.push(RegRef::Vl);
+            }
+            Vsts => {
+                uses.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                use_i(&mut uses, rs2);
+                uses.push(RegRef::Vl);
+            }
+            Vstx => {
+                uses.push(RegRef::V(rd));
+                use_i(&mut uses, rs1);
+                uses.push(RegRef::V(rs2));
+                uses.push(RegRef::Vl);
+            }
+        }
+
+        if self.masked && self.op.class().is_vector() {
+            if !uses.contains(&RegRef::Vm) {
+                uses.push(RegRef::Vm);
+            }
+        }
+        (defs, uses)
+    }
+
+    /// True if this is a control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(self.op.format(), Format::B | Format::J)
+            || matches!(self.op, Op::Jr | Op::Jalr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Op;
+
+    #[test]
+    fn x0_never_appears() {
+        let i = Inst::r(Op::Add, 0, 0, 0);
+        let (d, u) = i.defs_uses();
+        assert!(d.is_empty());
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn add_defs_uses() {
+        let i = Inst::r(Op::Add, 1, 2, 3);
+        let (d, u) = i.defs_uses();
+        assert_eq!(d, vec![RegRef::I(1)]);
+        assert_eq!(u, vec![RegRef::I(2), RegRef::I(3)]);
+    }
+
+    #[test]
+    fn store_uses_value_and_base() {
+        let i = Inst::i(Op::Sd, 5, 6, 8);
+        let (d, u) = i.defs_uses();
+        assert!(d.is_empty());
+        assert_eq!(u, vec![RegRef::I(5), RegRef::I(6)]);
+    }
+
+    #[test]
+    fn fma_reads_dest() {
+        let i = Inst::r(Op::Fma, 1, 2, 3);
+        let (d, u) = i.defs_uses();
+        assert_eq!(d, vec![RegRef::F(1)]);
+        assert!(u.contains(&RegRef::F(1)));
+    }
+
+    #[test]
+    fn vector_ops_read_vl() {
+        let i = Inst::r(Op::VfaddVV, 1, 2, 3);
+        let (_, u) = i.defs_uses();
+        assert!(u.contains(&RegRef::Vl));
+    }
+
+    #[test]
+    fn masked_vector_reads_vm() {
+        let i = Inst::r(Op::VaddVV, 1, 2, 3).with_mask();
+        let (_, u) = i.defs_uses();
+        assert!(u.contains(&RegRef::Vm));
+        let plain = Inst::r(Op::VaddVV, 1, 2, 3);
+        let (_, u2) = plain.defs_uses();
+        assert!(!u2.contains(&RegRef::Vm));
+    }
+
+    #[test]
+    fn vmerge_reads_vm_once() {
+        let i = Inst::r(Op::Vmerge, 1, 2, 3).with_mask();
+        let (_, u) = i.defs_uses();
+        assert_eq!(u.iter().filter(|r| **r == RegRef::Vm).count(), 1);
+    }
+
+    #[test]
+    fn setvl_defines_vl() {
+        let i = Inst::r2(Op::SetVl, 1, 2);
+        let (d, _) = i.defs_uses();
+        assert!(d.contains(&RegRef::Vl));
+        assert!(d.contains(&RegRef::I(1)));
+    }
+
+    #[test]
+    fn jal_defines_link() {
+        let i = Inst { op: Op::Jal, rd: 0, rs1: 0, rs2: 0, imm: 4, masked: false };
+        let (d, _) = i.defs_uses();
+        assert_eq!(d, vec![RegRef::I(31)]);
+    }
+
+    #[test]
+    fn control_detection() {
+        assert!(Inst::sys(Op::J).is_control());
+        assert!(Inst::r(Op::Beq, 0, 1, 2).is_control());
+        assert!(Inst { op: Op::Jr, rs1: 31, rd: 0, rs2: 0, imm: 0, masked: false }.is_control());
+        assert!(!Inst::r(Op::Add, 1, 2, 3).is_control());
+    }
+}

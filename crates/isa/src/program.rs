@@ -1,0 +1,101 @@
+//! Assembled programs and the simulated address-space layout.
+
+use std::collections::HashMap;
+
+use crate::encode::decode;
+use crate::inst::Inst;
+
+/// Base address of the text segment. Instructions occupy 4 bytes each.
+pub const TEXT_BASE: u64 = 0x0000_1000;
+/// Base address of the data segment.
+pub const DATA_BASE: u64 = 0x0010_0000;
+/// Base of the per-thread stacks; thread `t` gets
+/// `STACK_BASE + t * STACK_SIZE` as its stack top (stacks grow down).
+/// Kept below `2^31` so every address materializes with a two-instruction
+/// `lui`+`ori` sequence.
+pub const STACK_BASE: u64 = 0x4000_0000;
+/// Bytes of stack per thread.
+pub const STACK_SIZE: u64 = 0x10_0000;
+
+/// An assembled program: encoded text, initial data image, and symbols.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Encoded instructions; instruction `i` lives at `TEXT_BASE + 4*i`.
+    pub text: Vec<u32>,
+    /// Initial bytes of the data segment, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Label name to byte address (text labels) or data address.
+    pub symbols: HashMap<String, u64>,
+    /// Entry point address (defaults to [`TEXT_BASE`]).
+    pub entry: u64,
+}
+
+impl Program {
+    /// Create an empty program with the default entry point.
+    pub fn new() -> Self {
+        Program { text: Vec::new(), data: Vec::new(), symbols: HashMap::new(), entry: TEXT_BASE }
+    }
+
+    /// The address one past the last instruction.
+    pub fn text_end(&self) -> u64 {
+        TEXT_BASE + 4 * self.text.len() as u64
+    }
+
+    /// Decode the instruction at byte address `pc`, if in range.
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        let idx = self.index_of(pc)?;
+        decode(self.text[idx]).ok()
+    }
+
+    /// Map a byte address to a text index.
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < TEXT_BASE || pc % 4 != 0 {
+            return None;
+        }
+        let idx = ((pc - TEXT_BASE) / 4) as usize;
+        if idx < self.text.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Look up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Decode the whole text segment (panics on malformed words; assembled
+    /// programs are always well-formed).
+    pub fn decoded(&self) -> Vec<Inst> {
+        self.text.iter().map(|&w| decode(w).expect("well-formed text")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::opcode::Op;
+
+    #[test]
+    fn layout_is_disjoint() {
+        assert!(TEXT_BASE < DATA_BASE);
+        // Generous text budget before data:
+        assert!(DATA_BASE - TEXT_BASE >= 4 * 1024);
+        assert!(DATA_BASE < STACK_BASE);
+    }
+
+    #[test]
+    fn fetch_and_index() {
+        let mut p = Program::new();
+        p.text.push(encode(&Inst::r(Op::Add, 1, 2, 3)).unwrap());
+        p.text.push(encode(&Inst::sys(Op::Halt)).unwrap());
+        assert_eq!(p.fetch(TEXT_BASE).unwrap().op, Op::Add);
+        assert_eq!(p.fetch(TEXT_BASE + 4).unwrap().op, Op::Halt);
+        assert!(p.fetch(TEXT_BASE + 8).is_none());
+        assert!(p.fetch(TEXT_BASE + 2).is_none());
+        assert!(p.fetch(0).is_none());
+        assert_eq!(p.text_end(), TEXT_BASE + 8);
+    }
+}

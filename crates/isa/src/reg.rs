@@ -1,0 +1,143 @@
+//! Register name types and a unified register reference for dependence
+//! tracking.
+
+use std::fmt;
+
+macro_rules! reg_type {
+    ($name:ident, $prefix:literal, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u8);
+
+        impl $name {
+            /// Construct, panicking if the index is out of range.
+            pub fn new(i: u8) -> Self {
+                assert!(i < 32, concat!($prefix, " register index out of range"));
+                $name(i)
+            }
+
+            /// The raw index, `0..32`.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fmt_display_reg!($prefix);
+        }
+    };
+}
+
+macro_rules! fmt_display_reg {
+    ($prefix:literal) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}{}", $prefix, self.0)
+        }
+    };
+}
+
+reg_type!(IReg, "x", "Integer scalar register `x0`..`x31`; `x0` reads as zero.");
+reg_type!(FReg, "f", "Floating-point scalar register `f0`..`f31`.");
+reg_type!(VReg, "v", "Vector register `v0`..`v31`.");
+
+impl IReg {
+    /// The hardwired zero register.
+    pub const ZERO: IReg = IReg(0);
+    /// Link register written by `jal`/`jalr` (convention: `x31`).
+    pub const RA: IReg = IReg(31);
+    /// Stack pointer (convention: `x30`).
+    pub const SP: IReg = IReg(30);
+}
+
+/// A reference to any piece of architectural register state, used for
+/// dependence tracking in the timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    /// Integer scalar register.
+    I(u8),
+    /// Floating-point scalar register.
+    F(u8),
+    /// Vector register.
+    V(u8),
+    /// The vector-length register.
+    Vl,
+    /// The vector-mask register.
+    Vm,
+}
+
+impl RegRef {
+    /// True if this is scalar-unit state (integer/FP register).
+    pub fn is_scalar(self) -> bool {
+        matches!(self, RegRef::I(_) | RegRef::F(_))
+    }
+
+    /// True if this is vector-unit state (vector register, VL, or mask).
+    pub fn is_vector(self) -> bool {
+        !self.is_scalar()
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::I(i) => write!(f, "x{i}"),
+            RegRef::F(i) => write!(f, "f{i}"),
+            RegRef::V(i) => write!(f, "v{i}"),
+            RegRef::Vl => write!(f, "vl"),
+            RegRef::Vm => write!(f, "vm"),
+        }
+    }
+}
+
+/// Parse a register token (`x7`, `f31`, `v0`) into its class and index.
+pub fn parse_reg(tok: &str) -> Option<(char, u8)> {
+    let mut chars = tok.chars();
+    let class = chars.next()?;
+    if !matches!(class, 'x' | 'f' | 'v') {
+        return None;
+    }
+    let idx: u8 = chars.as_str().parse().ok()?;
+    if idx < 32 {
+        Some((class, idx))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IReg(3).to_string(), "x3");
+        assert_eq!(FReg(31).to_string(), "f31");
+        assert_eq!(VReg(0).to_string(), "v0");
+        assert_eq!(RegRef::Vl.to_string(), "vl");
+    }
+
+    #[test]
+    fn parse_reg_tokens() {
+        assert_eq!(parse_reg("x7"), Some(('x', 7)));
+        assert_eq!(parse_reg("f31"), Some(('f', 31)));
+        assert_eq!(parse_reg("v0"), Some(('v', 0)));
+        assert_eq!(parse_reg("x32"), None);
+        assert_eq!(parse_reg("y1"), None);
+        assert_eq!(parse_reg("x"), None);
+    }
+
+    #[test]
+    fn regref_classes() {
+        assert!(RegRef::I(1).is_scalar());
+        assert!(RegRef::F(1).is_scalar());
+        assert!(RegRef::V(1).is_vector());
+        assert!(RegRef::Vl.is_vector());
+        assert!(RegRef::Vm.is_vector());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_out_of_range_panics() {
+        IReg::new(32);
+    }
+}

@@ -1,0 +1,72 @@
+//! Memory-hierarchy parameters (paper Table 3).
+
+/// All sizes in bytes, latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 capacity (each of I and D).
+    pub l1_size: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L1 line size.
+    pub l1_line: usize,
+    /// L1 hit latency (load-use).
+    pub l1_hit: u64,
+    /// L2 capacity.
+    pub l2_size: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 line size.
+    pub l2_line: usize,
+    /// Number of L2 banks (word-interleaved).
+    pub l2_banks: usize,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// Additional penalty for an L2 miss (to main memory).
+    pub l2_miss: u64,
+    /// Cycles of main-memory channel occupancy per line fill
+    /// (bandwidth limit on concurrent misses).
+    pub mem_line_cycles: u64,
+    /// Per-lane instruction cache capacity (scalar-thread mode, §5).
+    pub lane_icache_size: usize,
+    /// Per-lane instruction cache line size.
+    pub lane_icache_line: usize,
+}
+
+impl Default for MemConfig {
+    /// The paper's Table 3 parameters.
+    fn default() -> Self {
+        MemConfig {
+            l1_size: 16 * 1024,
+            l1_assoc: 2,
+            l1_line: 64,
+            l1_hit: 2,
+            l2_size: 4 * 1024 * 1024,
+            l2_assoc: 4,
+            l2_line: 64,
+            l2_banks: 16,
+            l2_hit: 10,
+            l2_miss: 100,
+            mem_line_cycles: 2,
+            lane_icache_size: 4 * 1024,
+            lane_icache_line: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1_size, 16 * 1024);
+        assert_eq!(c.l1_assoc, 2);
+        assert_eq!(c.l2_size, 4 * 1024 * 1024);
+        assert_eq!(c.l2_assoc, 4);
+        assert_eq!(c.l2_banks, 16);
+        assert_eq!(c.l2_hit, 10);
+        assert_eq!(c.l2_miss, 100);
+        assert_eq!(c.lane_icache_size, 4 * 1024);
+    }
+}

@@ -1,0 +1,167 @@
+//! The multi-banked L2 cache and the main-memory channel behind it.
+//!
+//! Banks are interleaved at 8-byte word granularity — the classic vector
+//! memory organization. Unit-stride element streams spread across all 16
+//! banks; a stride equal to a multiple of `8 * banks` bytes serializes on a
+//! single bank. Each bank is pipelined at one access per cycle.
+
+use crate::cache::Cache;
+use crate::config::MemConfig;
+
+/// Word-interleaved, multi-banked L2 + main-memory channel timing model.
+#[derive(Debug)]
+pub struct BankedL2 {
+    tags: Cache,
+    /// Next cycle each bank can accept an access (pipelined 1/cycle).
+    bank_free: Vec<u64>,
+    /// Next cycle the memory channel can start a line fill.
+    mem_free: u64,
+    hit_latency: u64,
+    miss_penalty: u64,
+    mem_line_cycles: u64,
+    banks: usize,
+    /// Total accesses that had to wait for a busy bank.
+    pub bank_conflicts: u64,
+    /// Total L2 accesses.
+    pub accesses: u64,
+    /// Accesses that missed to memory.
+    pub misses: u64,
+}
+
+impl BankedL2 {
+    /// Build from the memory configuration.
+    pub fn new(cfg: &MemConfig) -> Self {
+        assert!(cfg.l2_banks.is_power_of_two());
+        BankedL2 {
+            tags: Cache::new(cfg.l2_size, cfg.l2_assoc, cfg.l2_line),
+            bank_free: vec![0; cfg.l2_banks],
+            mem_free: 0,
+            hit_latency: cfg.l2_hit,
+            miss_penalty: cfg.l2_miss,
+            mem_line_cycles: cfg.mem_line_cycles,
+            banks: cfg.l2_banks,
+            bank_conflicts: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bank index for an address (8-byte word interleaving).
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr >> 3) as usize) & (self.banks - 1)
+    }
+
+    /// Access the L2 at cycle `now`; returns the cycle the data is ready.
+    ///
+    /// Writes have the same bank/tag behaviour as reads (write-allocate);
+    /// the caller decides whether the requester actually waits on them.
+    pub fn access(&mut self, addr: u64, _write: bool, now: u64) -> u64 {
+        self.accesses += 1;
+        let bank = self.bank_of(addr);
+        let start = now.max(self.bank_free[bank]);
+        if start > now {
+            self.bank_conflicts += 1;
+        }
+        self.bank_free[bank] = start + 1;
+        if self.tags.access(addr) {
+            start + self.hit_latency
+        } else {
+            self.misses += 1;
+            // The fill occupies the memory channel for `mem_line_cycles`.
+            let mem_start = (start + self.hit_latency).max(self.mem_free);
+            self.mem_free = mem_start + self.mem_line_cycles;
+            mem_start + self.miss_penalty
+        }
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks
+    }
+
+    /// L2 tag hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.tags.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> BankedL2 {
+        BankedL2::new(&MemConfig::default())
+    }
+
+    #[test]
+    fn hit_after_fill_costs_hit_latency() {
+        let mut l2 = l2();
+        let t1 = l2.access(0x10000, false, 0);
+        assert_eq!(t1, 10 + 100); // cold miss
+        let t2 = l2.access(0x10000, false, 200);
+        assert_eq!(t2, 210); // hit
+    }
+
+    #[test]
+    fn unit_stride_spreads_over_banks() {
+        let mut l2 = l2();
+        // Warm the line first so we measure bank behaviour, not misses.
+        for e in 0..16u64 {
+            l2.access(0x20000 + 8 * e, false, 0);
+        }
+        let before = l2.bank_conflicts;
+        // 16 words at unit stride hit 16 distinct banks: no conflicts.
+        for e in 0..16u64 {
+            l2.access(0x40000 + 8 * e, false, 1000);
+        }
+        // The 16 accesses are all to different banks — conflicts unchanged
+        // except those caused by cold-miss fills above; measure delta:
+        assert_eq!(l2.bank_conflicts, before);
+    }
+
+    #[test]
+    fn same_bank_stride_serializes() {
+        let mut l2 = l2();
+        let stride = 8 * 16; // all accesses land in bank 0
+        // Issue 8 simultaneous accesses at cycle 0.
+        let mut last = 0;
+        for e in 0..8u64 {
+            last = last.max(l2.access(0x80000 + stride * e, false, 0));
+        }
+        // Bank pipelining: the 8th access starts at cycle 7 at best.
+        assert!(l2.bank_conflicts >= 7, "expected serialization, got {}", l2.bank_conflicts);
+        assert!(last >= 7 + 10);
+    }
+
+    #[test]
+    fn bank_of_is_word_interleaved() {
+        let l2 = l2();
+        assert_eq!(l2.bank_of(0), 0);
+        assert_eq!(l2.bank_of(8), 1);
+        assert_eq!(l2.bank_of(8 * 15), 15);
+        assert_eq!(l2.bank_of(8 * 16), 0);
+        assert_eq!(l2.bank_of(4), 0); // sub-word offset ignored
+    }
+
+    #[test]
+    fn memory_channel_limits_miss_bandwidth() {
+        let mut l2 = l2();
+        // Two cold misses to different banks at the same cycle: the second
+        // line fill waits for the channel.
+        let a = l2.access(0x100000, false, 0);
+        let b = l2.access(0x200000 + 8, false, 0);
+        assert_eq!(a, 110);
+        assert!(b > a, "second miss must queue behind the first fill: {b} vs {a}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l2 = l2();
+        l2.access(0x1000, false, 0);
+        l2.access(0x1000, true, 100);
+        assert_eq!(l2.accesses, 2);
+        assert_eq!(l2.misses, 1);
+        assert!(l2.hit_rate() > 0.0);
+    }
+}

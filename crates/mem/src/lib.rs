@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # vlt-mem — the on-chip memory system
+//!
+//! Timing model for the memory hierarchy of the simulated vector processor
+//! (paper §2, Table 3):
+//!
+//! * per-core L1 instruction and data caches (16 KB, 2-way),
+//! * a unified 4 MB, 4-way associative L2, **16-way banked** with 8-byte
+//!   word interleaving — strided and indexed vector accesses contend for
+//!   banks exactly as in classic vector memory systems,
+//! * main memory behind the L2 with a fixed miss penalty and a line-fill
+//!   bandwidth limit,
+//! * per-lane 4 KB instruction caches for VLT scalar-thread mode (§5).
+//!
+//! The model is *timing only*: data values live in the functional simulator
+//! (`vlt_exec::Memory`). Contention is modeled with pipelined next-free
+//! counters per bank/channel, which is deterministic and exact for
+//! 1-access-per-cycle resources.
+
+pub mod cache;
+pub mod config;
+pub mod l2;
+pub mod system;
+
+pub use cache::Cache;
+pub use config::MemConfig;
+pub use l2::BankedL2;
+pub use system::{MemStats, MemSystem};

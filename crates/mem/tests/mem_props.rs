@@ -1,0 +1,73 @@
+//! Property tests on the memory hierarchy timing model.
+
+use proptest::prelude::*;
+
+use vlt_mem::{BankedL2, Cache, MemConfig, MemSystem};
+
+proptest! {
+    /// Completion times never precede the request plus the hit latency, and
+    /// never exceed request + bank wait + miss path.
+    #[test]
+    fn l2_latency_bounds(addrs in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let cfg = MemConfig::default();
+        let mut l2 = BankedL2::new(&cfg);
+        let mut now = 0u64;
+        for a in addrs {
+            let t = l2.access(a, false, now);
+            prop_assert!(t >= now + cfg.l2_hit, "{t} < {now} + hit");
+            // Worst case: waited for the bank, missed, and queued behind
+            // every preceding line fill.
+            prop_assert!(t <= now + l2.accesses * cfg.mem_line_cycles + cfg.l2_hit + cfg.l2_miss + l2.accesses);
+            now += 1;
+        }
+    }
+
+    /// A second access to the same address at a later time is a hit.
+    #[test]
+    fn l2_second_access_hits(addr in 0u64..100_000_000) {
+        let cfg = MemConfig::default();
+        let mut l2 = BankedL2::new(&cfg);
+        let t1 = l2.access(addr, false, 0);
+        let t2 = l2.access(addr, false, t1 + 10);
+        prop_assert_eq!(t2, t1 + 10 + cfg.l2_hit);
+    }
+
+    /// Cache stats always add up, and hit rate is within [0, 1].
+    #[test]
+    fn cache_stats_consistent(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(16 * 1024, 2, 64);
+        for a in &addrs {
+            c.access(*a);
+        }
+        prop_assert_eq!(c.hits + c.misses, addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+    }
+
+    /// The same access sequence always produces the same timings
+    /// (determinism of the contention counters).
+    #[test]
+    fn hierarchy_is_deterministic(ops in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..200)) {
+        let run = || {
+            let mut m = MemSystem::new(MemConfig::default(), 2, 8);
+            let mut out = Vec::new();
+            for (i, (addr, write)) in ops.iter().enumerate() {
+                out.push(m.data_access(i % 2, *addr, *write, i as u64));
+                out.push(m.l2_access(*addr ^ 0xABCD, *write, i as u64));
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn lane_icache_is_direct_mapped_and_small() {
+    let mut m = MemSystem::new(MemConfig::default(), 1, 8);
+    // 4 KB direct-mapped: two addresses 4 KB apart conflict.
+    m.lane_inst_fetch(0, 0, 0x1000, 0);
+    let warm = m.lane_inst_fetch(0, 0, 0x1000, 100);
+    assert_eq!(warm, 101);
+    m.lane_inst_fetch(0, 0, 0x2000, 200); // evicts 0x1000 (4 KB apart)
+    let evicted = m.lane_inst_fetch(0, 0, 0x1000, 300);
+    assert!(evicted > 301, "conflicting line must have been evicted");
+}

@@ -1,0 +1,619 @@
+//! The out-of-order superscalar scalar unit (SU).
+//!
+//! Pipeline model (one `tick` per cycle):
+//!
+//! 1. **Poll** — vector instructions in the ROB check the vector unit for
+//!    completion; completions resolve dependent consumers.
+//! 2. **Commit** — in-order per context, total width shared across SMT
+//!    contexts.
+//! 3. **Issue** — oldest-ready-first across contexts, bounded by issue
+//!    width, arithmetic units, memory ports, and an unpipelined divider.
+//! 4. **Fetch/dispatch** — one context per cycle (ICOUNT-style choice),
+//!    up to `width` instructions; branch predictor consulted against the
+//!    known outcome, charging a redirect penalty on mispredicts; vector
+//!    instructions are handed to the vector unit in program order with a
+//!    dependence snapshot.
+//!
+//! Register renaming is modeled as unlimited physical registers: only true
+//! (RAW) dependences constrain issue, while the window bounds run-ahead
+//! (DESIGN.md §7).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use vlt_exec::{DecodedProgram, DynInst, DynKind, ExecError};
+use vlt_isa::{OpClass, RegRef};
+use vlt_mem::MemSystem;
+
+use crate::config::CoreConfig;
+use crate::predictor::Predictor;
+use crate::traits::{FetchResult, FetchSource, VecDispatch, VecToken, VectorSink};
+
+/// Execution latency by class (cycles from issue to result availability).
+pub fn latency(class: OpClass) -> u64 {
+    match class {
+        OpClass::IntAlu | OpClass::Sys => 1,
+        OpClass::IntMul => 3,
+        OpClass::IntDiv => 12,
+        OpClass::FpAdd => 4,
+        OpClass::FpMul => 4,
+        OpClass::FpDiv => 16,
+        OpClass::Branch | OpClass::Jump => 1,
+        // Memory and vector classes are timed elsewhere.
+        _ => 1,
+    }
+}
+
+/// Aggregated per-core statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Instructions committed (all contexts).
+    pub committed: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Vector instructions dispatched to the vector unit.
+    pub vec_dispatched: u64,
+    /// Cycles the front end was stalled on redirects or I-cache misses.
+    pub fetch_stall_cycles: u64,
+    /// Cycles with at least one in-flight instruction.
+    pub busy_cycles: u64,
+    /// Branch mispredictions charged.
+    pub mispredicts: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EKind {
+    /// Scalar computation, branches, system ops.
+    Alu,
+    /// Scalar memory access.
+    Mem { addr: u64, write: bool },
+    /// Vector instruction in flight in the vector unit. `early` marks
+    /// entries that retire from the ROB at dispatch (no scalar destination;
+    /// the VIQ/window tracks them — paper §2's decoupled vector execution);
+    /// their register effects are published when the VU completes them.
+    Vector { token: VecToken, early: bool },
+    /// Barrier marker (completes immediately; fetch gating enforces order).
+    Barrier,
+    /// Serializing instruction (`vltcfg`): drains the ROB.
+    Serialize,
+    /// Commits immediately (halt marker).
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    sidx: u32,
+    class: OpClass,
+    kind: EKind,
+    /// In-flight producers still unresolved (core-global seqs).
+    deps: Vec<u64>,
+    /// Max completion cycle of already-resolved producers.
+    ready_base: u64,
+    issued: bool,
+    done_at: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Producer {
+    Ready(u64),
+    InFlight(u64),
+}
+
+#[derive(Debug)]
+struct Ctx {
+    /// Bound software thread (None = context unused).
+    thread: Option<usize>,
+    /// VLT thread id for vector-unit scoping.
+    vthread: usize,
+    rob: VecDeque<Entry>,
+    /// Latest producer per architectural register.
+    reg_map: Vec<Producer>,
+    fetch_ready: u64,
+    last_fetch_line: u64,
+    /// An instruction pulled from the source but not yet accepted
+    /// (window full, I-cache miss, or VIQ full).
+    pending: Option<DynInst>,
+    halted: bool,
+    draining: bool,
+}
+
+/// Flatten a register reference into the `reg_map` index space.
+#[inline]
+fn reg_index(r: RegRef) -> usize {
+    match r {
+        RegRef::I(i) => i as usize,
+        RegRef::F(i) => 32 + i as usize,
+        RegRef::V(i) => 64 + i as usize,
+        RegRef::Vl => 96,
+        RegRef::Vm => 97,
+    }
+}
+const REG_SPACE: usize = 98;
+
+impl Ctx {
+    fn new() -> Self {
+        Ctx {
+            thread: None,
+            vthread: 0,
+            rob: VecDeque::new(),
+            reg_map: vec![Producer::Ready(0); REG_SPACE],
+            fetch_ready: 0,
+            last_fetch_line: u64::MAX,
+            pending: None,
+            halted: false,
+            draining: false,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.thread.is_some() && !(self.halted && self.rob.is_empty() && self.pending.is_none())
+    }
+}
+
+/// The out-of-order scalar unit.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    core_id: usize,
+    prog: Arc<DecodedProgram>,
+    pred: Predictor,
+    ctxs: Vec<Ctx>,
+    /// Early-retired vector instructions awaiting VU completion:
+    /// (context, seq, token).
+    pending_vec: Vec<(usize, u64, VecToken)>,
+    seq_next: u64,
+    div_free: u64,
+    /// Statistics counters.
+    pub stats: CoreStats,
+}
+
+impl OooCore {
+    /// Build a core; contexts are bound with [`OooCore::bind`].
+    pub fn new(cfg: CoreConfig, core_id: usize, prog: Arc<DecodedProgram>) -> Self {
+        let ctxs = (0..cfg.smt_contexts).map(|_| Ctx::new()).collect();
+        OooCore {
+            cfg,
+            core_id,
+            prog,
+            pred: Predictor::default_su(),
+            ctxs,
+            pending_vec: Vec::new(),
+            seq_next: 0,
+            div_free: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Bind hardware context `ctx` to software thread `thread`, tagged with
+    /// VLT thread id `vthread` for vector-unit scoping.
+    pub fn bind(&mut self, ctx: usize, thread: usize, vthread: usize) {
+        let c = &mut self.ctxs[ctx];
+        assert!(c.thread.is_none(), "context already bound");
+        c.thread = Some(thread);
+        c.vthread = vthread;
+    }
+
+    /// True when every bound context has drained and halted (including
+    /// early-retired vector instructions still executing in the VU).
+    pub fn done(&self) -> bool {
+        self.pending_vec.is_empty() && self.ctxs.iter().all(|c| !c.active())
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Branch predictor statistics access.
+    pub fn predictor(&self) -> &Predictor {
+        &self.pred
+    }
+
+    /// Advance one cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        mem: &mut MemSystem,
+        src: &mut dyn FetchSource,
+        vu: &mut dyn VectorSink,
+    ) -> Result<(), ExecError> {
+        if self.ctxs.iter().any(|c| !c.rob.is_empty()) {
+            self.stats.busy_cycles += 1;
+        }
+        self.poll_vector(vu);
+        self.commit(now);
+        self.issue(now, mem, vu);
+        self.fetch(now, mem, src, vu)?;
+        Ok(())
+    }
+
+    /// Stage 1: pick up vector-unit completions, both for ROB-resident
+    /// vector instructions (scalar destinations) and early-retired ones.
+    fn poll_vector(&mut self, vu: &mut dyn VectorSink) {
+        for ci in 0..self.ctxs.len() {
+            let vthread = self.ctxs[ci].vthread;
+            let mut resolved: Vec<(u64, u64)> = Vec::new();
+            for e in self.ctxs[ci].rob.iter_mut() {
+                if e.done_at.is_none() {
+                    if let EKind::Vector { token, .. } = e.kind {
+                        if let Some(t) = vu.poll(token) {
+                            e.done_at = Some(t);
+                            resolved.push((e.seq, t));
+                        }
+                    }
+                }
+            }
+            for (seq, t) in resolved {
+                self.resolve_producer(ci, seq, t, vthread, vu);
+            }
+        }
+        let mut completed: Vec<(usize, u64, u64)> = Vec::new();
+        self.pending_vec.retain(|(ci, seq, token)| match vu.poll(*token) {
+            Some(t) => {
+                completed.push((*ci, *seq, t));
+                false
+            }
+            None => true,
+        });
+        for (ci, seq, t) in completed {
+            // Publish register effects now that the completion is known.
+            let vthread = self.ctxs[ci].vthread;
+            for r in 0..REG_SPACE {
+                if self.ctxs[ci].reg_map[r] == Producer::InFlight(seq) {
+                    self.ctxs[ci].reg_map[r] = Producer::Ready(t);
+                }
+            }
+            self.resolve_producer(ci, seq, t, vthread, vu);
+        }
+    }
+
+    /// Broadcast a producer's completion to waiting consumers (this core's
+    /// window and the vector unit's window).
+    fn resolve_producer(
+        &mut self,
+        ci: usize,
+        seq: u64,
+        done_at: u64,
+        vthread: usize,
+        vu: &mut dyn VectorSink,
+    ) {
+        for e in self.ctxs[ci].rob.iter_mut() {
+            if !e.issued || e.done_at.is_none() {
+                if let Some(pos) = e.deps.iter().position(|d| *d == seq) {
+                    e.deps.swap_remove(pos);
+                    e.ready_base = e.ready_base.max(done_at);
+                }
+            }
+        }
+        vu.resolve(vthread, seq, done_at);
+    }
+
+    /// Stage 2: in-order commit per context, shared width.
+    fn commit(&mut self, now: u64) {
+        let mut budget = self.cfg.width;
+        let n = self.ctxs.len();
+        for k in 0..n {
+            let ci = (now as usize + k) % n;
+            while budget > 0 {
+                let Some(head) = self.ctxs[ci].rob.front() else { break };
+                let Some(done) = head.done_at else { break };
+                if done > now {
+                    break;
+                }
+                let e = self.ctxs[ci].rob.pop_front().unwrap();
+                // Retire register state: later fetches read Ready(done).
+                // Early-retired vector entries publish at VU completion
+                // (their `done` here is only the dispatch cycle).
+                if !matches!(e.kind, EKind::Vector { early: true, .. }) {
+                    let si = self.prog.get(e.sidx as usize);
+                    for d in &si.defs {
+                        let idx = reg_index(*d);
+                        if self.ctxs[ci].reg_map[idx] == Producer::InFlight(e.seq) {
+                            self.ctxs[ci].reg_map[idx] = Producer::Ready(done);
+                        }
+                    }
+                }
+                if e.kind == EKind::Serialize {
+                    // Pipeline drained; pay the reconfiguration penalty.
+                    self.ctxs[ci].draining = false;
+                    self.ctxs[ci].fetch_ready =
+                        self.ctxs[ci].fetch_ready.max(now + self.cfg.serialize_penalty);
+                }
+                self.stats.committed += 1;
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Stage 3: issue ready scalar instructions, oldest first.
+    fn issue(&mut self, now: u64, mem: &mut MemSystem, vu: &mut dyn VectorSink) {
+        let mut slots = self.cfg.width;
+        let mut arith = self.cfg.arith_units;
+        let mut ports = self.cfg.mem_ports;
+
+        // Candidate (ctx, seq) pairs in global age order.
+        let mut cands: Vec<(u64, usize)> = Vec::new();
+        for (ci, c) in self.ctxs.iter().enumerate() {
+            for e in c.rob.iter() {
+                if !e.issued && e.deps.is_empty() && e.ready_base <= now {
+                    cands.push((e.seq, ci));
+                }
+            }
+        }
+        cands.sort_unstable();
+
+        for (seq, ci) in cands {
+            if slots == 0 {
+                break;
+            }
+            let vthread = self.ctxs[ci].vthread;
+            // Locate the entry (indices shift only on commit, not here).
+            let Some(pos) = self.ctxs[ci].rob.iter().position(|e| e.seq == seq) else {
+                continue;
+            };
+            let (class, kind) = {
+                let e = &self.ctxs[ci].rob[pos];
+                (e.class, e.kind.clone())
+            };
+            let done = match kind {
+                EKind::Alu => {
+                    if arith == 0 {
+                        continue;
+                    }
+                    if matches!(class, OpClass::IntDiv | OpClass::FpDiv) {
+                        if self.div_free > now {
+                            continue;
+                        }
+                        self.div_free = now + latency(class);
+                    }
+                    arith -= 1;
+                    now + latency(class)
+                }
+                EKind::Mem { addr, write } => {
+                    if ports == 0 {
+                        continue;
+                    }
+                    ports -= 1;
+                    let t = mem.data_access(self.core_id, addr, write, now);
+                    if write {
+                        now + 1 // stores complete via the store buffer
+                    } else {
+                        t
+                    }
+                }
+                EKind::Barrier | EKind::Done => now,
+                EKind::Serialize => now + 1,
+                EKind::Vector { .. } => continue, // completes via poll
+            };
+            slots -= 1;
+            self.stats.issued += 1;
+            {
+                let e = &mut self.ctxs[ci].rob[pos];
+                e.issued = true;
+                e.done_at = Some(done);
+            }
+            self.resolve_producer(ci, seq, done, vthread, vu);
+        }
+    }
+
+    /// Stage 4: fetch and dispatch. ICOUNT-ordered, 2.4-style: up to two
+    /// contexts share the fetch width each cycle (Tullsen-style fetch
+    /// partitioning, which is what lets an SMT SU keep two vector threads
+    /// fed nearly as well as replicated SUs — paper §7.1).
+    fn fetch(
+        &mut self,
+        now: u64,
+        mem: &mut MemSystem,
+        src: &mut dyn FetchSource,
+        vu: &mut dyn VectorSink,
+    ) -> Result<(), ExecError> {
+        // Eligible contexts, fewest in-flight first.
+        let mut order: Vec<usize> = (0..self.ctxs.len())
+            .filter(|&ci| {
+                let c = &self.ctxs[ci];
+                c.thread.is_some()
+                    && !c.halted
+                    && !c.draining
+                    && c.fetch_ready <= now
+                    && (c.rob.len() < self.cfg.window_per_ctx() || c.pending.is_some())
+            })
+            .collect();
+        order.sort_by_key(|&ci| self.ctxs[ci].rob.len());
+        if order.is_empty() {
+            if self.ctxs.iter().any(|c| c.active()) {
+                self.stats.fetch_stall_cycles += 1;
+            }
+            return Ok(());
+        }
+
+        // Up to two *productive* contexts share the width each cycle. A
+        // context parked at a barrier (empty ROB, fetch yields AtBarrier)
+        // must not count toward the limit, or it would starve the contexts
+        // still working toward that barrier.
+        let mut budget = self.cfg.width;
+        let mut productive = 0usize;
+        for &ci in order.iter() {
+            if productive == 2 || budget == 0 {
+                break;
+            }
+            let budget_before = budget;
+            let thread = self.ctxs[ci].thread.unwrap();
+            while budget > 0 {
+                if self.ctxs[ci].rob.len() >= self.cfg.window_per_ctx() {
+                    break;
+                }
+                if self.ctxs[ci].fetch_ready > now || self.ctxs[ci].draining {
+                    break;
+                }
+                // Take the stashed instruction or pull a new one.
+                let d = if let Some(p) = self.ctxs[ci].pending.take() {
+                    p
+                } else {
+                    match src.fetch(thread)? {
+                        FetchResult::Inst(d) => d,
+                        FetchResult::AtBarrier => break,
+                        FetchResult::Halted => {
+                            self.ctxs[ci].halted = true;
+                            break;
+                        }
+                    }
+                };
+
+                // Instruction cache: one access per line transition.
+                let line = d.pc >> 6;
+                if line != self.ctxs[ci].last_fetch_line {
+                    let t = mem.inst_fetch(self.core_id, d.pc, now);
+                    self.ctxs[ci].last_fetch_line = line;
+                    if t > now + 1 {
+                        self.ctxs[ci].fetch_ready = t;
+                        self.ctxs[ci].pending = Some(d);
+                        break;
+                    }
+                }
+
+                if !self.dispatch(ci, d, now, vu) {
+                    // VIQ full: retry next cycle.
+                    break;
+                }
+                budget -= 1;
+            }
+            if budget < budget_before {
+                productive += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rename + dispatch one instruction into the window (and the VU for
+    /// vector instructions). Returns false if the VU refused (VIQ full);
+    /// the instruction is stashed for retry.
+    fn dispatch(&mut self, ci: usize, d: DynInst, now: u64, vu: &mut dyn VectorSink) -> bool {
+        let si = self.prog.get(d.sidx as usize);
+        let seq = self.seq_next;
+
+        // Dependence snapshot. An in-flight producer may already have issued
+        // (completion cycle known): fold it into `ready_base` instead of
+        // recording a dependence whose resolution broadcast already happened.
+        let mut deps = Vec::new();
+        let mut ready_base = 0u64;
+        for u in &si.uses {
+            match self.ctxs[ci].reg_map[reg_index(*u)] {
+                Producer::Ready(c) => ready_base = ready_base.max(c),
+                Producer::InFlight(s) => {
+                    let rob_entry = self.ctxs[ci].rob.iter().find(|e| e.seq == s);
+                    let completion_pending = rob_entry.map_or(true, |e| {
+                        // Early-retired vector producers have a placeholder
+                        // done_at (dispatch cycle); wait for the VU instead.
+                        matches!(e.kind, EKind::Vector { early: true, .. }) || e.done_at.is_none()
+                    });
+                    match rob_entry {
+                        Some(e) if !completion_pending => {
+                            ready_base = ready_base.max(e.done_at.unwrap())
+                        }
+                        _ => {
+                            debug_assert!(
+                                rob_entry.is_some()
+                                    || self.pending_vec.iter().any(|(c, q, _)| *c == ci && *q == s),
+                                "in-flight producer {s} is neither in the ROB nor pending in the VU"
+                            );
+                            if !deps.contains(&s) {
+                                deps.push(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let kind = match (&d.kind, si.class) {
+            (DynKind::Barrier, _) => EKind::Barrier,
+            (DynKind::Halt, _) => {
+                self.ctxs[ci].halted = true;
+                EKind::Done
+            }
+            (DynKind::VltCfg { .. }, _) => {
+                self.ctxs[ci].draining = true;
+                EKind::Serialize
+            }
+            (DynKind::Mem { addr, size: _ }, _) => {
+                EKind::Mem { addr: *addr, write: si.class == OpClass::Store }
+            }
+            (_, c) if c.is_vector() => {
+                let addrs = match &d.kind {
+                    DynKind::VMem { addrs } => addrs.clone(),
+                    _ => Vec::new(),
+                };
+                let disp = VecDispatch {
+                    vthread: self.ctxs[ci].vthread,
+                    sidx: d.sidx,
+                    vl: d.vl,
+                    class: si.class,
+                    addrs,
+                    seq,
+                    deps: deps.clone(),
+                    ready_base,
+                    };
+                match vu.try_dispatch(disp, now) {
+                    Some(token) => {
+                        self.stats.vec_dispatched += 1;
+                        // All vector instructions retire from the ROB at
+                        // dispatch (Cray X1-style: past the point of no
+                        // exception, the VU tracks them); register effects
+                        // — including scalar destinations of reductions —
+                        // publish when the VU completes (poll_vector).
+                        self.pending_vec.push((ci, seq, token));
+                        EKind::Vector { token, early: true }
+                    }
+                    None => {
+                        self.ctxs[ci].pending = Some(d);
+                        return false;
+                    }
+                }
+            }
+            (DynKind::Branch { taken, target }, _) => {
+                let correct = self.pred.observe(d.pc, si.inst.op, *taken, *target);
+                if !correct {
+                    self.stats.mispredicts += 1;
+                    self.ctxs[ci].fetch_ready = now + self.cfg.mispredict_penalty;
+                    self.ctxs[ci].last_fetch_line = u64::MAX;
+                } else if *taken {
+                    // Taken branch ends the fetch group and moves the line.
+                    self.ctxs[ci].last_fetch_line = *target >> 6;
+                    let t = d.pc >> 6;
+                    if t != *target >> 6 {
+                        // Force an I-cache probe at the target next cycle.
+                        self.ctxs[ci].last_fetch_line = u64::MAX;
+                    }
+                }
+                EKind::Alu
+            }
+            _ => EKind::Alu,
+        };
+
+        self.seq_next += 1;
+        for def in &si.defs {
+            self.ctxs[ci].reg_map[reg_index(*def)] = Producer::InFlight(seq);
+        }
+        let done_at = match kind {
+            EKind::Barrier | EKind::Done => Some(now),
+            EKind::Vector { early: true, .. } => Some(now),
+            _ => None,
+        };
+        let issued = done_at.is_some();
+        self.ctxs[ci].rob.push_back(Entry {
+            seq,
+            sidx: d.sidx,
+            class: si.class,
+            kind,
+            deps,
+            ready_base,
+            issued,
+            done_at,
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests;

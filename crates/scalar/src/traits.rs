@@ -1,0 +1,113 @@
+//! Interfaces between the scalar cores, the instruction source (the
+//! functional simulator), and the vector unit.
+
+use vlt_exec::{DynInst, ExecError};
+use vlt_isa::OpClass;
+
+/// What the front end got when it asked for the next instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchResult {
+    /// The next correct-path instruction.
+    Inst(DynInst),
+    /// The thread is parked at a barrier; retry next cycle.
+    AtBarrier,
+    /// The thread has halted; no more instructions.
+    Halted,
+}
+
+/// Supplies the correct-path dynamic instruction stream for one software
+/// thread. Implemented over [`vlt_exec::FuncSim`] by the system simulator.
+pub trait FetchSource {
+    /// Pull the next instruction for software thread `thread`.
+    fn fetch(&mut self, thread: usize) -> Result<FetchResult, ExecError>;
+}
+
+/// Opaque handle for a vector instruction in flight in the vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecToken(pub u64);
+
+/// A vector instruction handed from a scalar unit to the vector unit at
+/// dispatch. Dependences on in-flight producers (scalar *or* vector) are
+/// carried as `(seq)` handles scoped to `vthread`; the scalar unit reports
+/// each producer's completion cycle through [`VectorSink::resolve`], letting
+/// dependent vector instructions wait *inside* the VU window while younger
+/// independent ones issue around them (the paper's out-of-order VCL, §2).
+#[derive(Debug, Clone)]
+pub struct VecDispatch {
+    /// VLT thread (lane-partition) this instruction belongs to.
+    pub vthread: usize,
+    /// Static instruction index (the VU resolves opcode detail through its
+    /// own copy of the decoded program).
+    pub sidx: u32,
+    /// Effective vector length.
+    pub vl: u16,
+    /// Resource class (`VAdd`/`VMul`/`VDiv`/`VMask`/`VLoad`/`VStore`).
+    pub class: OpClass,
+    /// Element addresses for vector memory operations (post-mask).
+    pub addrs: Vec<u64>,
+    /// Program-order sequence number within `vthread` (also identifies this
+    /// instruction as a producer for later `resolve` calls).
+    pub seq: u64,
+    /// Sequence numbers of in-flight producers this instruction reads.
+    pub deps: Vec<u64>,
+    /// Earliest issue cycle from producers that had already completed at
+    /// dispatch time.
+    pub ready_base: u64,
+}
+
+/// The scalar unit's view of the vector unit.
+pub trait VectorSink {
+    /// Try to enqueue into the vector instruction queue; `None` if the
+    /// per-thread VIQ partition is full this cycle (retry next cycle).
+    fn try_dispatch(&mut self, d: VecDispatch, now: u64) -> Option<VecToken>;
+
+    /// A producer (`vthread`-scoped `seq`) now has a known completion cycle;
+    /// the VU folds it into any waiting consumers.
+    fn resolve(&mut self, vthread: usize, seq: u64, done_at: u64);
+
+    /// Completion cycle, once the instruction has fully executed. Reports
+    /// each token at most once (the VU may then retire the entry).
+    fn poll(&mut self, token: VecToken) -> Option<u64>;
+}
+
+/// A vector sink for configurations without a vector unit (the CMP/CMT
+/// baselines). Dispatching panics: scalar-only workloads never emit vector
+/// instructions.
+#[derive(Debug, Default)]
+pub struct NullVectorSink;
+
+impl VectorSink for NullVectorSink {
+    fn try_dispatch(&mut self, d: VecDispatch, _now: u64) -> Option<VecToken> {
+        panic!("vector instruction (sidx {}) on a configuration without a vector unit", d.sidx)
+    }
+
+    fn resolve(&mut self, _vthread: usize, _seq: u64, _done_at: u64) {}
+
+    fn poll(&mut self, _token: VecToken) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic]
+    fn null_sink_rejects_vectors() {
+        let mut s = NullVectorSink;
+        let _ = s.try_dispatch(
+            VecDispatch {
+                vthread: 0,
+                sidx: 0,
+                vl: 8,
+                class: OpClass::VAdd,
+                addrs: vec![],
+                seq: 0,
+                deps: vec![],
+                ready_base: 0,
+            },
+            0,
+        );
+    }
+}

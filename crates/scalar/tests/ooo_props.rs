@@ -1,0 +1,93 @@
+//! Property tests on the out-of-order core: random straight-line programs
+//! always complete, commit exactly their dynamic instruction count, run
+//! deterministically, and respect throughput bounds.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use vlt_exec::{ExecError, FuncSim, Step};
+use vlt_isa::asm::assemble;
+use vlt_mem::{MemConfig, MemSystem};
+use vlt_scalar::{CoreConfig, FetchResult, FetchSource, NullVectorSink, OooCore};
+
+struct SimSource(FuncSim);
+
+impl FetchSource for SimSource {
+    fn fetch(&mut self, thread: usize) -> Result<FetchResult, ExecError> {
+        Ok(match self.0.step_thread(thread)? {
+            Step::Inst(d) => FetchResult::Inst(d),
+            Step::AtBarrier => FetchResult::AtBarrier,
+            Step::Halted => FetchResult::Halted,
+        })
+    }
+}
+
+/// Generate a random but always-valid straight-line scalar program.
+fn arb_program() -> impl Strategy<Value = String> {
+    let inst = (0u8..7, 1u8..8, 1u8..8, 1u8..8).prop_map(|(op, rd, rs1, rs2)| match op {
+        0 => format!("add x{rd}, x{rs1}, x{rs2}"),
+        1 => format!("sub x{rd}, x{rs1}, x{rs2}"),
+        2 => format!("mul x{rd}, x{rs1}, x{rs2}"),
+        3 => format!("xor x{rd}, x{rs1}, x{rs2}"),
+        4 => format!("slli x{rd}, x{rs1}, 3"),
+        5 => format!("addi x{rd}, x{rs1}, 7"),
+        _ => format!("sltu x{rd}, x{rs1}, x{rs2}"),
+    });
+    proptest::collection::vec(inst, 1..120).prop_map(|insts| {
+        format!("li x1, 3\nli x2, 5\n{}\nhalt\n", insts.join("\n"))
+    })
+}
+
+fn run_core(src: &str, cfg: CoreConfig) -> (u64, u64) {
+    let prog = assemble(src).unwrap();
+    let sim = FuncSim::new(&prog, 1);
+    let decoded = Arc::clone(&sim.prog);
+    let mut source = SimSource(sim);
+    let mut mem = MemSystem::new(MemConfig::default(), 1, 0);
+    let mut core = OooCore::new(cfg, 0, decoded);
+    core.bind(0, 0, 0);
+    let mut vu = NullVectorSink;
+    let mut now = 0u64;
+    while !core.done() {
+        core.tick(now, &mut mem, &mut source, &mut vu).unwrap();
+        now += 1;
+        assert!(now < 1_000_000, "core wedged");
+    }
+    (now, core.stats.committed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every dynamic instruction commits exactly once, on both core widths.
+    #[test]
+    fn commits_match_dynamic_count(src in arb_program()) {
+        let n_insts = src.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        for cfg in [CoreConfig::four_way(), CoreConfig::two_way()] {
+            let (_, committed) = run_core(&src, cfg);
+            prop_assert_eq!(committed, n_insts);
+        }
+    }
+
+    /// Timing is deterministic and bounded: at least `n/width` cycles
+    /// (can't beat the front end) and at most a generous serial bound.
+    #[test]
+    fn cycles_are_deterministic_and_bounded(src in arb_program()) {
+        let cfg = CoreConfig::four_way();
+        let (c1, n) = run_core(&src, cfg);
+        let (c2, _) = run_core(&src, cfg);
+        prop_assert_eq!(c1, c2);
+        prop_assert!(c1 as f64 >= n as f64 / cfg.width as f64);
+        // Serial worst case: every instruction a 12-cycle divide plus cold
+        // I-cache misses.
+        prop_assert!(c1 < n * 16 + 2_000, "{c1} cycles for {n} insts");
+    }
+
+    /// The 4-way core is never slower than the 2-way core.
+    #[test]
+    fn wider_is_never_slower(src in arb_program()) {
+        let (c4, _) = run_core(&src, CoreConfig::four_way());
+        let (c2, _) = run_core(&src, CoreConfig::two_way());
+        prop_assert!(c4 <= c2 + 2, "4-way {c4} vs 2-way {c2}");
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # vlt-stats — reporting utilities for the experiment harness
+//!
+//! * [`table::Table`] — aligned ASCII tables matching the paper's layout,
+//! * [`speedup`] — speedup/geomean helpers,
+//! * [`report`] — machine-readable per-experiment records (JSON), written
+//!   next to the text output so EXPERIMENTS.md can be regenerated and
+//!   diffed.
+
+pub mod table;
+pub mod speedup;
+pub mod report;
+
+pub use report::{Experiment, Series};
+pub use table::Table;

@@ -1,0 +1,131 @@
+//! Machine-readable experiment records.
+//!
+//! Each figure/table harness writes one JSON file under `results/` holding
+//! both the measured values and the paper's reference values, so
+//! EXPERIMENTS.md can be regenerated mechanically and regressions diffed.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One measured series (e.g. one application across configurations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (application or configuration name).
+    pub label: String,
+    /// X labels (lane counts, configuration names, ...).
+    pub x: Vec<String>,
+    /// Measured values.
+    pub values: Vec<f64>,
+    /// The paper's reference values where the paper reports them
+    /// (empty when the paper only shows a chart without numbers).
+    #[serde(default)]
+    pub paper: Vec<f64>,
+}
+
+impl Series {
+    /// Build a series, checking arity.
+    pub fn new(label: impl Into<String>, x: &[String], values: Vec<f64>) -> Self {
+        let label = label.into();
+        assert_eq!(x.len(), values.len(), "series `{label}` arity mismatch");
+        Series { label, x: x.to_vec(), values, paper: Vec::new() }
+    }
+
+    /// Attach the paper's reference values.
+    pub fn with_paper(mut self, paper: Vec<f64>) -> Self {
+        assert_eq!(self.values.len(), paper.len(), "paper arity mismatch");
+        self.paper = paper;
+        self
+    }
+}
+
+/// One experiment (a figure or table of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Identifier, e.g. `fig3` or `table4`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What quantity `values` holds (e.g. "speedup over base").
+    pub metric: String,
+    /// Measured series.
+    pub series: Vec<Series>,
+}
+
+impl Experiment {
+    /// Create an empty experiment record.
+    pub fn new(id: &str, title: &str, metric: &str) -> Self {
+        Experiment {
+            id: id.to_string(),
+            title: title.to_string(),
+            metric: metric.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Append a series.
+    pub fn push(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment serializes")
+    }
+
+    /// Write to `dir/<id>.json`, creating the directory.
+    pub fn write_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Read back a record.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let mut e = Experiment::new("fig3", "VLT speedup", "speedup over base");
+        let x = vec!["2 threads".to_string(), "4 threads".to_string()];
+        e.push(Series::new("mpenc", &x, vec![1.6, 1.8]).with_paper(vec![1.8, 2.0]));
+        let json = e.to_json();
+        let back: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("vlt-stats-test-{}", std::process::id()));
+        let mut e = Experiment::new("t", "x", "y");
+        e.push(Series::new("a", &["i".to_string()], vec![1.0]));
+        let path = e.write_to(&dir).unwrap();
+        let back = Experiment::read_from(&path).unwrap();
+        assert_eq!(back, e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        Series::new("a", &["one".to_string()], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn paper_arity_checked() {
+        let x = vec!["one".to_string()];
+        let _ = Series::new("a", &x, vec![1.0]).with_paper(vec![1.0, 2.0]);
+    }
+}

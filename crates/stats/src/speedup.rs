@@ -1,0 +1,51 @@
+//! Speedup arithmetic.
+
+/// Speedup of `cycles` relative to `base_cycles` (higher is better).
+///
+/// ```
+/// assert_eq!(vlt_stats::speedup::speedup(200, 100), 2.0);
+/// ```
+pub fn speedup(base_cycles: u64, cycles: u64) -> f64 {
+    assert!(cycles > 0, "zero cycle count");
+    base_cycles as f64 / cycles as f64
+}
+
+/// Geometric mean of a set of speedups (the conventional summary).
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_speedup() {
+        assert_eq!(speedup(100, 50), 2.0);
+        assert_eq!(speedup(100, 100), 1.0);
+        assert!(speedup(50, 100) < 1.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_balances_reciprocals() {
+        assert!((geomean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn geomean_bounded_by_extremes(vals in proptest::collection::vec(0.1f64..10.0, 1..20)) {
+            let g = geomean(&vals);
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Aligned ASCII tables.
+
+use std::fmt;
+
+/// A simple right-padded text table.
+///
+/// ```
+/// use vlt_stats::Table;
+/// let mut t = Table::new("Speedups", &["app", "x"]);
+/// t.row(&["mxm".into(), "6.0".into()]);
+/// assert!(t.to_string().contains("mxm | 6.0"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable items.
+    pub fn rowd(&mut self, cells: &[&dyn fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * (ncol - 1);
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.max(self.title.len())))?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:<w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{c:<w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("longer-name | 22"));
+        assert!(s.contains("a           | 1"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Workload characterization — the measured side of Table 4.
+//!
+//! Functional runs yield the operation-level metrics (% vectorization,
+//! average vector length, common VLs); a timed run on the base processor
+//! yields the % opportunity (fraction of execution time inside `region`
+//! markers, which tag each workload's VLT-eligible parallel phases).
+
+use vlt_core::{SystemConfig, System};
+use vlt_exec::FuncSim;
+
+use crate::common::Scale;
+use crate::suite::Workload;
+
+/// Measured Table 4 row.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// Workload name.
+    pub name: &'static str,
+    /// Measured % vectorization (operations).
+    pub pct_vect: f64,
+    /// Measured average vector length.
+    pub avg_vl: f64,
+    /// Most common vector lengths, most frequent first.
+    pub common_vls: Vec<usize>,
+    /// Measured % opportunity (cycles in marked regions on base timing).
+    pub opportunity: f64,
+    /// Dynamic instructions in the functional run.
+    pub insts: u64,
+}
+
+/// Characterize one workload at the given scale (single-threaded, as the
+/// paper measures the original application on the base processor).
+pub fn characterize(w: &dyn Workload, scale: Scale) -> Result<Characterization, String> {
+    let built = w.build(1, scale);
+
+    // Functional metrics.
+    let mut sim = FuncSim::new(&built.program, 1);
+    let summary = sim.run_to_completion(2_000_000_000).map_err(|e| e.to_string())?;
+    (built.verifier)(&sim)?;
+
+    // Timed opportunity on the base 8-lane processor.
+    let mut system = System::new(SystemConfig::base(8), &built.program, 1);
+    let result = system.run(2_000_000_000).map_err(|e| e.to_string())?;
+
+    Ok(Characterization {
+        name: w.name(),
+        pct_vect: summary.pct_vectorization(),
+        avg_vl: summary.avg_vl(),
+        common_vls: summary.common_vls(4),
+        opportunity: result.opportunity(),
+        insts: summary.insts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::workload;
+
+    #[test]
+    fn mxm_is_highly_vectorized() {
+        let c = characterize(workload("mxm").unwrap(), Scale::Test).unwrap();
+        assert!(c.pct_vect > 85.0, "mxm: {:.1}%", c.pct_vect);
+        assert!(c.avg_vl > 60.0, "mxm avg VL: {:.1}", c.avg_vl);
+        assert_eq!(c.common_vls[0], 64);
+    }
+
+    #[test]
+    fn bt_is_half_vectorized_with_short_vls() {
+        let c = characterize(workload("bt").unwrap(), Scale::Test).unwrap();
+        assert!(
+            (30.0..65.0).contains(&c.pct_vect),
+            "bt should be ~46% vectorized: {:.1}%",
+            c.pct_vect
+        );
+        assert!(c.avg_vl < 12.0, "bt avg VL: {:.1}", c.avg_vl);
+        assert!(c.common_vls.contains(&5));
+    }
+
+    #[test]
+    fn radix_is_barely_vectorized() {
+        let c = characterize(workload("radix").unwrap(), Scale::Test).unwrap();
+        assert!(c.pct_vect < 25.0, "radix: {:.1}%", c.pct_vect);
+        assert!(c.opportunity > 60.0, "radix opportunity: {:.1}%", c.opportunity);
+    }
+
+    #[test]
+    fn ocean_and_barnes_have_no_vectors() {
+        for name in ["ocean", "barnes"] {
+            let c = characterize(workload(name).unwrap(), Scale::Test).unwrap();
+            assert_eq!(c.pct_vect, 0.0, "{name}");
+            assert!(c.opportunity > 75.0, "{name} opportunity: {:.1}%", c.opportunity);
+        }
+    }
+
+    #[test]
+    fn trfd_has_table4_vls() {
+        let c = characterize(workload("trfd").unwrap(), Scale::Test).unwrap();
+        for vl in c.common_vls.iter().take(3) {
+            assert!([4usize, 20, 30, 35].contains(vl), "unexpected VL {vl}");
+        }
+        assert!((15.0..30.0).contains(&c.avg_vl), "trfd avg VL: {:.1}", c.avg_vl);
+        assert!(c.opportunity > 85.0, "trfd opportunity: {:.1}%", c.opportunity);
+    }
+}

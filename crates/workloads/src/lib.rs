@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # vlt-workloads — the applications of the paper's evaluation
+//!
+//! Nine SPMD kernels reproducing the *structure* of the applications in
+//! Table 4 — the same algorithmic skeletons, vector-length profiles,
+//! vectorization fractions, and threading opportunity — written in the VLT
+//! ISA and verified against golden Rust implementations:
+//!
+//! | name       | structure                           | profile            |
+//! |------------|-------------------------------------|--------------------|
+//! | `mxm`      | dense matrix multiply               | long VL (64)       |
+//! | `sage`     | hydrodynamics-style stencil sweeps  | long VL (64)       |
+//! | `mpenc`    | video encoding (block SAD search)   | VL 8/16/64         |
+//! | `trfd`     | triangular two-electron transform   | VL 4/20/30/35      |
+//! | `multprec` | multiprecision array arithmetic     | VL 23/24/64        |
+//! | `bt`       | 5x5 block-tridiagonal kernels       | VL 5/10/12         |
+//! | `radix`    | parallel LSD radix sort             | scalar (6% vect)   |
+//! | `ocean`    | Jacobi relaxation on a grid         | scalar parallel    |
+//! | `barnes`   | N-body with irregular walks         | scalar parallel    |
+//!
+//! Each workload builds at a chosen thread count and [`Scale`]; the
+//! returned [`Built`] bundles the program with a verifier that replays the
+//! exact arithmetic in Rust and compares the final memory image.
+
+pub mod common;
+pub mod suite;
+pub mod characterize;
+
+pub mod mxm;
+pub mod sage;
+pub mod mpenc;
+pub mod trfd;
+pub mod multprec;
+pub mod bt;
+pub mod radix;
+pub mod ocean;
+pub mod barnes;
+
+pub use common::{Built, Scale};
+pub use suite::{suite, workload, PaperRow, Workload};

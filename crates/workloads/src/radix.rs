@@ -1,0 +1,393 @@
+//! `radix` — parallel LSD radix sort (Table 4: 6% vect, 90% opportunity).
+//!
+//! Two 8-bit digit passes over 64-bit keys. Each pass: per-thread local
+//! histograms, a serial global prefix-sum (the ~10% VLT cannot help), and a
+//! stable scatter with data-dependent addressing (the paper's compiler
+//! cannot vectorize it). A two-multiply running key checksum forms the
+//! serial integer backbone of both loops — the "limited ILP per thread"
+//! the paper notes for these applications.
+//!
+//! Scheduling notes (the code is laid out as a production compiler would
+//! schedule it for an in-order machine):
+//! * key fetches are software-pipelined two iterations ahead, and bucket
+//!   counters one ahead (with a rare same-bucket repair branch),
+//! * histograms are stored transposed (`hist[bucket][thread]`) so the
+//!   serial prefix is a contiguous walk, pipelined four slots deep.
+
+use vlt_exec::FuncSim;
+use vlt_isa::asm::assemble;
+
+use crate::common::{
+    data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale,
+};
+use crate::suite::{PaperRow, Workload};
+
+/// The workload singleton.
+pub struct Radix;
+
+const BUCKETS: usize = 256;
+const PASSES: usize = 2;
+const PRIME: u64 = 0x9E37;
+const PRIME2: u64 = 0x85EB;
+
+fn keys(n: usize) -> Vec<u64> {
+    rng_stream(0x5047, n)
+}
+
+/// Final sorted order: two stable LSD passes over the low 16 bits.
+fn golden(n: usize) -> Vec<u64> {
+    let mut k = keys(n);
+    k.sort_by_key(|v| v & 0xFFFF);
+    k
+}
+
+/// Per-thread checksum chains: each pass, each thread folds its slice of
+/// the pass's source array into its checksum twice (count loop + scatter
+/// loop): `chk = (chk * PRIME + key) * PRIME2` per visit.
+fn golden_chk(n: usize, threads: usize) -> Vec<u64> {
+    let mut arr = keys(n);
+    let per = n / threads;
+    let mut chk = vec![0u64; threads];
+    for pass in 0..PASSES {
+        for t in 0..threads {
+            for _loop in 0..2 {
+                for i in t * per..(t + 1) * per {
+                    chk[t] = chk[t].wrapping_mul(PRIME).wrapping_add(arr[i]);
+                    chk[t] = chk[t].wrapping_mul(PRIME2);
+                }
+            }
+        }
+        // Stable LSD pass on this digit.
+        let shift = 8 * pass;
+        let mut next = vec![0u64; n];
+        let mut count = [0usize; BUCKETS];
+        for &k in &arr {
+            count[(k >> shift) as usize & 255] += 1;
+        }
+        let mut pos = [0usize; BUCKETS];
+        let mut run = 0;
+        for b in 0..BUCKETS {
+            pos[b] = run;
+            run += count[b];
+        }
+        for &k in &arr {
+            let b = (k >> shift) as usize & 255;
+            next[pos[b]] = k;
+            pos[b] += 1;
+        }
+        arr = next;
+    }
+    chk
+}
+
+/// Histogram clear over this thread's strided slots. The base
+/// (single-thread) vector run uses VL-64 vector stores (layout is
+/// contiguous when T == 1); threaded variants are pure scalar, since VLT
+/// scalar threads execute on lanes with no vector capability (paper §5).
+fn clear_code(vector: bool, threads: usize) -> String {
+    if vector {
+        r#"        li      x3, 64
+        setvl   x2, x3
+        vxor.vv v1, v1, v1
+        mv      x4, x24
+        li      x5, 0
+    clear:
+        vst     v1, x4
+        slli    x15, x2, 3
+        add     x4, x4, x15
+        add     x5, x5, x2
+        li      x15, 256
+        blt     x5, x15, clear"#
+            .to_string()
+    } else {
+        format!(
+            r#"        mv      x4, x24
+        li      x5, 0
+    clear:
+        sd      x0, 0(x4)
+        addi    x4, x4, {stride}
+        addi    x5, x5, 1
+        li      x15, 256
+        blt     x5, x15, clear"#,
+            stride = 8 * threads
+        )
+    }
+}
+
+/// The base vector run's VL-64 checksum sweep over the sorted keys.
+fn vector_checksum(vector: bool, n: usize) -> String {
+    if !vector {
+        return String::new();
+    }
+    format!(
+        r#"
+        region  1
+        li      x3, 64
+        setvl   x2, x3
+        vxor.vv v2, v2, v2
+        mv      x4, x20
+        li      x5, 0
+        li      x15, {n}
+    vsum:
+        vld     v1, x4
+        vadd.vv v2, v2, v1
+        slli    x16, x2, 3
+        add     x4, x4, x16
+        add     x5, x5, x2
+        blt     x5, x15, vsum
+        vredsum x16, v2
+"#
+    )
+}
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "radix"
+    }
+
+    fn vectorizable(&self) -> bool {
+        false
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow {
+            pct_vect: Some(6.0),
+            avg_vl: Some(62.3),
+            common_vls: &[24, 52, 64],
+            opportunity: Some(90.0),
+            description: "radix sort",
+        }
+    }
+
+    fn build(&self, threads: usize, scale: Scale) -> Built {
+        assert!(threads.is_power_of_two(), "transposed histograms need 2^k threads");
+        let n = scale.pick(512, 16384, 32768);
+        assert!(n % threads == 0);
+        // hist/offs slot for (bucket, thread): (b * threads + t) * 8 bytes.
+        let bshift = 3 + threads.trailing_zeros();
+        let src = format!(
+            r#"
+        .data
+    {keys_data}
+    buf:
+        .zero {kbytes}
+    hist:
+        .zero {hbytes}
+    offs:
+        .zero {hbytes}
+    chkout:
+        .zero 64
+    serial_out:
+        .zero 8
+        .text
+        tid     x10
+        nthr    x9
+        li      x11, {keys_per_thread}
+        mul     x12, x10, x11      # k0
+        add     x13, x12, x11      # k_end
+        la      x20, keys
+        la      x21, buf
+        la      x22, hist
+        la      x23, offs
+        # per-thread bases: slot(b, tid) = base + (b << {bshift})
+        slli    x4, x10, 3
+        add     x24, x22, x4       # hist + tid*8
+        add     x25, x23, x4       # offs + tid*8
+        li      x29, {prime}
+        li      x18, {prime2}
+        li      x17, 0             # running key checksum (serial backbone)
+        li      x26, 0             # pass
+    passloop:
+        region  1
+        # ---- clear my histogram ----
+{clear_code}
+
+        # ---- local count: keys pipelined two ahead, counters one ----
+        slli    x14, x26, 3        # digit shift = pass*8
+        slli    x5, x12, 3
+        add     x5, x5, x20        # walking key pointer
+        ld      x6, 0(x5)          # key[k0]
+        ld      x15, 8(x5)         # key[k0+1]
+        srl     x7, x6, x14
+        andi    x7, x7, 255
+        slli    x7, x7, {bshift}
+        add     x7, x7, x24        # my slot for d0
+        ld      x8, 0(x7)          # current count
+        mv      x4, x12
+    count:
+        ld      x19, 16(x5)        # key[i+2] (over-reads at the end: benign)
+        # bucket of key[i+1] from the already-arrived register
+        srl     x27, x15, x14
+        andi    x27, x27, 255
+        slli    x27, x27, {bshift}
+        add     x27, x27, x24
+        ld      x28, 0(x27)        # its count (stale on same-bucket runs)
+        # serial checksum chain (rank/density arithmetic: limits ILP)
+        mul     x17, x17, x29
+        add     x17, x17, x6
+        mul     x17, x17, x18
+        # commit current bucket
+        addi    x8, x8, 1
+        sd      x8, 0(x7)
+        bne     x27, x7, nocollide_c
+        mv      x28, x8            # repair the stale pre-load
+    nocollide_c:
+        mv      x6, x15
+        mv      x15, x19
+        mv      x7, x27
+        mv      x8, x28
+        addi    x5, x5, 8
+        addi    x4, x4, 1
+        blt     x4, x13, count
+        region  0
+        barrier
+
+        # ---- serial global prefix (thread 0): contiguous transposed
+        # walk, software-pipelined four slots deep ----
+        bnez    x10, prefix_done
+        mv      x7, x22            # hist cursor
+        mv      x8, x23            # offs cursor
+        li      x6, {slots}
+        li      x5, 0              # running total
+        ld      x15, 0(x7)
+        ld      x16, 8(x7)
+        ld      x27, 16(x7)
+        ld      x28, 24(x7)
+    pflat:
+        sd      x5, 0(x8)
+        add     x5, x5, x15
+        sd      x5, 8(x8)
+        add     x5, x5, x16
+        ld      x15, 32(x7)        # over-reads into offs at the end: benign
+        ld      x16, 40(x7)
+        sd      x5, 16(x8)
+        add     x5, x5, x27
+        sd      x5, 24(x8)
+        add     x5, x5, x28
+        ld      x27, 48(x7)
+        ld      x28, 56(x7)
+        addi    x7, x7, 32
+        addi    x8, x8, 32
+        addi    x6, x6, -4
+        bnez    x6, pflat
+    prefix_done:
+        barrier
+        region  1
+
+        # ---- stable scatter: keys pipelined two ahead ----
+        slli    x5, x12, 3
+        add     x5, x5, x20
+        ld      x6, 0(x5)          # key[k0]
+        ld      x15, 8(x5)         # key[k0+1]
+        srl     x7, x6, x14
+        andi    x7, x7, 255
+        slli    x7, x7, {bshift}
+        add     x7, x7, x25        # my offset slot for d0
+        ld      x8, 0(x7)          # destination index
+        mv      x4, x12
+    scatter:
+        ld      x19, 16(x5)        # key[i+2]
+        srl     x27, x15, x14
+        andi    x27, x27, 255
+        slli    x27, x27, {bshift}
+        add     x27, x27, x25
+        ld      x28, 0(x27)        # next destination (stale on collision)
+        # serial checksum chain
+        mul     x17, x17, x29
+        add     x17, x17, x6
+        mul     x17, x17, x18
+        # store current key at its destination, bump the offset
+        addi    x16, x8, 1
+        sd      x16, 0(x7)
+        slli    x3, x8, 3
+        add     x3, x3, x21
+        sd      x6, 0(x3)          # buf[dst] = key
+        bne     x27, x7, nocollide_s
+        mv      x28, x16
+    nocollide_s:
+        mv      x6, x15
+        mv      x15, x19
+        mv      x7, x27
+        mv      x8, x28
+        addi    x5, x5, 8
+        addi    x4, x4, 1
+        blt     x4, x13, scatter
+        region  0
+        barrier
+        # swap src/dst arrays
+        mv      x4, x20
+        mv      x20, x21
+        mv      x21, x4
+        addi    x26, x26, 1
+        slti    x4, x26, {passes}
+        bnez    x4, passloop
+
+        # publish the per-thread checksum
+        la      x4, chkout
+        slli    x5, x10, 3
+        add     x4, x4, x5
+        sd      x17, 0(x4)
+{vcheck}
+{serial}
+        halt
+    "#,
+            keys_data = data_dwords("keys", &keys(n)),
+            clear_code = clear_code(threads == 1, threads),
+            vcheck = vector_checksum(threads == 1, n),
+            serial = crate::common::serial_phase("keys", n / 4, "serial_out"),
+            kbytes = 8 * n,
+            hbytes = 8 * BUCKETS * threads,
+            keys_per_thread = n / threads,
+            passes = PASSES,
+            prime = PRIME,
+            prime2 = PRIME2,
+            bshift = bshift,
+            slots = BUCKETS * threads,
+        );
+        let program = assemble(&src).unwrap_or_else(|e| panic!("radix: {e}"));
+        let verifier = Box::new(move |sim: &FuncSim| {
+            let g = golden(n);
+            expect_u64s(&read_u64s(sim, "keys", n), &g, "radix keys")?;
+            let chk = golden_chk(n, threads);
+            expect_u64s(&read_u64s(sim, "chkout", threads), &chk, "radix chk")?;
+            let want = serial_golden(&g[..n / 4]);
+            expect_u64s(&read_u64s(sim, "serial_out", 1), &[want], "radix serial")
+        });
+        Built { program, verifier }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_sorts() {
+        Radix.build(1, Scale::Test).run_functional(1, 10_000_000).unwrap();
+    }
+
+    #[test]
+    fn eight_threads_sort() {
+        Radix.build(8, Scale::Test).run_functional(8, 10_000_000).unwrap();
+    }
+
+    #[test]
+    fn two_threads_sort() {
+        Radix.build(2, Scale::Test).run_functional(2, 10_000_000).unwrap();
+    }
+
+    #[test]
+    fn golden_is_sorted_by_low16() {
+        let g = golden(100);
+        for w in g.windows(2) {
+            assert!((w[0] & 0xFFFF) <= (w[1] & 0xFFFF));
+        }
+    }
+
+    #[test]
+    fn checksums_differ_per_thread() {
+        let chk = golden_chk(512, 8);
+        assert_eq!(chk.len(), 8);
+        assert!(chk.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,128 @@
+//! The workload registry and the Table 4 reference data.
+
+use crate::common::{Built, Scale};
+
+/// The paper's Table 4 row for a workload (reference values to reproduce).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperRow {
+    /// "% Vect": percentage of operations that are vector element ops.
+    pub pct_vect: Option<f64>,
+    /// "Avg VL": average vector length.
+    pub avg_vl: Option<f64>,
+    /// "Common VLs".
+    pub common_vls: &'static [u16],
+    /// "% Opportunity": fraction of base execution time VLT can accelerate.
+    pub opportunity: Option<f64>,
+    /// Paper description column.
+    pub description: &'static str,
+}
+
+/// One of the nine applications.
+pub trait Workload: Sync {
+    /// Table 4 name.
+    fn name(&self) -> &'static str;
+
+    /// True if the main loops vectorize (false for radix/ocean/barnes).
+    fn vectorizable(&self) -> bool;
+
+    /// The paper's reference characteristics.
+    fn paper_row(&self) -> PaperRow;
+
+    /// Build the SPMD program for `threads` threads at `scale`.
+    ///
+    /// Vector workloads accept 1, 2, or 4 threads (the VLT partitions);
+    /// scalar workloads accept 1..=8.
+    fn build(&self, threads: usize, scale: Scale) -> Built;
+
+    /// Maximum thread count this workload parallelizes to.
+    fn max_threads(&self) -> usize {
+        if self.vectorizable() {
+            4
+        } else {
+            8
+        }
+    }
+}
+
+/// All nine workloads, in Table 4 order.
+///
+/// ```
+/// let names: Vec<&str> = vlt_workloads::suite().iter().map(|w| w.name()).collect();
+/// assert_eq!(names.len(), 9);
+/// assert_eq!(names[0], "mxm");
+/// ```
+pub fn suite() -> Vec<&'static dyn Workload> {
+    vec![
+        &crate::mxm::Mxm,
+        &crate::sage::Sage,
+        &crate::mpenc::Mpenc,
+        &crate::trfd::Trfd,
+        &crate::multprec::Multprec,
+        &crate::bt::Bt,
+        &crate::radix::Radix,
+        &crate::ocean::Ocean,
+        &crate::barnes::Barnes,
+    ]
+}
+
+/// Look up a workload by name.
+pub fn workload(name: &str) -> Option<&'static dyn Workload> {
+    suite().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_in_table4_order() {
+        let names: Vec<&str> = suite().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            ["mxm", "sage", "mpenc", "trfd", "multprec", "bt", "radix", "ocean", "barnes"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload("mxm").is_some());
+        assert!(workload("nope").is_none());
+    }
+
+    #[test]
+    fn vectorizability_matches_table4() {
+        for w in suite() {
+            let expect = !matches!(w.name(), "radix" | "ocean" | "barnes");
+            assert_eq!(w.vectorizable(), expect, "{}", w.name());
+            assert_eq!(w.max_threads(), if expect { 4 } else { 8 });
+        }
+    }
+
+    #[test]
+    fn paper_rows_match_table4() {
+        let get = |n: &str| workload(n).unwrap().paper_row();
+        assert_eq!(get("mxm").pct_vect, Some(96.0));
+        assert_eq!(get("sage").avg_vl, Some(63.8));
+        assert_eq!(get("mpenc").common_vls, &[8, 16, 64]);
+        assert_eq!(get("trfd").opportunity, Some(99.0));
+        assert_eq!(get("multprec").pct_vect, Some(71.0));
+        assert_eq!(get("bt").avg_vl, Some(7.0));
+        assert_eq!(get("radix").pct_vect, Some(6.0));
+        assert_eq!(get("ocean").pct_vect, None);
+        assert_eq!(get("barnes").opportunity, Some(98.0));
+    }
+
+    /// Every workload runs functionally and verifies at Test scale, single
+    /// thread and at its max thread count.
+    #[test]
+    fn all_workloads_verify_functionally() {
+        for w in suite() {
+            for threads in [1, w.max_threads()] {
+                let built = w.build(threads, Scale::Test);
+                built
+                    .run_functional(threads, 80_000_000)
+                    .unwrap_or_else(|e| panic!("{} x{threads}: {e}", w.name()));
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Bring your own kernel: write a VLT-ISA SPMD program with barriers and a
+//! `vltcfg` lane partition, then sweep it across configurations.
+//!
+//! The kernel below computes a fused dot-product partial sum per thread:
+//! each of two VLT threads reduces half of a 2048-element array, then
+//! thread 0 combines the partials after a barrier.
+//!
+//! ```text
+//! cargo run --example custom_kernel --release
+//! ```
+
+use vlt::core::{System, SystemConfig};
+use vlt::isa::asm::assemble;
+
+const N: usize = 2048;
+
+fn kernel(threads: usize) -> vlt::isa::Program {
+    let vals: Vec<String> = (0..N).map(|i| format!("{}.5", i % 17)).collect();
+    let src = format!(
+        r#"
+        .data
+    xs:
+        .double {vals}
+    partial:
+        .zero 64
+    total:
+        .zero 8
+        .text
+        li       x9, {threads}
+        vltcfg   x9
+        tid      x10
+        li       x11, {per_thread}
+        mul      x12, x10, x11
+        slli     x13, x12, 3
+        la       x14, xs
+        add      x14, x14, x13     # my slice
+        fcvt.f.x f1, x0            # acc = 0.0
+        li       x15, 0
+    loop:
+        sub      x3, x11, x15
+        setvl    x2, x3
+        vld      v1, x14
+        vfmul.vv v2, v1, v1        # x^2
+        vfredsum f2, v2
+        fadd     f1, f1, f2
+        slli     x4, x2, 3
+        add      x14, x14, x4
+        add      x15, x15, x2
+        blt      x15, x11, loop
+        la       x16, partial
+        slli     x4, x10, 3
+        add      x16, x16, x4
+        fsd      f1, 0(x16)
+        barrier
+        bnez     x10, done         # thread 0 combines
+        la       x16, partial
+        fcvt.f.x f3, x0
+        li       x5, 0
+        li       x6, {threads}
+    combine:
+        fld      f4, 0(x16)
+        fadd     f3, f3, f4
+        addi     x16, x16, 8
+        addi     x5, x5, 1
+        blt      x5, x6, combine
+        la       x16, total
+        fsd      f3, 0(x16)
+    done:
+        barrier
+        halt
+    "#,
+        vals = vals.join(", "),
+        per_thread = N / threads,
+    );
+    assemble(&src).expect("kernel assembles")
+}
+
+fn main() {
+    for (cfg, threads) in [
+        (SystemConfig::base(8), 1),
+        (SystemConfig::v2_cmp(), 2),
+        (SystemConfig::v4_cmt(), 4),
+    ] {
+        let prog = kernel(threads);
+        let name = cfg.name.clone();
+        let mut sys = System::new(cfg, &prog, threads);
+        let r = sys.run(100_000_000).expect("simulates");
+        let total = sys.funcsim().mem.read_f64(prog.symbol("total").unwrap());
+        println!(
+            "{name:<7} x{threads}: sum(x^2) = {total:.2} in {:>7} cycles",
+            r.cycles
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: assemble a small vector kernel, run it functionally, then
+//! time it on the base 8-lane vector processor.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use vlt::core::{System, SystemConfig};
+use vlt::exec::FuncSim;
+use vlt::isa::asm::assemble;
+
+fn main() {
+    // A tiny kernel: y[i] = 3*x[i] + y[i] over 64 elements.
+    let program = assemble(
+        r#"
+        .data
+    xs: .double 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
+        .zero 448              # pad to 64 elements
+    ys: .zero 512
+        .text
+        li       x1, 64
+        setvl    x2, x1        # vl = 64
+        li       x3, 3
+        fcvt.f.x f1, x3        # a = 3.0
+        la       x4, xs
+        la       x5, ys
+        vld      v1, x4        # x
+        vld      v2, x5        # y (zeros)
+        vfma.vs  v2, v1, f1    # y += a*x
+        vst      v2, x5
+        halt
+    "#,
+    )
+    .expect("kernel assembles");
+
+    // 1. Functional execution: architecturally exact, no timing.
+    let mut sim = FuncSim::new(&program, 1);
+    let summary = sim.run_to_completion(100_000).expect("runs to completion");
+    let ys = program.symbol("ys").unwrap();
+    println!("functional: {} instructions", summary.insts);
+    for i in 0..8 {
+        println!("  y[{i}] = {}", sim.mem.read_f64(ys + 8 * i));
+    }
+
+    // 2. Cycle-level timing on the base vector processor (Table 3).
+    let mut system = System::new(SystemConfig::base(8), &program, 1);
+    let result = system.run(1_000_000).expect("simulates");
+    println!(
+        "timed: {} cycles, {} instructions committed, {:.1}% datapaths busy",
+        result.cycles,
+        result.committed,
+        100.0 * result.utilization.busy_fraction()
+    );
+}

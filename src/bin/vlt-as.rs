@@ -1,0 +1,73 @@
+//! `vlt-as` — assemble a VLT-ISA source file.
+//!
+//! ```text
+//! vlt-as program.s            # assemble, report sizes
+//! vlt-as program.s -o out.bin # also write the raw text segment
+//! vlt-as program.s --list     # print the encoded listing
+//! ```
+
+use std::process::ExitCode;
+
+use vlt::isa::asm::assemble;
+use vlt::isa::disasm::disasm_text;
+use vlt::isa::TEXT_BASE;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                output = args.get(i).cloned();
+            }
+            "--list" => list = true,
+            "-h" | "--help" => {
+                eprintln!("usage: vlt-as <program.s> [-o out.bin] [--list]");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("usage: vlt-as <program.s> [-o out.bin] [--list]");
+        return ExitCode::FAILURE;
+    };
+
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vlt-as: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match assemble(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("vlt-as: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{input}: {} instructions, {} data bytes, {} symbols",
+        prog.text.len(),
+        prog.data.len(),
+        prog.symbols.len()
+    );
+    if list {
+        print!("{}", disasm_text(&prog.text, TEXT_BASE));
+    }
+    if let Some(out) = output {
+        let bytes: Vec<u8> = prog.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+        if let Err(e) = std::fs::write(&out, bytes) {
+            eprintln!("vlt-as: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}

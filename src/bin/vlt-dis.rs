@@ -1,0 +1,69 @@
+//! `vlt-dis` — disassemble a raw VLT-ISA text segment (as written by
+//! `vlt-as -o`) or re-list an assembly source.
+//!
+//! ```text
+//! vlt-dis out.bin             # disassemble raw 32-bit words
+//! vlt-dis program.s --asm     # assemble then list (with addresses)
+//! ```
+
+use std::process::ExitCode;
+
+use vlt::isa::asm::assemble;
+use vlt::isa::disasm::disasm_text;
+use vlt::isa::TEXT_BASE;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut from_asm = false;
+    for a in &args {
+        match a.as_str() {
+            "--asm" => from_asm = true,
+            "-h" | "--help" => {
+                eprintln!("usage: vlt-dis <text.bin | program.s --asm>");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: vlt-dis <text.bin | program.s --asm>");
+        return ExitCode::FAILURE;
+    };
+
+    let text: Vec<u32> = if from_asm {
+        let src = match std::fs::read_to_string(&input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vlt-dis: cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match assemble(&src) {
+            Ok(p) => p.text,
+            Err(e) => {
+                eprintln!("vlt-dis: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let bytes = match std::fs::read(&input) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("vlt-dis: cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if bytes.len() % 4 != 0 {
+            eprintln!("vlt-dis: {input}: length is not a multiple of 4");
+            return ExitCode::FAILURE;
+        }
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    };
+
+    print!("{}", disasm_text(&text, TEXT_BASE));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # vlt — Vector Lane Threading, reproduced
+//!
+//! Facade crate re-exporting the full VLT reproduction stack. See the
+//! individual crates for detail:
+//!
+//! * [`isa`] — the Cray-X1-flavoured vector ISA and assembler,
+//! * [`exec`] — the functional simulator (architectural state, traces),
+//! * [`mem`] — caches, the banked L2, and main memory,
+//! * [`scalar`] — out-of-order superscalar / SMT and in-order lane cores,
+//! * [`core`] — the vector unit, VLT, and the full-system timing simulator,
+//! * [`stats`] — utilization accounting and reporting,
+//! * [`workloads`] — the nine applications from the paper's Table 4,
+//! * [`area`] — the Alpha-derived area model (Tables 1 and 2).
+
+pub use vlt_area as area;
+pub use vlt_core as core;
+pub use vlt_exec as exec;
+pub use vlt_isa as isa;
+pub use vlt_mem as mem;
+pub use vlt_scalar as scalar;
+pub use vlt_stats as stats;
+pub use vlt_workloads as workloads;

@@ -1,0 +1,123 @@
+//! Cross-crate integration: assemble → functional execution → timing
+//! simulation → verification, through the public facade only.
+
+use vlt::core::{System, SystemConfig};
+use vlt::exec::FuncSim;
+use vlt::isa::asm::assemble;
+use vlt::isa::disasm::disasm_text;
+use vlt::workloads::{suite, Scale};
+
+#[test]
+fn assemble_disassemble_reassemble() {
+    let src = r#"
+        li       x1, 16
+        setvl    x2, x1
+        vid      v1
+        vadd.vv  v2, v1, v1
+        vredsum  x3, v2
+        halt
+    "#;
+    let p1 = assemble(src).unwrap();
+    // Disassemble and reassemble: identical encodings.
+    let listing = disasm_text(&p1.text, vlt::isa::TEXT_BASE);
+    let stripped: String = listing
+        .lines()
+        .map(|l| l.split_once(": ").unwrap().1)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let p2 = assemble(&stripped).unwrap();
+    assert_eq!(p1.text, p2.text);
+}
+
+#[test]
+fn functional_and_timed_agree_on_results() {
+    // The same program produces the same architectural state whether run
+    // functionally or under the timing model.
+    let src = r#"
+        .data
+    out:
+        .zero 8
+        .text
+        li      x1, 100
+        li      x2, 0
+        li      x3, 0
+    loop:
+        add     x2, x2, x3
+        addi    x3, x3, 1
+        blt     x3, x1, loop
+        la      x4, out
+        sd      x2, 0(x4)
+        halt
+    "#;
+    let prog = assemble(src).unwrap();
+
+    let mut fsim = FuncSim::new(&prog, 1);
+    fsim.run_to_completion(100_000).unwrap();
+    let out = prog.symbol("out").unwrap();
+    let functional = fsim.mem.read_u64(out);
+
+    let mut sys = System::new(SystemConfig::base(8), &prog, 1);
+    sys.run(1_000_000).unwrap();
+    let timed = sys.funcsim().mem.read_u64(out);
+
+    assert_eq!(functional, 4950);
+    assert_eq!(functional, timed);
+}
+
+#[test]
+fn every_workload_verifies_on_its_figure_configurations() {
+    // Vector workloads on base and V2-CMP; scalar workloads on CMT and the
+    // lanes — the exact configurations the figures use.
+    for w in suite() {
+        if w.vectorizable() {
+            let b1 = w.build(1, Scale::Test);
+            let mut sys = System::new(SystemConfig::base(8), &b1.program, 1);
+            sys.run(200_000_000).unwrap_or_else(|e| panic!("{} base: {e}", w.name()));
+            (b1.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{} base: {e}", w.name()));
+
+            let b2 = w.build(2, Scale::Test);
+            let mut sys = System::new(SystemConfig::v2_cmp(), &b2.program, 2);
+            sys.run(200_000_000).unwrap_or_else(|e| panic!("{} v2: {e}", w.name()));
+            (b2.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{} v2: {e}", w.name()));
+        } else {
+            let b1 = w.build(4, Scale::Test);
+            let mut sys = System::new(SystemConfig::cmt(), &b1.program, 4);
+            sys.run(200_000_000).unwrap_or_else(|e| panic!("{} cmt: {e}", w.name()));
+            (b1.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{} cmt: {e}", w.name()));
+
+            let b2 = w.build(8, Scale::Test);
+            let mut sys =
+                System::new(SystemConfig::v4_cmt_lane_threads(), &b2.program, 8);
+            sys.run(200_000_000).unwrap_or_else(|e| panic!("{} lanes: {e}", w.name()));
+            (b2.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{} lanes: {e}", w.name()));
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_configs() {
+    let w = vlt::workloads::workload("trfd").unwrap();
+    for (cfg, threads) in [
+        (SystemConfig::base(8), 1usize),
+        (SystemConfig::v2_smt(), 2),
+        (SystemConfig::v4_cmt(), 4),
+    ] {
+        let built = w.build(threads, Scale::Test);
+        let a = System::new(cfg.clone(), &built.program, threads).run(200_000_000).unwrap();
+        let b = System::new(cfg.clone(), &built.program, threads).run(200_000_000).unwrap();
+        assert_eq!(a.cycles, b.cycles, "{} nondeterministic", cfg.name);
+        assert_eq!(a.utilization, b.utilization, "{} nondeterministic", cfg.name);
+    }
+}
+
+#[test]
+fn area_model_and_configs_are_consistent() {
+    // Every timed configuration has a defined area.
+    use vlt::area::{AreaModel, ConfigArea, VltDesign};
+    let m = AreaModel::default();
+    for d in VltDesign::ALL {
+        let row = ConfigArea::compute(*d, &m, 8);
+        assert!(row.area > m.base_processor(8));
+        assert!(row.pct_increase > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's headline qualitative results, asserted at Test scale so the
+//! full suite stays fast. The bench harness reproduces the quantitative
+//! versions at Small/Full scale (see EXPERIMENTS.md).
+
+use vlt::core::{System, SystemConfig};
+use vlt::workloads::{workload, Scale};
+
+fn cycles(cfg: SystemConfig, name: &str, threads: usize) -> u64 {
+    let w = workload(name).unwrap();
+    let built = w.build(threads, Scale::Test);
+    let label = cfg.name.clone();
+    let mut sys = System::new(cfg, &built.program, threads);
+    let r = sys.run(500_000_000).unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
+    (built.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
+    r.cycles
+}
+
+/// Figure 1 shape: long-vector apps scale with lanes, scalar apps do not.
+#[test]
+fn long_vectors_scale_scalar_apps_do_not() {
+    let mxm_speedup =
+        cycles(SystemConfig::base(1), "mxm", 1) as f64 / cycles(SystemConfig::base(8), "mxm", 1) as f64;
+    assert!(mxm_speedup > 2.0, "mxm 1->8 lanes: {mxm_speedup:.2}");
+
+    let radix_speedup = cycles(SystemConfig::base(1), "radix", 1) as f64
+        / cycles(SystemConfig::base(8), "radix", 1) as f64;
+    assert!(
+        (0.9..1.1).contains(&radix_speedup),
+        "radix must not depend on lanes: {radix_speedup:.2}"
+    );
+}
+
+/// Figure 3 shape: VLT accelerates the short-vector applications, and four
+/// threads beat two.
+#[test]
+fn vlt_accelerates_short_vector_apps() {
+    for name in ["mpenc", "trfd", "multprec", "bt"] {
+        let base = cycles(SystemConfig::base(8), name, 1);
+        let v2 = cycles(SystemConfig::v2_cmp(), name, 2);
+        let v4 = cycles(SystemConfig::v4_cmp(), name, 4);
+        let s2 = base as f64 / v2 as f64;
+        let s4 = base as f64 / v4 as f64;
+        assert!(s2 > 1.05, "{name}: VLT-2 speedup {s2:.2}");
+        assert!(s4 > s2 * 0.95, "{name}: VLT-4 ({s4:.2}) should not trail VLT-2 ({s2:.2})");
+    }
+}
+
+/// Figure 5 shape: V2-SMT tracks V2-CMP; V4-SMT trails V4-CMT.
+#[test]
+fn smt_design_points_behave_as_in_figure5() {
+    let mut smt_close = 0;
+    for name in ["trfd", "multprec"] {
+        let v2_cmp = cycles(SystemConfig::v2_cmp(), name, 2);
+        let v2_smt = cycles(SystemConfig::v2_smt(), name, 2);
+        if (v2_smt as f64) < 1.35 * v2_cmp as f64 {
+            smt_close += 1;
+        }
+        let v4_cmt = cycles(SystemConfig::v4_cmt(), name, 4);
+        let v4_smt = cycles(SystemConfig::v4_smt(), name, 4);
+        assert!(
+            v4_smt as f64 > 0.95 * v4_cmt as f64,
+            "{name}: V4-SMT ({v4_smt}) cannot beat V4-CMT ({v4_cmt}) meaningfully"
+        );
+    }
+    assert!(smt_close >= 1, "V2-SMT should track V2-CMP on at least one app");
+}
+
+/// Figure 6 shape: lane threads beat the CMT on high-TLP/low-ILP apps and
+/// only tie on barnes.
+#[test]
+fn lane_threads_vs_cmt_shape() {
+    let ocean_speedup = cycles(SystemConfig::cmt(), "ocean", 4) as f64
+        / cycles(SystemConfig::v4_cmt_lane_threads(), "ocean", 8) as f64;
+    assert!(ocean_speedup > 1.1, "ocean lanes vs CMT: {ocean_speedup:.2}");
+
+    let barnes_speedup = cycles(SystemConfig::cmt(), "barnes", 4) as f64
+        / cycles(SystemConfig::v4_cmt_lane_threads(), "barnes", 8) as f64;
+    assert!(
+        barnes_speedup < ocean_speedup,
+        "barnes ({barnes_speedup:.2}) must profit less than ocean ({ocean_speedup:.2})"
+    );
+}
