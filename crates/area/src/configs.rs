@@ -88,8 +88,7 @@ pub struct ConfigArea {
 impl ConfigArea {
     /// Compute a Table 2 row with `lanes` vector lanes (the paper uses 8).
     pub fn compute(design: VltDesign, model: &AreaModel, lanes: usize) -> ConfigArea {
-        let su: f64 =
-            design.scalar_units().iter().map(|(w, c)| model.scalar_unit(*w, *c)).sum();
+        let su: f64 = design.scalar_units().iter().map(|(w, c)| model.scalar_unit(*w, *c)).sum();
         let area = su + model.vcl2 + lanes as f64 * model.lane + model.l2;
         let base = model.base_processor(lanes);
         ConfigArea { design, area, pct_increase: 100.0 * (area - base) / base }
@@ -162,8 +161,7 @@ mod tests {
     fn several_designs_under_five_percent() {
         // §4.2: "several VLT configurations for both 2 and 4 vector threads
         // are possible at an area overhead of less than 5%".
-        let under: Vec<_> =
-            VltDesign::ALL.iter().filter(|d| pct(**d) < 5.0).collect();
+        let under: Vec<_> = VltDesign::ALL.iter().filter(|d| pct(**d) < 5.0).collect();
         assert!(under.len() >= 3, "{under:?}");
     }
 

@@ -33,9 +33,7 @@ fn bench_assembler(c: &mut Criterion) {
     let src = format!(".text\n{unit}halt\n");
     let mut g = c.benchmark_group("assembler");
     g.throughput(Throughput::Elements(2001));
-    g.bench_function("assemble_2k_insts", |b| {
-        b.iter(|| assemble(black_box(&src)).unwrap())
-    });
+    g.bench_function("assemble_2k_insts", |b| b.iter(|| assemble(black_box(&src)).unwrap()));
     g.finish();
 }
 

@@ -1,0 +1,114 @@
+//! Isolates the functional→timing hand-off: how fast can a timing model
+//! pull [`vlt_exec::DynInst`]s out of the functional simulator and resolve
+//! vector memory addresses through the arena? This is the path the
+//! `AddrRange` refactor made allocation-free (`DynInst` is `Copy`; element
+//! addresses live in `FuncSim`'s arena instead of a per-instruction `Vec`),
+//! so regressions here mean the hot hand-off loop grew an allocation back.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use vlt_exec::{DynKind, FuncSim, Step};
+use vlt_isa::asm::assemble;
+use vlt_isa::Program;
+
+/// A vector-heavy kernel: daxpy over `n` elements in VL-64 chunks. Roughly
+/// a third of the dynamic stream is vector memory traffic, matching the
+/// workloads where the old per-`DynInst` `Vec<u64>` allocation dominated.
+fn kernel(n: usize) -> Program {
+    let src = format!(
+        r#"
+        .data
+    xs:
+        .zero {bytes}
+    ys:
+        .zero {bytes}
+        .text
+        li      x1, 64
+        setvl   x2, x1
+        li      x18, 2
+        fcvt.f.x f1, x18
+        la      x15, xs
+        la      x16, ys
+        li      x12, {n}
+        li      x17, 0
+    loop:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vld     v1, x15
+        vld     v2, x16
+        vfma.vs v2, v1, f1
+        vst     v2, x16
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x16, x16, x7
+        add     x17, x17, x2
+        blt     x17, x12, loop
+        halt
+    "#,
+        bytes = 8 * n,
+        n = n
+    );
+    assemble(&src).unwrap()
+}
+
+/// Drain the whole single-thread instruction stream the way a timing front
+/// end does: one `step_thread` per fetch, touching every `DynInst` and
+/// resolving every vector memory instruction's addresses via the arena.
+/// Returns (instructions, resolved element addresses, address checksum).
+fn drain(sim: &mut FuncSim) -> (u64, u64, u64) {
+    let mut insts = 0u64;
+    let mut elems = 0u64;
+    let mut sum = 0u64;
+    loop {
+        match sim.step_thread(0).unwrap() {
+            Step::Inst(d) => {
+                insts += 1;
+                if let DynKind::VMem { addrs } = d.kind {
+                    for &a in sim.addrs(addrs) {
+                        sum = sum.wrapping_add(a);
+                        elems += 1;
+                    }
+                }
+                black_box(d);
+            }
+            Step::AtBarrier => {}
+            Step::Halted => return (insts, elems, sum),
+        }
+    }
+}
+
+fn bench_trace_pipeline(c: &mut Criterion) {
+    let n = 16 * 1024;
+    let prog = kernel(n);
+
+    // One dry run to size the throughput denominator.
+    let (insts, elems, _) = drain(&mut FuncSim::new(&prog, 1));
+
+    let mut g = c.benchmark_group("trace_pipeline");
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("funcsim_to_timing_handoff", |b| {
+        b.iter_batched(
+            || FuncSim::new(&prog, 1),
+            |mut sim| black_box(drain(&mut sim)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    // Same stream, counted in resolved element addresses: the unit the old
+    // implementation heap-allocated per vector memory instruction.
+    let mut g = c.benchmark_group("trace_pipeline_addrs");
+    g.throughput(Throughput::Elements(elems));
+    g.bench_function("vmem_address_resolution", |b| {
+        b.iter_batched(
+            || FuncSim::new(&prog, 1),
+            |mut sim| black_box(drain(&mut sim)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_pipeline);
+criterion_main!(benches);

@@ -18,6 +18,6 @@ fn main() {
         ex::ext_lanes::run(scale),
         ex::ext_chaining::run(scale),
     ] {
-        ex::emit(&e);
+        ex::emit_result(e);
     }
 }

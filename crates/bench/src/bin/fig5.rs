@@ -2,6 +2,5 @@
 
 fn main() {
     let scale = vlt_bench::experiments::scale_from_env();
-    let e = vlt_bench::experiments::fig5::run(scale);
-    vlt_bench::experiments::emit(&e);
+    vlt_bench::experiments::emit_result(vlt_bench::experiments::fig5::run(scale));
 }

@@ -7,7 +7,7 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{workload, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 use super::fig3::APPS;
 
@@ -18,7 +18,7 @@ fn unchained(mut cfg: SystemConfig) -> SystemConfig {
 }
 
 /// Run the chaining on/off comparison on the base 8-lane machine.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "ext_chaining",
         "Ablation: element-wise chaining of dependent vector instructions",
@@ -32,16 +32,21 @@ pub fn run(scale: Scale) -> Experiment {
             let w = workload(name).unwrap();
             [
                 RunSpec { workload: w, config: SystemConfig::base(8), threads: 1, scale },
-                RunSpec { workload: w, config: unchained(SystemConfig::base(8)), threads: 1, scale },
+                RunSpec {
+                    workload: w,
+                    config: unchained(SystemConfig::base(8)),
+                    threads: 1,
+                    scale,
+                },
             ]
         })
         .collect();
-    let results = run_suite_parallel(specs);
+    let results = run_suite_parallel(specs)?;
 
     for (i, name) in APPS.iter().enumerate() {
         let chained = results[i * 2].cycles as f64;
         let unchained = results[i * 2 + 1].cycles as f64;
         e.push(Series::new(*name, &x, vec![unchained / chained]));
     }
-    e
+    Ok(e)
 }

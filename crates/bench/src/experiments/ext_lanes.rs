@@ -8,12 +8,12 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{workload, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 use super::fig3::APPS;
 
 /// Run the 8-vs-16-lane VLT comparison.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "ext_lanes",
         "Extension: VLT-4 speedup as the lane count scales (paper §9 claim)",
@@ -38,7 +38,7 @@ pub fn run(scale: Scale) -> Experiment {
             ]
         })
         .collect();
-    let results = run_suite_parallel(specs);
+    let results = run_suite_parallel(specs)?;
 
     for (i, name) in APPS.iter().enumerate() {
         let b8 = results[i * 4].cycles as f64;
@@ -47,5 +47,5 @@ pub fn run(scale: Scale) -> Experiment {
         let v16 = results[i * 4 + 3].cycles as f64;
         e.push(Series::new(*name, &x, vec![b8 / v8, b16 / v16]));
     }
-    e
+    Ok(e)
 }

@@ -6,7 +6,7 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{suite, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 const LANES: [usize; 4] = [1, 2, 4, 8];
 
@@ -25,7 +25,7 @@ fn paper_series(name: &str) -> Vec<f64> {
 }
 
 /// Run the lane sweep for every workload.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "fig1",
         "Effect of lane count on the base vector processor",
@@ -44,13 +44,12 @@ pub fn run(scale: Scale) -> Experiment {
             })
         })
         .collect();
-    let results = run_suite_parallel(specs);
+    let results = run_suite_parallel(specs)?;
 
     for (wi, w) in suite().into_iter().enumerate() {
         let cycles: Vec<u64> = (0..LANES.len()).map(|li| results[wi * 4 + li].cycles).collect();
-        let speedups: Vec<f64> =
-            cycles.iter().map(|c| cycles[0] as f64 / *c as f64).collect();
+        let speedups: Vec<f64> = cycles.iter().map(|c| cycles[0] as f64 / *c as f64).collect();
         e.push(Series::new(w.name(), &x, speedups).with_paper(paper_series(w.name())));
     }
-    e
+    Ok(e)
 }

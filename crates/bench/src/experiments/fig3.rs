@@ -6,7 +6,7 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{workload, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 /// The four applications with VLT opportunity (Table 4 middle block).
 pub const APPS: [&str; 4] = ["mpenc", "trfd", "multprec", "bt"];
@@ -23,7 +23,7 @@ fn paper_series(name: &str) -> Vec<f64> {
 }
 
 /// Cycle counts for (base, V2-CMP, V4-CMP) per app.
-pub fn raw_cycles(scale: Scale) -> Vec<(&'static str, [u64; 3])> {
+pub fn raw_cycles(scale: Scale) -> Result<Vec<(&'static str, [u64; 3])>, SuiteError> {
     let specs: Vec<RunSpec> = APPS
         .iter()
         .flat_map(|name| {
@@ -35,27 +35,27 @@ pub fn raw_cycles(scale: Scale) -> Vec<(&'static str, [u64; 3])> {
             ]
         })
         .collect();
-    let results = run_suite_parallel(specs);
-    APPS.iter()
+    let results = run_suite_parallel(specs)?;
+    Ok(APPS
+        .iter()
         .enumerate()
         .map(|(i, name)| {
             (*name, [results[i * 3].cycles, results[i * 3 + 1].cycles, results[i * 3 + 2].cycles])
         })
-        .collect()
+        .collect())
 }
 
 /// Run the Figure 3 sweep.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "fig3",
         "VLT speedup for vector threads over the base vector processor",
         "speedup over base",
     );
     let x = vec!["VLT-2 (V2-CMP)".to_string(), "VLT-4 (V4-CMP)".to_string()];
-    for (name, cyc) in raw_cycles(scale) {
-        let speedups =
-            vec![cyc[0] as f64 / cyc[1] as f64, cyc[0] as f64 / cyc[2] as f64];
+    for (name, cyc) in raw_cycles(scale)? {
+        let speedups = vec![cyc[0] as f64 / cyc[1] as f64, cyc[0] as f64 / cyc[2] as f64];
         e.push(Series::new(name, &x, speedups).with_paper(paper_series(name)));
     }
-    e
+    Ok(e)
 }

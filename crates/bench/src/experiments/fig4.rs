@@ -8,12 +8,12 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{workload, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 use super::fig3::APPS;
 
 /// Run the utilization breakdown.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "fig4",
         "Datapath utilization in the 8 vector lanes (normalized to base)",
@@ -32,14 +32,13 @@ pub fn run(scale: Scale) -> Experiment {
             ]
         })
         .collect();
-    let results = run_suite_parallel(specs);
+    let results = run_suite_parallel(specs)?;
 
     for (i, name) in APPS.iter().enumerate() {
         let base_total = results[i * 3].utilization.total() as f64;
         let mut cat = |label: &str, pick: fn(&vlt_core::Utilization) -> u64| {
-            let vals: Vec<f64> = (0..3)
-                .map(|k| pick(&results[i * 3 + k].utilization) as f64 / base_total)
-                .collect();
+            let vals: Vec<f64> =
+                (0..3).map(|k| pick(&results[i * 3 + k].utilization) as f64 / base_total).collect();
             e.push(Series::new(format!("{name}/{label}"), &x, vals));
         };
         cat("busy", |u| u.busy);
@@ -47,5 +46,5 @@ pub fn run(scale: Scale) -> Experiment {
         cat("stalled", |u| u.stalled);
         cat("all-idle", |u| u.all_idle);
     }
-    e
+    Ok(e)
 }

@@ -9,7 +9,7 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{workload, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 use super::fig3::APPS;
 
@@ -26,7 +26,7 @@ pub fn points() -> Vec<(SystemConfig, usize)> {
 }
 
 /// Run the design-space sweep.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "fig5",
         "Design space for vector threads (speedup over base)",
@@ -43,15 +43,14 @@ pub fn run(scale: Scale) -> Experiment {
             specs.push(RunSpec { workload: w, config: cfg, threads, scale });
         }
     }
-    let results = run_suite_parallel(specs);
+    let results = run_suite_parallel(specs)?;
 
     let per_app = 1 + pts.len();
     for (i, name) in APPS.iter().enumerate() {
         let base = results[i * per_app].cycles as f64;
-        let vals: Vec<f64> = (0..pts.len())
-            .map(|k| base / results[i * per_app + 1 + k].cycles as f64)
-            .collect();
+        let vals: Vec<f64> =
+            (0..pts.len()).map(|k| base / results[i * per_app + 1 + k].cycles as f64).collect();
         e.push(Series::new(*name, &x, vals));
     }
-    e
+    Ok(e)
 }

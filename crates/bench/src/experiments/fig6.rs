@@ -7,7 +7,7 @@ use vlt_core::SystemConfig;
 use vlt_stats::{Experiment, Series};
 use vlt_workloads::{workload, Scale};
 
-use crate::harness::{run_suite_parallel, RunSpec};
+use crate::harness::{run_suite_parallel, RunSpec, SuiteError};
 
 /// The three parallel-but-not-vectorizable applications.
 pub const APPS: [&str; 3] = ["radix", "ocean", "barnes"];
@@ -24,7 +24,7 @@ fn paper_value(name: &str) -> f64 {
 }
 
 /// Run the scalar-thread comparison.
-pub fn run(scale: Scale) -> Experiment {
+pub fn run(scale: Scale) -> Result<Experiment, SuiteError> {
     let mut e = Experiment::new(
         "fig6",
         "8 VLT scalar threads on lanes vs 4 threads on the CMT baseline",
@@ -47,14 +47,12 @@ pub fn run(scale: Scale) -> Experiment {
             ]
         })
         .collect();
-    let results = run_suite_parallel(specs);
+    let results = run_suite_parallel(specs)?;
 
     for (i, name) in APPS.iter().enumerate() {
         let cmt = results[i * 2].cycles as f64;
         let lanes = results[i * 2 + 1].cycles as f64;
-        e.push(
-            Series::new(*name, &x, vec![cmt / lanes]).with_paper(vec![paper_value(name)]),
-        );
+        e.push(Series::new(*name, &x, vec![cmt / lanes]).with_paper(vec![paper_value(name)]));
     }
-    e
+    Ok(e)
 }

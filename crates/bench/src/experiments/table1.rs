@@ -7,8 +7,7 @@ use vlt_stats::{Experiment, Series};
 /// echoed here with the derived base-processor total).
 pub fn run() -> Experiment {
     let m = AreaModel::default();
-    let mut e =
-        Experiment::new("table1", "Area breakdown for vector processor components", "mm^2");
+    let mut e = Experiment::new("table1", "Area breakdown for vector processor components", "mm^2");
     let x = vec!["area".to_string()];
     let rows: [(&str, f64, f64); 6] = [
         ("2-way scalar unit + L1 caches", m.su2, 5.7),

@@ -21,16 +21,36 @@ pub fn run() -> Table {
     row("Scalar unit", "window + ROB entries", su.window.to_string(), "64");
     row("Scalar unit", "arithmetic units", su.arith_units.to_string(), "4");
     row("Scalar unit", "memory ports", su.mem_ports.to_string(), "2");
-    row("Scalar unit", "L1 caches", format!("{} KB, {}-way", mem.l1_size / 1024, mem.l1_assoc), "16 KB, 2-way");
+    row(
+        "Scalar unit",
+        "L1 caches",
+        format!("{} KB, {}-way", mem.l1_size / 1024, mem.l1_assoc),
+        "16 KB, 2-way",
+    );
     row("Vector control", "issue width", cfg.vcl.issue_width.to_string(), "2-way");
     row("Vector control", "instruction window", cfg.vcl.window.to_string(), "32");
     row("Vector lanes", "lanes", cfg.lanes.to_string(), "8");
     row("Vector lanes", "arith datapaths / lane", "3".into(), "3");
     row("Vector lanes", "memory ports / lane", "2".into(), "2");
     row("Memory", "L2 size", format!("{} MB", mem.l2_size / (1024 * 1024)), "4 MB");
-    row("Memory", "L2 associativity / banks", format!("{}-way, {} banks", mem.l2_assoc, mem.l2_banks), "4-way, 16 banks");
-    row("Memory", "L2 hit / miss penalty", format!("{} / {} cycles", mem.l2_hit, mem.l2_miss), "10 / 100 cycles");
-    row("Lane I-cache", "size (scalar-thread mode)", format!("{} KB", mem.lane_icache_size / 1024), "4 KB");
+    row(
+        "Memory",
+        "L2 associativity / banks",
+        format!("{}-way, {} banks", mem.l2_assoc, mem.l2_banks),
+        "4-way, 16 banks",
+    );
+    row(
+        "Memory",
+        "L2 hit / miss penalty",
+        format!("{} / {} cycles", mem.l2_hit, mem.l2_miss),
+        "10 / 100 cycles",
+    );
+    row(
+        "Lane I-cache",
+        "size (scalar-thread mode)",
+        format!("{} KB", mem.lane_icache_size / 1024),
+        "4 KB",
+    );
     t
 }
 

@@ -17,15 +17,13 @@ pub fn run(scale: Scale) -> Experiment {
     for w in suite() {
         let c = characterize(w, scale).unwrap_or_else(|err| panic!("{}: {err}", w.name()));
         let row = w.paper_row();
-        e.push(
-            Series::new(w.name(), &x, vec![c.pct_vect, c.avg_vl, c.opportunity]).with_paper(
-                vec![
-                    row.pct_vect.unwrap_or(0.0),
-                    row.avg_vl.unwrap_or(0.0),
-                    row.opportunity.unwrap_or(0.0),
-                ],
-            ),
-        );
+        e.push(Series::new(w.name(), &x, vec![c.pct_vect, c.avg_vl, c.opportunity]).with_paper(
+            vec![
+                row.pct_vect.unwrap_or(0.0),
+                row.avg_vl.unwrap_or(0.0),
+                row.opportunity.unwrap_or(0.0),
+            ],
+        ));
     }
     e
 }
@@ -46,7 +44,11 @@ pub fn render_full(scale: Scale) -> Table {
             w.name().to_string(),
             format!("{:.1} ({})", c.pct_vect, fmt_opt(row.pct_vect)),
             format!("{:.1} ({})", c.avg_vl, fmt_opt(row.avg_vl)),
-            format!("{} ({})", vls.join(","), if pvls.is_empty() { "-".into() } else { pvls.join(",") }),
+            format!(
+                "{} ({})",
+                vls.join(","),
+                if pvls.is_empty() { "-".into() } else { pvls.join(",") }
+            ),
             format!("{:.1} ({})", c.opportunity, fmt_opt(row.opportunity)),
         ]);
     }

@@ -1,12 +1,16 @@
 //! Shared experiment-runner infrastructure.
 //!
 //! Simulations are single-threaded and deterministic; independent runs fan
-//! out across a crossbeam scope (one OS thread per pending run, bounded by
-//! the spec list — the per-run working set is small).
+//! out across a bounded worker pool (`available_parallelism` OS threads
+//! pulling specs from a shared queue). Failures — simulation errors or
+//! golden-model verification mismatches — propagate to the caller as
+//! [`SuiteError`]s instead of panicking inside a worker.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
-use vlt_core::{SimResult, System, SystemConfig};
+use vlt_core::{SimError, SimResult, System, SystemConfig};
 use vlt_workloads::{Built, Scale, Workload};
 
 /// Default cycle budget per simulation.
@@ -17,16 +21,52 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
+/// A failed run within a suite: which run, and what went wrong.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// The timing simulation itself errored (exec fault or cycle timeout).
+    Sim {
+        /// `"<workload> on <config> x<threads>"`.
+        run: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// The run finished but the memory image failed golden verification.
+    Verify {
+        /// `"<workload> on <config> x<threads>"`.
+        run: String,
+        /// The verifier's mismatch report.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::Sim { run, source } => write!(f, "simulation failed on {run}: {source}"),
+            SuiteError::Verify { run, message } => {
+                write!(f, "verification failed on {run}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
 /// Run one built workload on a configuration, verifying the result.
-pub fn run_built(cfg: SystemConfig, built: &Built, threads: usize) -> SimResult {
-    let name = cfg.name.clone();
+/// `label` names the workload in error messages.
+pub fn run_built(
+    cfg: SystemConfig,
+    built: &Built,
+    threads: usize,
+    label: &str,
+) -> Result<SimResult, SuiteError> {
+    let run = format!("{label} on {} x{threads}", cfg.name);
     let mut system = System::new(cfg, &built.program, threads);
-    let result = system
-        .run(MAX_CYCLES)
-        .unwrap_or_else(|e| panic!("simulation failed on {name}: {e}"));
-    (built.verifier)(system.funcsim())
-        .unwrap_or_else(|e| panic!("verification failed on {name}: {e}"));
-    result
+    let result =
+        system.run(MAX_CYCLES).map_err(|source| SuiteError::Sim { run: run.clone(), source })?;
+    (built.verifier)(system.funcsim()).map_err(|message| SuiteError::Verify { run, message })?;
+    Ok(result)
 }
 
 /// One simulation to schedule: a workload at a thread count on a config.
@@ -41,18 +81,95 @@ pub struct RunSpec {
     pub scale: Scale,
 }
 
-/// Execute all specs in parallel, preserving order in the result vector.
-pub fn run_suite_parallel(specs: Vec<RunSpec>) -> Vec<SimResult> {
-    let mut out: Vec<Option<SimResult>> = Vec::new();
-    out.resize_with(specs.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, spec) in out.iter_mut().zip(specs.iter()) {
-            scope.spawn(move |_| {
-                let built = spec.workload.build(spec.threads, spec.scale);
-                *slot = Some(run_built(spec.config.clone(), &built, spec.threads));
+impl RunSpec {
+    fn execute(&self) -> Result<SimResult, SuiteError> {
+        let built = self.workload.build(self.threads, self.scale);
+        run_built(self.config.clone(), &built, self.threads, self.workload.name())
+    }
+}
+
+/// Execute all specs on a bounded worker pool, preserving spec order in the
+/// result vector. The pool never spawns more than `available_parallelism`
+/// OS threads (and never more than there are specs); the first failure (in
+/// spec order) is returned after all in-flight work drains.
+pub fn run_suite_parallel(specs: Vec<RunSpec>) -> Result<Vec<SimResult>, SuiteError> {
+    if specs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(specs.len());
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<SimResult, SuiteError>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let specs = &specs;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                if tx.send((i, spec.execute())).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("simulation worker panicked");
-    out.into_iter().map(|r| r.expect("slot filled")).collect()
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    slots.resize_with(specs.len(), || None);
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("worker pool filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlt_workloads::workload;
+
+    #[test]
+    fn suite_preserves_spec_order() {
+        // More specs than any sane worker count, with distinguishable
+        // configs, to check index-preserving collection.
+        let w = workload("radix").unwrap();
+        let specs: Vec<RunSpec> = [1usize, 2, 4, 8, 1, 2, 4, 8]
+            .iter()
+            .map(|&lanes| RunSpec {
+                workload: w,
+                config: SystemConfig::base(lanes),
+                threads: 1,
+                scale: Scale::Test,
+            })
+            .collect();
+        let lane_counts: Vec<usize> = specs.iter().map(|s| s.config.lanes).collect();
+        let results = run_suite_parallel(specs).expect("suite runs");
+        assert_eq!(results.len(), 8);
+        // Same workload, same config ⇒ deterministic ⇒ identical cycles.
+        for (i, j) in [(0usize, 4usize), (1, 5), (2, 6), (3, 7)] {
+            assert_eq!(lane_counts[i], lane_counts[j]);
+            assert_eq!(results[i].cycles, results[j].cycles, "slot {i} vs {j}");
+        }
+    }
+
+    #[test]
+    fn empty_suite_is_ok() {
+        assert!(run_suite_parallel(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn failures_are_reported_not_panicked() {
+        // A 1-cycle budget cannot finish any workload: the suite must
+        // surface a timeout error instead of panicking in a worker.
+        let w = workload("radix").unwrap();
+        let built = w.build(1, Scale::Test);
+        let err = {
+            let mut system = System::new(SystemConfig::base(1), &built.program, 1);
+            system.run(1).expect_err("1 cycle cannot finish")
+        };
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
 }

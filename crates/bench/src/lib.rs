@@ -20,7 +20,7 @@
 //! Every binary writes `results/<id>.json` with measured *and* paper
 //! values, which EXPERIMENTS.md summarizes.
 
-pub mod harness;
 pub mod experiments;
+pub mod harness;
 
-pub use harness::{results_dir, run_built, run_suite_parallel, RunSpec};
+pub use harness::{results_dir, run_built, run_suite_parallel, RunSpec, SuiteError};

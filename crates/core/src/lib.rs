@@ -25,12 +25,15 @@
 //! println!("{} cycles", result.cycles);
 //! ```
 
-pub mod vu;
 pub mod config;
-pub mod system;
 pub mod result;
+pub mod system;
+pub mod vu;
 
 pub use config::{SystemConfig, VclConfig};
 pub use result::{SimError, SimResult, Utilization};
-pub use system::{Sample, System};
+pub use system::{
+    CycleView, NullObserver, ProgressObserver, RepartitionEvent, Sample, SamplingObserver,
+    SimObserver, System,
+};
 pub use vu::{VectorUnit, VuConfig};

@@ -41,7 +41,10 @@ impl Utilization {
 }
 
 /// Everything a full-system run reports.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is intentional: the observer refactor is validated by
+/// asserting byte-identical results across driver entry points.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Wall-clock cycles until every thread drained.
     pub cycles: u64,
@@ -55,6 +58,10 @@ pub struct SimResult {
     pub mem: MemStats,
     /// Cycles attributed to each `region` marker (region 0 = unannotated).
     pub region_cycles: BTreeMap<u32, u64>,
+    /// `vltcfg` requests whose thread count was invalid for this
+    /// configuration and got clamped to `vlt_threads`. Nonzero means the
+    /// workload was built for a different machine shape than it ran on.
+    pub clamped_repartitions: u64,
 }
 
 impl SimResult {
@@ -122,6 +129,7 @@ mod tests {
             cores: vec![],
             mem: MemStats::default(),
             region_cycles: BTreeMap::new(),
+            clamped_repartitions: 0,
         };
         r.region_cycles.insert(0, 25);
         r.region_cycles.insert(1, 50);

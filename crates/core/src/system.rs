@@ -1,6 +1,11 @@
 //! The full-system timing simulator: scalar units + vector unit (or lane
 //! cores) + memory hierarchy, driven cycle by cycle over the functional
 //! simulator's instruction streams.
+//!
+//! There is exactly **one** driver loop, [`System::run_observed`]. Every
+//! public entry point (`run`, `run_sampled`) is a thin wrapper that plugs a
+//! different [`SimObserver`] into it, so sampling, progress heartbeats, and
+//! any future instrumentation cannot drift from the plain run path.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -8,22 +13,18 @@ use std::sync::Arc;
 use vlt_exec::{DecodedProgram, DynKind, ExecError, FuncSim, Step};
 use vlt_isa::{Op, Program};
 use vlt_mem::MemSystem;
-use vlt_scalar::{
-    FetchResult, FetchSource, InOrderCore, LaneCoreConfig, NullVectorSink, OooCore,
-};
+use vlt_scalar::{FetchResult, FetchSource, InOrderCore, LaneCoreConfig, NullVectorSink, OooCore};
 
 use crate::config::SystemConfig;
 use crate::result::{SimError, SimResult, Utilization};
 use crate::vu::{VectorUnit, VuConfig};
 
-/// Wraps the functional simulator as a [`FetchSource`], tracking barrier
-/// rendezvous counts (for L1 coherence flushes) and the current `region`
-/// marker (for % opportunity attribution).
+/// Wraps the functional simulator as a [`FetchSource`], tracking the current
+/// `region` marker (for % opportunity attribution) and any `vltcfg` observed
+/// this cycle.
 struct TrackedSource {
     sim: FuncSim,
     prog: Arc<DecodedProgram>,
-    nthreads: usize,
-    barrier_fetches: u64,
     cur_region: u32,
     /// A `vltcfg` observed this cycle: requested lane-partition count.
     vlt_request: Option<u8>,
@@ -33,9 +34,6 @@ impl FetchSource for TrackedSource {
     fn fetch(&mut self, thread: usize) -> Result<FetchResult, ExecError> {
         Ok(match self.sim.step_thread(thread)? {
             Step::Inst(d) => {
-                if d.kind == DynKind::Barrier {
-                    self.barrier_fetches += 1;
-                }
                 if let DynKind::VltCfg { threads } = d.kind {
                     self.vlt_request = Some(threads);
                 }
@@ -53,6 +51,183 @@ impl FetchSource for TrackedSource {
     }
 }
 
+/// A `vltcfg` repartition observed by the driver, after validation against
+/// the machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepartitionEvent {
+    /// Lane-partition count the instruction asked for.
+    pub requested: u8,
+    /// Partition count actually handed to the vector unit.
+    pub applied: usize,
+    /// Whether the request was invalid for this machine and got clamped.
+    pub clamped: bool,
+}
+
+/// Events one call to `System::step` produced, reported back to the driver
+/// so observer hooks fire outside the mutable-borrow of the machine.
+#[derive(Debug, Default, Clone, Copy)]
+struct CycleEvents {
+    /// Cumulative barrier-release count, if a rendezvous completed.
+    barrier_releases: Option<u64>,
+    /// A `vltcfg` reached the vector unit this cycle.
+    repartition: Option<RepartitionEvent>,
+}
+
+/// Read-only view of the machine handed to [`SimObserver::on_cycle`].
+/// Aggregates (`committed`, `utilization`) are computed lazily so a no-op
+/// observer pays nothing per cycle.
+pub struct CycleView<'a> {
+    sys: &'a System,
+}
+
+impl CycleView<'_> {
+    /// Cumulative committed instructions across scalar units and lane cores.
+    pub fn committed(&self) -> u64 {
+        self.sys.cores.iter().map(|c| c.stats.committed).sum::<u64>()
+            + self.sys.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>()
+    }
+
+    /// Cumulative datapath utilization (zeros without a vector unit).
+    pub fn utilization(&self) -> Utilization {
+        self.sys.vu.as_ref().map(|v| v.util).unwrap_or_default()
+    }
+
+    /// Region marker active on thread 0.
+    pub fn region(&self) -> u32 {
+        self.sys.src.cur_region
+    }
+}
+
+/// Hooks into the driver loop. All methods default to no-ops, so an
+/// implementation only pays for what it overrides.
+///
+/// Ordering contract, per simulated cycle:
+/// 1. `on_cycle(now, view)` — *before* the machine advances, so a snapshot
+///    at cycle `n` sees the state entering `n` (this is what keeps
+///    `run_sampled` byte-compatible with the historical implementation);
+/// 2. the machine steps;
+/// 3. `on_barrier` / `on_repartition` for events that cycle produced.
+///
+/// `on_finish` fires once, after the machine drains, with the final result.
+pub trait SimObserver {
+    /// Start of a simulated cycle, before any unit ticks.
+    fn on_cycle(&mut self, _now: u64, _view: &CycleView<'_>) {}
+    /// A barrier rendezvous completed; `releases` is the cumulative count.
+    fn on_barrier(&mut self, _now: u64, _releases: u64) {}
+    /// A `vltcfg` was applied (possibly clamped) to the vector unit.
+    fn on_repartition(&mut self, _now: u64, _ev: &RepartitionEvent) {}
+    /// The run completed; `result` is what the caller will receive.
+    fn on_finish(&mut self, _result: &SimResult) {}
+}
+
+/// The do-nothing observer; `System::run` is `run_observed` with this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// A point-in-time snapshot emitted by [`System::run_sampled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Cumulative committed instructions.
+    pub committed: u64,
+    /// Cumulative datapath utilization (Figure-4 categories).
+    pub utilization: Utilization,
+    /// Region active at the snapshot (thread 0's marker).
+    pub region: u32,
+}
+
+/// Records a [`Sample`] every `interval` cycles — the raw material for
+/// utilization-over-time plots and phase analyses.
+#[derive(Debug)]
+pub struct SamplingObserver {
+    interval: u64,
+    next: u64,
+    samples: Vec<Sample>,
+}
+
+impl SamplingObserver {
+    /// Sample every `interval` cycles, starting at cycle 0.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0);
+        SamplingObserver { interval, next: 0, samples: Vec::new() }
+    }
+
+    /// The samples collected so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Consume the observer, yielding the collected samples.
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+}
+
+impl SimObserver for SamplingObserver {
+    fn on_cycle(&mut self, now: u64, view: &CycleView<'_>) {
+        if now >= self.next {
+            self.samples.push(Sample {
+                cycle: now,
+                committed: view.committed(),
+                utilization: view.utilization(),
+                region: view.region(),
+            });
+            self.next += self.interval;
+        }
+    }
+}
+
+/// Heartbeat for long runs under a cycle budget: prints progress to stderr
+/// every `every` cycles, and warns when a `vltcfg` had to be clamped.
+#[derive(Debug)]
+pub struct ProgressObserver {
+    every: u64,
+    budget: u64,
+    next: u64,
+}
+
+impl ProgressObserver {
+    /// Report every `every` cycles against a `budget`-cycle allowance.
+    pub fn new(every: u64, budget: u64) -> Self {
+        assert!(every > 0);
+        // Skip the cycle-0 heartbeat: nothing has happened yet.
+        ProgressObserver { every, budget, next: every }
+    }
+}
+
+impl SimObserver for ProgressObserver {
+    fn on_cycle(&mut self, now: u64, view: &CycleView<'_>) {
+        if now >= self.next {
+            eprintln!(
+                "[vlt] cycle {now}/{} ({:.1}% of budget), {} committed",
+                self.budget,
+                100.0 * now as f64 / self.budget.max(1) as f64,
+                view.committed(),
+            );
+            self.next += self.every;
+        }
+    }
+
+    fn on_repartition(&mut self, now: u64, ev: &RepartitionEvent) {
+        if ev.clamped {
+            eprintln!(
+                "[vlt] cycle {now}: vltcfg {} invalid for this machine, clamped to {}",
+                ev.requested, ev.applied,
+            );
+        }
+    }
+
+    fn on_finish(&mut self, result: &SimResult) {
+        eprintln!(
+            "[vlt] done: {} cycles, {} committed, {} clamped repartition(s)",
+            result.cycles, result.committed, result.clamped_repartitions,
+        );
+    }
+}
+
 /// A configured machine ready to run one program.
 pub struct System {
     cfg: SystemConfig,
@@ -61,8 +236,8 @@ pub struct System {
     lane_cores: Vec<InOrderCore>,
     vu: Option<VectorUnit>,
     mem: MemSystem,
-    barrier_releases: u64,
-    region_cycles: BTreeMap<u32, u64>,
+    /// Barrier releases already flushed, against the funcsim's exact count.
+    flushed_releases: u64,
 }
 
 impl System {
@@ -141,20 +316,12 @@ impl System {
 
         System {
             cfg,
-            src: TrackedSource {
-                sim,
-                prog: decoded,
-                nthreads,
-                barrier_fetches: 0,
-                cur_region: 0,
-                vlt_request: None,
-            },
+            src: TrackedSource { sim, prog: decoded, cur_region: 0, vlt_request: None },
             cores,
             lane_cores,
             vu,
             mem,
-            barrier_releases: 0,
-            region_cycles: BTreeMap::new(),
+            flushed_releases: 0,
         }
     }
 
@@ -169,26 +336,68 @@ impl System {
         &self.src.sim
     }
 
+    /// Every hardware context has drained.
+    fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.done()) && self.lane_cores.iter().all(|c| c.done())
+    }
+
     /// Run to completion (all threads halted and pipelines drained).
     pub fn run(&mut self, max_cycles: u64) -> Result<SimResult, SimError> {
+        self.run_observed(max_cycles, &mut NullObserver)
+    }
+
+    /// Like [`System::run`], but additionally records a [`Sample`] every
+    /// `interval` cycles — the raw material for utilization-over-time plots
+    /// and phase analyses.
+    pub fn run_sampled(
+        &mut self,
+        max_cycles: u64,
+        interval: u64,
+    ) -> Result<(SimResult, Vec<Sample>), SimError> {
+        let mut obs = SamplingObserver::new(interval);
+        let result = self.run_observed(max_cycles, &mut obs)?;
+        Ok((result, obs.into_samples()))
+    }
+
+    /// The one driver loop: run to completion (all threads halted and
+    /// pipelines drained) with `obs` hooked into every cycle.
+    pub fn run_observed<O: SimObserver + ?Sized>(
+        &mut self,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Result<SimResult, SimError> {
+        let mut region_cycles: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut clamped_repartitions = 0u64;
         let mut now = 0u64;
         loop {
-            let done = self.cores.iter().all(|c| c.done())
-                && self.lane_cores.iter().all(|c| c.done());
-            if done {
+            if self.done() {
                 break;
             }
             if now >= max_cycles {
                 return Err(SimError::Timeout { cycles: now });
             }
-            self.step(now)?;
+            obs.on_cycle(now, &CycleView { sys: self });
+            let ev = self.step(now)?;
+            if let Some(releases) = ev.barrier_releases {
+                obs.on_barrier(now, releases);
+            }
+            if let Some(rp) = &ev.repartition {
+                if rp.clamped {
+                    clamped_repartitions += 1;
+                }
+                obs.on_repartition(now, rp);
+            }
+            *region_cycles.entry(self.src.cur_region).or_insert(0) += 1;
             now += 1;
         }
-        Ok(self.finish(now))
+        let result = self.finish(now, region_cycles, clamped_repartitions);
+        obs.on_finish(&result);
+        Ok(result)
     }
 
     /// Advance the whole machine by one cycle.
-    fn step(&mut self, now: u64) -> Result<(), SimError> {
+    fn step(&mut self, now: u64) -> Result<CycleEvents, SimError> {
+        let mut ev = CycleEvents::default();
         for i in 0..self.cores.len() {
             let System { cores, mem, src, vu, .. } = self;
             match vu {
@@ -208,97 +417,49 @@ impl System {
             // `vltcfg` requests it; the VU applies it once drained and
             // refuses new dispatches meanwhile.
             if let Some(t) = self.src.vlt_request.take() {
-                if !matches!(t, 1 | 2 | 4) || t as usize > self.cfg.vlt_threads {
-                    // Lane-partition counts beyond the configured maximum
-                    // (e.g. a scalar-thread build's vltcfg 8) are clamped.
-                    v.request_repartition(self.cfg.vlt_threads);
-                } else {
-                    v.request_repartition(t as usize);
-                }
+                let clamped = !matches!(t, 1 | 2 | 4) || t as usize > self.cfg.vlt_threads;
+                // Lane-partition counts beyond the configured maximum
+                // (e.g. a scalar-thread build's vltcfg 8) are clamped.
+                let applied = if clamped { self.cfg.vlt_threads } else { t as usize };
+                v.request_repartition(applied);
+                ev.repartition = Some(RepartitionEvent { requested: t, applied, clamped });
             }
-            v.tick(now, &mut self.mem);
+            v.tick(now, &mut self.mem, self.src.sim.arena());
         }
 
-        // Barrier rendezvous completed: flush L1 data caches so
-        // post-barrier reads observe other threads' writes.
-        let releases = self.src.barrier_fetches / self.src.nthreads.max(1) as u64;
-        if releases > self.barrier_releases {
-            self.barrier_releases = releases;
+        // Barrier rendezvous completed: flush L1 data caches so post-barrier
+        // reads observe other threads' writes. The functional simulator
+        // counts releases exactly (once per rendezvous, at the moment the
+        // waiting flags clear), so this is correct for thread counts that
+        // don't divide the barrier population and for mid-run halts.
+        let releases = self.src.sim.barrier_releases();
+        if releases > self.flushed_releases {
+            self.flushed_releases = releases;
             self.mem.barrier_flush();
+            ev.barrier_releases = Some(releases);
         }
 
-        *self.region_cycles.entry(self.src.cur_region).or_insert(0) += 1;
-        Ok(())
+        Ok(ev)
     }
 
     /// Assemble the final result after the machine drains.
-    fn finish(&self, cycles: u64) -> SimResult {
+    fn finish(
+        &self,
+        cycles: u64,
+        region_cycles: BTreeMap<u32, u64>,
+        clamped_repartitions: u64,
+    ) -> SimResult {
         let committed = self.cores.iter().map(|c| c.stats.committed).sum::<u64>()
             + self.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>();
         SimResult {
             cycles,
             committed,
-            utilization: self.vu.as_ref().map(|v| v.util).unwrap_or(Utilization::default()),
+            utilization: self.vu.as_ref().map(|v| v.util).unwrap_or_default(),
             cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
             mem: self.mem.stats(),
-            region_cycles: self.region_cycles.clone(),
+            region_cycles,
+            clamped_repartitions,
         }
-    }
-}
-
-/// A point-in-time snapshot emitted by [`System::run_sampled`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Sample {
-    /// Cycle at which the snapshot was taken.
-    pub cycle: u64,
-    /// Cumulative committed instructions.
-    pub committed: u64,
-    /// Cumulative datapath utilization (Figure-4 categories).
-    pub utilization: Utilization,
-    /// Region active at the snapshot (thread 0's marker).
-    pub region: u32,
-}
-
-impl System {
-    /// Like [`System::run`], but additionally records a [`Sample`] every
-    /// `interval` cycles — the raw material for utilization-over-time plots
-    /// and phase analyses.
-    pub fn run_sampled(
-        &mut self,
-        max_cycles: u64,
-        interval: u64,
-    ) -> Result<(SimResult, Vec<Sample>), SimError> {
-        assert!(interval > 0);
-        let mut samples = Vec::new();
-        let mut next_sample = 0u64;
-        let mut now = 0u64;
-        loop {
-            let done = self.cores.iter().all(|c| c.done())
-                && self.lane_cores.iter().all(|c| c.done());
-            if done {
-                break;
-            }
-            if now >= max_cycles {
-                return Err(SimError::Timeout { cycles: now });
-            }
-            if now >= next_sample {
-                samples.push(Sample {
-                    cycle: now,
-                    committed: self.cores.iter().map(|c| c.stats.committed).sum::<u64>()
-                        + self.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>(),
-                    utilization: self
-                        .vu
-                        .as_ref()
-                        .map(|v| v.util)
-                        .unwrap_or(Utilization::default()),
-                    region: self.src.cur_region,
-                });
-                next_sample += interval;
-            }
-            self.step(now)?;
-            now += 1;
-        }
-        Ok((self.finish(now), samples))
     }
 }
 

@@ -5,7 +5,8 @@ use vlt_isa::asm::assemble;
 use vlt_isa::Program;
 
 use crate::config::SystemConfig;
-use crate::system::System;
+use crate::result::SimResult;
+use crate::system::{CycleView, NullObserver, RepartitionEvent, SimObserver, System};
 
 const MAX: u64 = 20_000_000;
 
@@ -203,10 +204,7 @@ fn long_vectors_scale_with_lanes() {
     let c1 = System::new(SystemConfig::base(1), &prog, 1).run(MAX).unwrap().cycles;
     let c8 = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap().cycles;
     let speedup = c1 as f64 / c8 as f64;
-    assert!(
-        speedup > 2.5,
-        "long vectors should profit from 8 lanes: {speedup:.2} ({c1} vs {c8})"
-    );
+    assert!(speedup > 2.5, "long vectors should profit from 8 lanes: {speedup:.2} ({c1} vs {c8})");
 }
 
 #[test]
@@ -216,10 +214,7 @@ fn short_vectors_do_not_scale_with_lanes() {
     let c4 = System::new(SystemConfig::base(4), &prog, 1).run(MAX).unwrap().cycles;
     let c8 = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap().cycles;
     let speedup = c4 as f64 / c8 as f64;
-    assert!(
-        speedup < 1.25,
-        "short vectors cannot use extra lanes: {speedup:.2} ({c4} vs {c8})"
-    );
+    assert!(speedup < 1.25, "short vectors cannot use extra lanes: {speedup:.2} ({c4} vs {c8})");
 }
 
 #[test]
@@ -234,10 +229,7 @@ fn vlt_two_threads_speed_up_short_vectors() {
     let cv = sys.run(MAX).unwrap().cycles;
     verify_daxpy(&sys, total);
     let speedup = cb as f64 / cv as f64;
-    assert!(
-        speedup > 1.4,
-        "VLT should accelerate short vectors: {speedup:.2} ({cb} vs {cv})"
-    );
+    assert!(speedup > 1.4, "VLT should accelerate short vectors: {speedup:.2} ({cb} vs {cv})");
 }
 
 #[test]
@@ -260,10 +252,7 @@ fn smt_su_matches_replicated_su_for_two_threads() {
     let c_smt = System::new(SystemConfig::v2_smt(), &prog, 2).run(MAX).unwrap().cycles;
     let c_cmp = System::new(SystemConfig::v2_cmp(), &prog, 2).run(MAX).unwrap().cycles;
     let ratio = c_smt as f64 / c_cmp as f64;
-    assert!(
-        ratio < 1.35,
-        "V2-SMT should be close to V2-CMP: {ratio:.2} ({c_smt} vs {c_cmp})"
-    );
+    assert!(ratio < 1.35, "V2-SMT should be close to V2-CMP: {ratio:.2} ({c_smt} vs {c_cmp})");
 }
 
 #[test]
@@ -427,7 +416,8 @@ fn dynamic_vltcfg_beats_fixed_partitioning() {
         barrier
         halt
     "#,
-            maybe_cfg = if cfg1 { "li x9, 1\n        vltcfg x9" } else { "li x9, 2\n        vltcfg x9" }
+            maybe_cfg =
+                if cfg1 { "li x9, 1\n        vltcfg x9" } else { "li x9, 2\n        vltcfg x9" }
         )
     };
     let adaptive = assemble(&wide_insts(true)).unwrap();
@@ -468,9 +458,9 @@ fn sampled_run_matches_plain_run() {
 /// once drained (unit-level check through the public trait).
 #[test]
 fn repartition_backpressure() {
-    use std::sync::Arc;
     use crate::{VectorUnit, VuConfig};
-    use vlt_exec::DecodedProgram;
+    use std::sync::Arc;
+    use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
     use vlt_mem::{MemConfig, MemSystem};
     use vlt_scalar::{VecDispatch, VectorSink};
 
@@ -478,12 +468,13 @@ fn repartition_backpressure() {
         DecodedProgram::new(&assemble("vfadd.vv v1, v2, v3\nhalt\n").unwrap());
     let mut vu = VectorUnit::new(VuConfig::base(8), prog);
     let mut mem = MemSystem::new(MemConfig::default(), 1, 8);
+    let arena = AddrArena::new(1);
     let d = |seq| VecDispatch {
         vthread: 0,
         sidx: 0,
         vl: 32,
         class: vlt_isa::OpClass::VAdd,
-        addrs: vec![],
+        addrs: AddrRange::EMPTY,
         seq,
         deps: vec![],
         ready_base: 0,
@@ -496,13 +487,160 @@ fn repartition_backpressure() {
     // Drain and observe the repartition.
     let mut now = 0;
     while vu.poll(tok).is_none() {
-        vu.tick(now, &mut mem);
+        vu.tick(now, &mut mem, &arena);
         now += 1;
         assert!(now < 1000);
     }
-    vu.tick(now, &mut mem); // retire + apply
-    vu.tick(now + 1, &mut mem);
+    vu.tick(now, &mut mem, &arena); // retire + apply
+    vu.tick(now + 1, &mut mem, &arena);
     assert_eq!(vu.threads(), 2);
     // Dispatch flows again, into the new partitioning.
     assert!(vu.try_dispatch(d(2), now + 2).is_some());
+}
+
+/// Records every observer callback, for driver-spine tests.
+#[derive(Default)]
+struct Recorder {
+    cycles_seen: u64,
+    reparts: Vec<RepartitionEvent>,
+    barrier_releases: u64,
+    barrier_events: u64,
+    finishes: u32,
+}
+
+impl SimObserver for Recorder {
+    fn on_cycle(&mut self, _now: u64, _view: &CycleView<'_>) {
+        self.cycles_seen += 1;
+    }
+
+    fn on_barrier(&mut self, _now: u64, releases: u64) {
+        self.barrier_releases = releases;
+        self.barrier_events += 1;
+    }
+
+    fn on_repartition(&mut self, _now: u64, ev: &RepartitionEvent) {
+        self.reparts.push(*ev);
+    }
+
+    fn on_finish(&mut self, _result: &SimResult) {
+        self.finishes += 1;
+    }
+}
+
+/// The plain, sampled, and observed entry points all go through the same
+/// driver and must return identical results.
+#[test]
+fn all_entry_points_share_one_driver() {
+    let prog = daxpy(256, 16, 1, 4);
+    let plain = System::new(SystemConfig::base(8), &prog, 1).run(MAX).unwrap();
+    let (sampled, _) = System::new(SystemConfig::base(8), &prog, 1).run_sampled(MAX, 1).unwrap();
+    let observed =
+        System::new(SystemConfig::base(8), &prog, 1).run_observed(MAX, &mut NullObserver).unwrap();
+    assert_eq!(plain, sampled);
+    assert_eq!(plain, observed);
+}
+
+/// The observer sees every cycle exactly once and one `on_finish`.
+#[test]
+fn observer_sees_every_cycle() {
+    let prog = daxpy(128, 16, 1, 0);
+    let mut rec = Recorder::default();
+    let r = System::new(SystemConfig::base(8), &prog, 1).run_observed(MAX, &mut rec).unwrap();
+    assert_eq!(rec.cycles_seen, r.cycles);
+    assert_eq!(rec.finishes, 1);
+}
+
+/// `vltcfg 8` is architecturally valid (the funcsim accepts 1/2/4/8) but
+/// exceeds the base machine's single lane partition: the driver clamps it,
+/// counts it in the result, and reports it to the observer.
+#[test]
+fn clamped_vltcfg_counted_and_reported() {
+    let src = r#"
+        li      x9, 8
+        vltcfg  x9
+        li      x1, 8
+        setvl   x2, x1
+        vid     v1
+        halt
+    "#;
+    let prog = assemble(src).unwrap();
+    let mut rec = Recorder::default();
+    let r = System::new(SystemConfig::base(8), &prog, 1).run_observed(MAX, &mut rec).unwrap();
+    assert_eq!(r.clamped_repartitions, 1);
+    assert_eq!(rec.reparts.len(), 1);
+    let ev = rec.reparts[0];
+    assert!(ev.clamped);
+    assert_eq!(ev.requested, 8);
+    assert_eq!(ev.applied, 1);
+}
+
+/// A `vltcfg` matching the machine passes through unclamped.
+#[test]
+fn valid_vltcfg_is_not_counted_as_clamped() {
+    let prog = daxpy(256, 8, 2, 0); // starts with vltcfg 2
+    let mut rec = Recorder::default();
+    let mut sys = System::new(SystemConfig::v2_cmp(), &prog, 2);
+    let r = sys.run_observed(MAX, &mut rec).unwrap();
+    assert_eq!(r.clamped_repartitions, 0);
+    // One event per thread: both threads execute the vltcfg.
+    assert_eq!(rec.reparts.len(), 2);
+    for ev in &rec.reparts {
+        assert!(!ev.clamped);
+        assert_eq!(ev.requested, 2);
+        assert_eq!(ev.applied, 2);
+    }
+}
+
+/// Barrier-release accounting stays exact when a thread halts before the
+/// rendezvous: 3 of 4 threads meet at two barriers. The historical
+/// `fetches / nthreads` accounting reports 6/4 = 1 release here and would
+/// skip a coherence flush; the exact counter reports 2.
+#[test]
+fn barrier_releases_exact_with_early_halt() {
+    let src = r#"
+        .data
+    out:
+        .zero 32
+        .text
+        tid   x1
+        bnez  x1, worker
+        halt
+    worker:
+        barrier
+        la    x2, out
+        slli  x3, x1, 3
+        add   x2, x2, x3
+        sd    x1, 0(x2)
+        barrier
+        halt
+    "#;
+    let prog = assemble(src).unwrap();
+    let mut rec = Recorder::default();
+    let mut sys = System::new(SystemConfig::cmt(), &prog, 4);
+    sys.run_observed(MAX, &mut rec).unwrap();
+    assert_eq!(rec.barrier_releases, 2, "exactly two rendezvous completed");
+    // Every surviving thread's store is visible post-barrier.
+    let base = sys.funcsim().prog.program.symbol("out").unwrap();
+    for t in 1..4u64 {
+        assert_eq!(sys.funcsim().mem.read_u64(base + 8 * t), t);
+    }
+}
+
+/// The dividing case still counts one release per rendezvous, not one per
+/// arriving thread.
+#[test]
+fn barrier_releases_count_rendezvous_not_arrivals() {
+    let src = r#"
+        barrier
+        barrier
+        barrier
+        halt
+    "#;
+    let prog = assemble(src).unwrap();
+    let mut rec = Recorder::default();
+    System::new(SystemConfig::cmt(), &prog, 4).run_observed(MAX, &mut rec).unwrap();
+    assert_eq!(rec.barrier_releases, 3);
+    // Events report the cumulative count once per cycle, so several
+    // rendezvous completing in one cycle coalesce into one callback.
+    assert!(rec.barrier_events >= 1 && rec.barrier_events <= 3);
 }

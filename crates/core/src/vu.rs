@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use vlt_exec::DecodedProgram;
+use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
 use vlt_isa::{Op, OpClass};
 use vlt_mem::MemSystem;
 use vlt_scalar::{VecDispatch, VecToken, VectorSink};
@@ -49,7 +49,7 @@ impl VuConfig {
     /// Partition for `threads` VLT threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(matches!(threads, 1 | 2 | 4), "VLT vector threads must be 1, 2, or 4");
-        assert!(self.lanes % threads == 0, "lanes must divide evenly across threads");
+        assert!(self.lanes.is_multiple_of(threads), "lanes must divide evenly across threads");
         self.threads = threads;
         self
     }
@@ -114,7 +114,7 @@ struct VuEntry {
     sidx: u32,
     class: OpClass,
     vl: u16,
-    addrs: Vec<u64>,
+    addrs: AddrRange,
     deps: Vec<u64>,
     ready_base: u64,
     dispatched_at: u64,
@@ -205,7 +205,7 @@ impl VectorUnit {
     /// order, work-conserving — an idle partition's slots flow to the
     /// others. This is the paper's finding that a multiplexed VCL performs
     /// as fast as a replicated one (§3.2).
-    pub fn tick(&mut self, now: u64, mem: &mut MemSystem) {
+    pub fn tick(&mut self, now: u64, mem: &mut MemSystem, arena: &AddrArena) {
         if let Some(t) = self.pending_threads {
             if self.drained() {
                 self.repartition(t);
@@ -219,7 +219,7 @@ impl VectorUnit {
                 break;
             }
             let pi = (now as usize + k) % t;
-            budget = self.issue_partition(pi, budget, now, mem);
+            budget = self.issue_partition(pi, budget, now, mem, arena);
         }
 
         self.account(now);
@@ -236,6 +236,7 @@ impl VectorUnit {
         mut budget: usize,
         now: u64,
         mem: &mut MemSystem,
+        arena: &AddrArena,
     ) -> usize {
         let mut resolutions: Vec<(usize, u64, u64)> = Vec::new();
         {
@@ -279,12 +280,13 @@ impl VectorUnit {
                         let Some(f) = p.vmem.iter().position(|f| f.busy_until <= now) else {
                             continue;
                         };
-                        let n = e.addrs.len().max(1) as u64;
+                        let addrs = arena.slice(e.addrs);
+                        let n = addrs.len().max(1) as u64;
                         let dur = n.div_ceil(lanes as u64);
                         let write = class == OpClass::VStore;
                         let mut last = now + dur;
                         let mut first_group = now + 1;
-                        for (i, a) in e.addrs.iter().enumerate() {
+                        for (i, a) in addrs.iter().enumerate() {
                             let at = now + (i / lanes) as u64;
                             let t = mem.l2_access(*a, write, at);
                             if !write {
@@ -305,7 +307,11 @@ impl VectorUnit {
                 let seq = e.seq;
                 let vthread = e.vthread;
                 p.window[i].state = St::Done(done);
-                resolutions.push((vthread, seq, if self.cfg.chaining { chain_ready } else { done }));
+                resolutions.push((
+                    vthread,
+                    seq,
+                    if self.cfg.chaining { chain_ready } else { done },
+                ));
             }
         }
         // Wake same-partition consumers (vector-vector chaining through the
@@ -352,7 +358,7 @@ impl VectorUnit {
     pub fn repartition(&mut self, threads: usize) {
         assert!(self.drained(), "repartition requires a drained vector unit");
         assert!(matches!(threads, 1 | 2 | 4), "VLT vector threads must be 1, 2, or 4");
-        assert!(self.cfg.lanes % threads == 0);
+        assert!(self.cfg.lanes.is_multiple_of(threads));
         self.cfg.threads = threads;
         self.partitions = (0..threads)
             .map(|_| Partition {

@@ -1,6 +1,6 @@
 //! Vector-unit timing tests (unit level: hand-built dispatches).
 
-use vlt_exec::DecodedProgram;
+use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
 use vlt_isa::asm::assemble;
 use vlt_isa::OpClass;
 use vlt_mem::{MemConfig, MemSystem};
@@ -41,13 +41,19 @@ fn mem() -> MemSystem {
     MemSystem::new(MemConfig::default(), 1, 8)
 }
 
+/// A standalone address arena for hand-built dispatches (4 threads covers
+/// every partitioning these tests use).
+fn arena() -> AddrArena {
+    AddrArena::new(4)
+}
+
 fn disp(vthread: usize, seq: u64, class: OpClass, vl: u16) -> VecDispatch {
     VecDispatch {
         vthread,
         sidx: sidx_for(class),
         vl,
         class,
-        addrs: vec![],
+        addrs: AddrRange::EMPTY,
         seq,
         deps: vec![],
         ready_base: 0,
@@ -58,11 +64,12 @@ fn disp(vthread: usize, seq: u64, class: OpClass, vl: u16) -> VecDispatch {
 fn run_until_done(
     vu: &mut VectorUnit,
     mem: &mut MemSystem,
+    arena: &AddrArena,
     token: vlt_scalar::VecToken,
     start: u64,
 ) -> u64 {
     for now in start..start + 10_000 {
-        vu.tick(now, mem);
+        vu.tick(now, mem, arena);
         if let Some(t) = vu.poll(token) {
             return t;
         }
@@ -75,15 +82,16 @@ fn arith_occupancy_scales_with_vl_over_lanes() {
     // VL 64 on 8 lanes: 8 occupancy cycles (+4 startup for the add unit).
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 64), 0).unwrap();
-    let done = run_until_done(&mut vu, &mut m, tok, 0);
+    let done = run_until_done(&mut vu, &mut m, &ar, tok, 0);
     // Issues at cycle 1 (dispatched at 0): 1 + 2 (startup) + 8 = 11.
     assert_eq!(done, 11);
 
     // Same instruction on 1 lane: 64 occupancy cycles.
     let mut vu1 = unit(1, 1);
     let tok = vu1.try_dispatch(disp(0, 0, OpClass::VAdd, 64), 0).unwrap();
-    let done1 = run_until_done(&mut vu1, &mut m, tok, 0);
+    let done1 = run_until_done(&mut vu1, &mut m, &ar, tok, 0);
     assert_eq!(done1, 1 + 2 + 64);
 }
 
@@ -92,8 +100,9 @@ fn short_vectors_waste_lanes() {
     // VL 4 on 8 lanes still costs one occupancy cycle, wasting 4 datapaths.
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 4), 0).unwrap();
-    run_until_done(&mut vu, &mut m, tok, 0);
+    run_until_done(&mut vu, &mut m, &ar, tok, 0);
     assert!(vu.util.partly_idle >= 4, "partial idling not recorded: {:?}", vu.util);
 }
 
@@ -101,8 +110,9 @@ fn short_vectors_waste_lanes() {
 fn division_is_expensive() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VDiv, 64), 0).unwrap();
-    let done = run_until_done(&mut vu, &mut m, tok, 0);
+    let done = run_until_done(&mut vu, &mut m, &ar, tok, 0);
     // 8 groups x 4 cycles each + startup 6 + issue at 1.
     assert_eq!(done, 1 + 6 + 32);
 }
@@ -111,11 +121,12 @@ fn division_is_expensive() {
 fn independent_ops_use_different_fus_in_parallel() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let t_add = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 64), 0).unwrap();
     let t_mul = vu.try_dispatch(disp(0, 1, OpClass::VMul, 64), 0).unwrap();
     // Both issue at cycle 1 (2-way issue, different FUs).
     for now in 0..100 {
-        vu.tick(now, &mut m);
+        vu.tick(now, &mut m, &ar);
     }
     let a = vu.poll(t_add).unwrap();
     let b = vu.poll(t_mul).unwrap();
@@ -127,10 +138,11 @@ fn independent_ops_use_different_fus_in_parallel() {
 fn same_fu_ops_serialize() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let t1 = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 64), 0).unwrap();
     let t2 = vu.try_dispatch(disp(0, 1, OpClass::VAdd, 64), 0).unwrap();
     for now in 0..100 {
-        vu.tick(now, &mut m);
+        vu.tick(now, &mut m, &ar);
     }
     let a = vu.poll(t1).unwrap();
     let b = vu.poll(t2).unwrap();
@@ -143,15 +155,16 @@ fn same_fu_ops_serialize() {
 fn dependences_block_issue_until_resolved() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let mut d = disp(0, 1, OpClass::VAdd, 64);
     d.deps = vec![0]; // producer seq 0, not yet resolved
     let tok = vu.try_dispatch(d, 0).unwrap();
     for now in 0..50 {
-        vu.tick(now, &mut m);
+        vu.tick(now, &mut m, &ar);
     }
     assert_eq!(vu.poll(tok), None, "must wait for the producer");
     vu.resolve(0, 0, 60);
-    let done = run_until_done(&mut vu, &mut m, tok, 50);
+    let done = run_until_done(&mut vu, &mut m, &ar, tok, 50);
     assert!(done >= 60 + 2 + 8, "issue cannot precede the producer: {done}");
 }
 
@@ -181,10 +194,11 @@ fn two_partitions_execute_concurrently() {
     // both complete at the same cycle — the whole point of VLT.
     let mut vu = unit(8, 2);
     let mut m = mem();
+    let ar = arena();
     let t0 = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 32), 0).unwrap();
     let t1 = vu.try_dispatch(disp(1, 0, OpClass::VAdd, 32), 0).unwrap();
     for now in 0..100 {
-        vu.tick(now, &mut m);
+        vu.tick(now, &mut m, &ar);
     }
     let a = vu.poll(t0).unwrap();
     let b = vu.poll(t1).unwrap();
@@ -196,18 +210,21 @@ fn two_partitions_execute_concurrently() {
 fn vector_loads_contend_for_banks() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let mut ar = arena();
     // Unit-stride: 64 addresses over all banks.
+    let unit_addrs: Vec<u64> = (0..64u64).map(|e| 0x10000 + 8 * e).collect();
     let mut d = disp(0, 0, OpClass::VLoad, 64);
-    d.addrs = (0..64u64).map(|e| 0x10000 + 8 * e).collect();
+    d.addrs = ar.alloc(0, &unit_addrs);
     let t_unit = vu.try_dispatch(d, 0).unwrap();
-    let unit_done = run_until_done(&mut vu, &mut m, t_unit, 0);
+    let unit_done = run_until_done(&mut vu, &mut m, &ar, t_unit, 0);
 
     // Same-bank stride: every address hits bank 0.
     let mut vu2 = unit(8, 1);
+    let conf_addrs: Vec<u64> = (0..64u64).map(|e| 0x40000 + 8 * 16 * e).collect();
     let mut d2 = disp(0, 0, OpClass::VLoad, 64);
-    d2.addrs = (0..64u64).map(|e| 0x40000 + 8 * 16 * e).collect();
+    d2.addrs = ar.alloc(0, &conf_addrs);
     let t_conf = vu2.try_dispatch(d2, 0).unwrap();
-    let conf_done = run_until_done(&mut vu2, &mut m, t_conf, 0);
+    let conf_done = run_until_done(&mut vu2, &mut m, &ar, t_conf, 0);
 
     assert!(
         conf_done > unit_done + 32,
@@ -219,8 +236,9 @@ fn vector_loads_contend_for_banks() {
 fn mask_ops_bypass_the_lanes() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VMask, 8), 0).unwrap();
-    let done = run_until_done(&mut vu, &mut m, tok, 0);
+    let done = run_until_done(&mut vu, &mut m, &ar, tok, 0);
     assert_eq!(done, 2); // issue at 1, done at 2
 }
 
@@ -228,18 +246,15 @@ fn mask_ops_bypass_the_lanes() {
 fn utilization_invariant_holds() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 20), 0).unwrap();
     let cycles = 50u64;
     for now in 0..cycles {
-        vu.tick(now, &mut m);
+        vu.tick(now, &mut m, &ar);
     }
     assert!(vu.poll(tok).is_some());
     let u = vu.util;
-    assert_eq!(
-        u.total(),
-        3 * 8 * cycles,
-        "3 datapath classes x 8 lanes x cycles: {u:?}"
-    );
+    assert_eq!(u.total(), 3 * 8 * cycles, "3 datapath classes x 8 lanes x cycles: {u:?}");
     assert_eq!(u.busy, 20, "exactly vl element ops on the add unit");
     // VL 20 on 8 lanes: 3 occupancy cycles, 24 lane-slots, 4 partly idle.
     assert_eq!(u.partly_idle, 4);
@@ -251,11 +266,11 @@ fn issue_bandwidth_is_partitioned_for_four_threads() {
     // of issue, not 1.
     let mut vu = unit(8, 4);
     let mut m = mem();
-    let toks: Vec<_> = (0..4)
-        .map(|t| vu.try_dispatch(disp(t, 0, OpClass::VMask, 4), 0).unwrap())
-        .collect();
+    let ar = arena();
+    let toks: Vec<_> =
+        (0..4).map(|t| vu.try_dispatch(disp(t, 0, OpClass::VMask, 4), 0).unwrap()).collect();
     for now in 0..10 {
-        vu.tick(now, &mut m);
+        vu.tick(now, &mut m, &ar);
     }
     let dones: Vec<u64> = toks.into_iter().map(|t| vu.poll(t).unwrap()).collect();
     let earliest = *dones.iter().min().unwrap();
@@ -267,10 +282,11 @@ fn issue_bandwidth_is_partitioned_for_four_threads() {
 fn drained_reports_empty_windows() {
     let mut vu = unit(8, 1);
     let mut m = mem();
+    let ar = arena();
     assert!(vu.drained());
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 8), 0).unwrap();
     assert!(!vu.drained());
-    run_until_done(&mut vu, &mut m, tok, 0);
-    vu.tick(10_001, &mut m); // retire the reported entry
+    run_until_done(&mut vu, &mut m, &ar, tok, 0);
+    vu.tick(10_001, &mut m, &ar); // retire the reported entry
     assert!(vu.drained());
 }

@@ -1,0 +1,108 @@
+//! Property test on the driver spine: every public entry point is a thin
+//! wrapper over the same observed loop, so `run`, `run_sampled(interval=1)`,
+//! and `run_observed` with a no-op observer must produce identical
+//! `SimResult`s for any workload shape.
+
+use proptest::prelude::*;
+use vlt_core::{NullObserver, System, SystemConfig};
+use vlt_isa::asm::assemble;
+use vlt_isa::Program;
+
+const MAX: u64 = 20_000_000;
+
+/// A small vectorized SPMD daxpy, parameterized over elements-per-thread,
+/// vector length, thread count, and interleaved scalar work.
+fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
+    let total = npt * threads;
+    let sw: String = vec!["add x25, x25, x26"; scalar_work].join("\n        ");
+    let xs_data: Vec<String> = (0..total).map(|i| format!("{}.0", i)).collect();
+    let src = format!(
+        r#"
+        .data
+    xs:
+        .double {xs}
+    ys:
+        .zero {bytes}
+        .text
+        li      x9, {threads}
+        vltcfg  x9
+        tid     x10
+        li      x12, {npt}
+        mul     x13, x10, x12
+        slli    x14, x13, 3
+        la      x15, xs
+        add     x15, x15, x14
+        la      x16, ys
+        add     x16, x16, x14
+        li      x18, 2
+        fcvt.f.x f1, x18
+        li      x6, {vl}
+        li      x26, 1
+        li      x17, 0
+        region  1
+    loop:
+        sub     x3, x12, x17
+        blt     x3, x6, small
+        mv      x4, x6
+        j       doit
+    small:
+        mv      x4, x3
+    doit:
+        setvl   x2, x4
+        vld     v1, x15
+        vld     v2, x16
+        vfma.vs v2, v1, f1
+        vst     v2, x16
+        {sw}
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x16, x16, x7
+        add     x17, x17, x2
+        blt     x17, x12, loop
+        region  0
+        barrier
+        halt
+    "#,
+        xs = xs_data.join(", "),
+        bytes = 8 * total,
+        npt = npt,
+        vl = vl,
+        threads = threads,
+        sw = sw,
+    );
+    assemble(&src).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn entry_points_produce_identical_results(
+        npt in 16usize..96,
+        vl_pick in 0usize..3,
+        threads_pick in 0usize..2,
+        scalar_work in 0usize..5,
+    ) {
+        let vl = [8usize, 16, 64][vl_pick];
+        let threads = [1usize, 2][threads_pick];
+        // 2-thread runs need two lane partitions and two scalar units.
+        let cfg = || if threads == 2 { SystemConfig::v2_cmp() } else { SystemConfig::base(8) };
+        let vl = vl.min(64 / threads);
+        let prog = daxpy(npt, vl, threads, scalar_work);
+
+        let plain = System::new(cfg(), &prog, threads).run(MAX).unwrap();
+        let (sampled, samples) =
+            System::new(cfg(), &prog, threads).run_sampled(MAX, 1).unwrap();
+        let observed = System::new(cfg(), &prog, threads)
+            .run_observed(MAX, &mut NullObserver)
+            .unwrap();
+
+        prop_assert_eq!(&plain, &sampled);
+        prop_assert_eq!(&plain, &observed);
+
+        // Interval 1 snapshots every cycle, pre-step: 0 ..= cycles-1.
+        prop_assert_eq!(samples.len() as u64, plain.cycles);
+        prop_assert_eq!(samples.first().unwrap().cycle, 0);
+        prop_assert_eq!(samples.last().unwrap().cycle, plain.cycles - 1);
+    }
+}

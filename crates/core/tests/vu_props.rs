@@ -3,10 +3,10 @@
 //! capacity is respected.
 
 use proptest::prelude::*;
-use vlt_core::{VectorUnit, VuConfig};
 use std::sync::Arc;
+use vlt_core::{VectorUnit, VuConfig};
 
-use vlt_exec::DecodedProgram;
+use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
 use vlt_isa::asm::assemble;
 use vlt_isa::OpClass;
 use vlt_mem::{MemConfig, MemSystem};
@@ -76,6 +76,7 @@ proptest! {
             let cfg = VuConfig::base(8).with_threads(threads);
             let mut vu = VectorUnit::new(cfg, prog());
             let mut mem = MemSystem::new(MemConfig::default(), 1, 8);
+            let mut arena = AddrArena::new(4);
             let mut pending: Vec<(VecToken, u64)> = Vec::new();
             let mut next = 0usize;
             let mut seq = 0u64;
@@ -96,9 +97,11 @@ proptest! {
                         vl,
                         class,
                         addrs: if class.is_mem() {
-                            (0..vl as u64).map(|e| 0x10000 + 8 * e).collect()
+                            let elems: Vec<u64> =
+                                (0..vl as u64).map(|e| 0x10000 + 8 * e).collect();
+                            arena.alloc(vthread, &elems)
                         } else {
-                            Vec::new()
+                            AddrRange::EMPTY
                         },
                         seq,
                         deps: vec![],
@@ -111,7 +114,7 @@ proptest! {
                         accepted += 1;
                     }
                 }
-                vu.tick(now, &mut mem);
+                vu.tick(now, &mut mem, &arena);
                 let mut bad_completion = None;
                 pending.retain(|(tok, dispatched)| match vu.poll(*tok) {
                     Some(t) => {
@@ -147,7 +150,7 @@ fn window_capacity_is_partition_scoped() {
                 sidx: 0,
                 vl: 8,
                 class: OpClass::VAdd,
-                addrs: vec![],
+                addrs: AddrRange::EMPTY,
                 seq: (p * 8 + i) as u64,
                 deps: vec![],
                 ready_base: 0,
@@ -159,7 +162,7 @@ fn window_capacity_is_partition_scoped() {
             sidx: 0,
             vl: 8,
             class: OpClass::VAdd,
-            addrs: vec![],
+            addrs: AddrRange::EMPTY,
             seq: 1000 + p as u64,
             deps: vec![],
             ready_base: 0,

@@ -1,0 +1,282 @@
+//! A self-contained, std-only stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of criterion's API its benches use:
+//! `Criterion`, `benchmark_group` with `sample_size` / `throughput`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from real criterion, by design: no statistical analysis,
+//! no plots, no saved baselines. Each benchmark runs a short warmup and a
+//! fixed number of timed samples, then prints min / median / mean
+//! wall-clock time per iteration (plus throughput when configured).
+//! `--bench`-style CLI flags passed by `cargo bench` are accepted and
+//! ignored; a bare positional argument filters benchmarks by substring.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for per-element / per-byte rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes flags like `--bench`; accept and ignore
+        // anything starting with '-'. A bare argument is a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Configure (no-op in this shim; kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 30, throughput: None }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let full = if self.name.is_empty() { name } else { format!("{}/{}", self.name, name) };
+        if !self._parent.matches(&full) {
+            return self;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warmup: one untimed sample lets caches/allocator settle.
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        report(&full, &samples, self.throughput);
+        self
+    }
+
+    /// End the group (separator line only).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, per_iter_secs: &[f64], tp: Option<Throughput>) {
+    if per_iter_secs.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut sorted = per_iter_secs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let rate = match tp {
+        Some(Throughput::Elements(n)) => format!("  {:>12}/s", human(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  {:>11}B/s", human(n as f64 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} min {:>10}  median {:>10}  mean {:>10}{rate}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Runs the closure under timing; handed to each benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed iteration batch.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std_black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        const ITERS: u64 = 3;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+}
+
+/// Declare a group runner: `criterion_group!(benches, fn_a, fn_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    hits += 1;
+                });
+            });
+            g.finish();
+        }
+        // warmup sample + 3 timed samples, 3 iters each
+        assert_eq!(hits, 4 * 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("yes".into()) };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("no_match", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+        c.benchmark_group("g").bench_function("yes_match", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.iters, 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-thread element-address arena.
+//!
+//! Vector memory instructions used to carry their post-mask element
+//! addresses in a heap-allocated `Vec<u64>` inside every `DynInst` — the
+//! hottest allocation in the simulator. Instead, the functional simulator
+//! now writes element addresses into a flat arena owned by `FuncSim`, and
+//! the trace records only a compact [`AddrRange`] handle, keeping
+//! `DynInst: Copy`.
+//!
+//! The arena is a ring per thread: each thread owns a fixed [`RING`]-entry
+//! segment of one flat buffer, and successive vector memory instructions
+//! bump-allocate contiguous spans within it, wrapping to the segment start
+//! when a span would not fit. Ranges stay valid as long as the timing
+//! models bound the number of in-flight vector memory instructions per
+//! thread — the vector unit's per-partition window (≤ 32 entries of at
+//! most `MAX_VL = 64` elements each, ≈ 2 K entries) leaves ~8× slack
+//! before a live range could be overwritten.
+
+/// A contiguous span of element addresses inside an [`AddrArena`].
+///
+/// `start` is an absolute index into the arena's flat buffer (not
+/// thread-relative), so resolving a range needs no thread id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AddrRange {
+    /// Absolute start index into the arena buffer.
+    pub start: u32,
+    /// Number of element addresses.
+    pub len: u32,
+}
+
+impl AddrRange {
+    /// An empty range (fully-masked vector memory instruction).
+    pub const EMPTY: AddrRange = AddrRange { start: 0, len: 0 };
+
+    /// Number of element addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no element accesses memory.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-thread ring capacity, in addresses. Must exceed the worst-case
+/// in-flight element-address footprint of the timing models (see module
+/// docs) by a comfortable margin.
+pub const RING: usize = 1 << 14;
+
+/// Flat per-thread ring arena of element addresses.
+#[derive(Debug, Clone)]
+pub struct AddrArena {
+    buf: Vec<u64>,
+    /// Per-thread write offset within that thread's ring segment.
+    heads: Vec<u32>,
+}
+
+impl AddrArena {
+    /// An arena with one ring segment per thread.
+    pub fn new(nthr: usize) -> Self {
+        assert!(nthr * RING <= u32::MAX as usize, "arena exceeds u32 indexing");
+        AddrArena { buf: vec![0; nthr * RING], heads: vec![0; nthr] }
+    }
+
+    /// Start a span of at most `max_len` addresses for `thread`. The span
+    /// is contiguous: if it would straddle the ring end, the head wraps to
+    /// the segment start first.
+    pub fn begin(&mut self, thread: usize, max_len: usize) -> ArenaWriter<'_> {
+        assert!(max_len <= RING, "vector length exceeds arena ring");
+        let head = &mut self.heads[thread];
+        if *head as usize + max_len > RING {
+            *head = 0;
+        }
+        let start = (thread * RING + *head as usize) as u32;
+        ArenaWriter { arena: self, thread, start, len: 0 }
+    }
+
+    /// Store a full slice and return its handle (tests and benches).
+    pub fn alloc(&mut self, thread: usize, addrs: &[u64]) -> AddrRange {
+        let mut w = self.begin(thread, addrs.len());
+        for &a in addrs {
+            w.push(a);
+        }
+        w.finish()
+    }
+
+    /// Resolve a handle to its element addresses.
+    #[inline]
+    pub fn slice(&self, r: AddrRange) -> &[u64] {
+        &self.buf[r.start as usize..r.start as usize + r.len as usize]
+    }
+}
+
+/// In-progress span; push addresses, then [`finish`](ArenaWriter::finish).
+#[derive(Debug)]
+pub struct ArenaWriter<'a> {
+    arena: &'a mut AddrArena,
+    thread: usize,
+    start: u32,
+    len: u32,
+}
+
+impl ArenaWriter<'_> {
+    /// Append one element address.
+    #[inline]
+    pub fn push(&mut self, addr: u64) {
+        self.arena.buf[self.start as usize + self.len as usize] = addr;
+        self.len += 1;
+    }
+
+    /// Commit the span, bumping the thread's head past it.
+    #[inline]
+    pub fn finish(self) -> AddrRange {
+        self.arena.heads[self.thread] += self.len;
+        AddrRange { start: self.start, len: self.len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_resolve() {
+        let mut a = AddrArena::new(2);
+        let r0 = a.alloc(0, &[10, 20, 30]);
+        let r1 = a.alloc(1, &[7]);
+        let r2 = a.alloc(0, &[40, 50]);
+        assert_eq!(a.slice(r0), &[10, 20, 30]);
+        assert_eq!(a.slice(r1), &[7]);
+        assert_eq!(a.slice(r2), &[40, 50]);
+        assert_eq!(r0.len(), 3);
+        assert!(AddrRange::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn threads_get_disjoint_segments() {
+        let mut a = AddrArena::new(2);
+        let r0 = a.alloc(0, &[1, 2]);
+        let r1 = a.alloc(1, &[3, 4]);
+        assert!(r1.start as usize >= RING);
+        assert!((r0.start as usize) < RING);
+    }
+
+    #[test]
+    fn wraps_to_keep_spans_contiguous() {
+        let mut a = AddrArena::new(1);
+        // Fill almost the whole ring, then allocate a span that cannot fit
+        // in the remainder: it must wrap to offset 0, not straddle.
+        let chunk = vec![9u64; RING - 4];
+        a.alloc(0, &chunk);
+        let r = a.alloc(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(r.start, 0);
+        assert_eq!(a.slice(r), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn empty_spans_are_fine() {
+        let mut a = AddrArena::new(1);
+        let r = a.alloc(0, &[]);
+        assert!(a.slice(r).is_empty());
+    }
+}

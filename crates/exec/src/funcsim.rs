@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use vlt_isa::Program;
 
+use crate::arena::{AddrArena, AddrRange};
 use crate::error::ExecError;
 use crate::interp;
 use crate::memory::Memory;
@@ -65,8 +66,7 @@ impl RunSummary {
         if count == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.vl_histogram.iter().enumerate().map(|(vl, n)| vl as u64 * n).sum();
+        let weighted: u64 = self.vl_histogram.iter().enumerate().map(|(vl, n)| vl as u64 * n).sum();
         weighted as f64 / count as f64
     }
 
@@ -93,6 +93,8 @@ pub struct FuncSim {
     pub mem: Memory,
     threads: Vec<ArchState>,
     waiting: Vec<bool>,
+    arena: AddrArena,
+    releases: u64,
     /// Total instructions executed so far.
     pub executed: u64,
 }
@@ -100,12 +102,38 @@ pub struct FuncSim {
 impl FuncSim {
     /// Set up `nthr` threads at the program entry point.
     pub fn new(prog: &Program, nthr: usize) -> Self {
-        assert!(nthr >= 1 && nthr <= 64, "thread count out of range");
+        assert!((1..=64).contains(&nthr), "thread count out of range");
         let decoded = DecodedProgram::new(prog);
         let mem = Memory::load(prog);
-        let threads =
-            (0..nthr).map(|t| ArchState::new(prog.entry, t, nthr)).collect();
-        FuncSim { prog: decoded, mem, threads, waiting: vec![false; nthr], executed: 0 }
+        let threads = (0..nthr).map(|t| ArchState::new(prog.entry, t, nthr)).collect();
+        FuncSim {
+            prog: decoded,
+            mem,
+            threads,
+            waiting: vec![false; nthr],
+            arena: AddrArena::new(nthr),
+            releases: 0,
+            executed: 0,
+        }
+    }
+
+    /// The element-address arena backing `DynKind::VMem` ranges.
+    pub fn arena(&self) -> &AddrArena {
+        &self.arena
+    }
+
+    /// Resolve a vector memory instruction's element addresses.
+    #[inline]
+    pub fn addrs(&self, r: AddrRange) -> &[u64] {
+        self.arena.slice(r)
+    }
+
+    /// Number of barrier rendezvous completed so far. Counted exactly at
+    /// the moment a barrier opens (every live thread arrived), so it is
+    /// correct even when thread counts don't divide evenly into fetch
+    /// totals or when threads halt before a later barrier.
+    pub fn barrier_releases(&self) -> u64 {
+        self.releases
     }
 
     /// Number of threads.
@@ -138,11 +166,14 @@ impl FuncSim {
                 for w in self.waiting.iter_mut() {
                     *w = false;
                 }
+                // Exactly one rendezvous completed: the flags clear once
+                // per barrier, however many threads participate.
+                self.releases += 1;
             } else {
                 return Ok(Step::AtBarrier);
             }
         }
-        let d = interp::step(&mut self.threads[t], &mut self.mem, &self.prog)?;
+        let d = interp::step(&mut self.threads[t], &mut self.mem, &self.prog, &mut self.arena)?;
         self.executed += 1;
         if d.kind == DynKind::Barrier {
             self.waiting[t] = true;
@@ -170,21 +201,16 @@ impl FuncSim {
         while !self.all_halted() {
             let mut progressed = false;
             for t in 0..n {
-                loop {
-                    match self.step_thread(t)? {
-                        Step::Inst(d) => {
-                            progressed = true;
-                            summary.insts += 1;
-                            summary.per_thread[t] += 1;
-                            self.record(&d, &mut summary);
-                            if summary.insts > budget {
-                                return Err(ExecError::Budget { executed: summary.insts });
-                            }
-                            if matches!(d.kind, DynKind::Barrier | DynKind::Halt) {
-                                break;
-                            }
-                        }
-                        Step::AtBarrier | Step::Halted => break,
+                while let Step::Inst(d) = self.step_thread(t)? {
+                    progressed = true;
+                    summary.insts += 1;
+                    summary.per_thread[t] += 1;
+                    self.record(&d, &mut summary);
+                    if summary.insts > budget {
+                        return Err(ExecError::Budget { executed: summary.insts });
+                    }
+                    if matches!(d.kind, DynKind::Barrier | DynKind::Halt) {
+                        break;
                     }
                 }
             }
@@ -206,10 +232,7 @@ impl FuncSim {
             if d.vl > 0 {
                 s.vl_histogram[(d.vl as usize).min(64)] += 1;
             }
-        } else if !matches!(
-            d.kind,
-            DynKind::Barrier | DynKind::Halt | DynKind::VltCfg { .. }
-        ) {
+        } else if !matches!(d.kind, DynKind::Barrier | DynKind::Halt | DynKind::VltCfg { .. }) {
             s.scalar_ops += 1;
         }
     }
@@ -234,10 +257,7 @@ mod tests {
     fn budget_catches_infinite_loops() {
         let p = assemble("loop:\nj loop\n").unwrap();
         let mut sim = FuncSim::new(&p, 1);
-        assert!(matches!(
-            sim.run_to_completion(1000),
-            Err(ExecError::Budget { .. })
-        ));
+        assert!(matches!(sim.run_to_completion(1000), Err(ExecError::Budget { .. })));
     }
 
     #[test]

@@ -12,13 +12,16 @@
 
 use vlt_isa::{Op, MAX_VL};
 
+use crate::arena::AddrArena;
 use crate::error::ExecError;
 use crate::memory::Memory;
 use crate::program::DecodedProgram;
 use crate::state::ArchState;
 use crate::trace::{DynInst, DynKind};
 
-/// Execute the instruction at `st.pc`, updating `st` and `mem`.
+/// Execute the instruction at `st.pc`, updating `st` and `mem`. Vector
+/// memory instructions record their element addresses into `arena` under
+/// the thread's ring segment.
 ///
 /// The caller (the [`crate::FuncSim`] driver) is responsible for barrier
 /// rendezvous; this function simply reports the barrier and moves on.
@@ -26,10 +29,9 @@ pub fn step(
     st: &mut ArchState,
     mem: &mut Memory,
     prog: &DecodedProgram,
+    arena: &mut AddrArena,
 ) -> Result<DynInst, ExecError> {
-    let sidx = prog
-        .index_of(st.pc)
-        .ok_or(ExecError::BadPc { tid: st.tid, pc: st.pc })? as u32;
+    let sidx = prog.index_of(st.pc).ok_or(ExecError::BadPc { tid: st.tid, pc: st.pc })? as u32;
     let si = prog.get(sidx as usize);
     let inst = si.inst;
     let pc = st.pc;
@@ -287,8 +289,7 @@ pub fn step(
             vl_field = st.vl as u16;
             for e in 0..st.vl {
                 if st.lane_enabled(masked, e) {
-                    st.v[rd as usize][e] =
-                        f64::from_bits(st.v[rs1 as usize][e]).sqrt().to_bits();
+                    st.v[rd as usize][e] = f64::from_bits(st.v[rs1 as usize][e]).sqrt().to_bits();
                 }
             }
             kind = DynKind::Vector;
@@ -437,8 +438,7 @@ pub fn step(
             vl_field = st.vl as u16;
             for e in 0..st.vl {
                 if st.lane_enabled(masked, e) {
-                    st.v[rd as usize][e] =
-                        (f64::from_bits(st.v[rs1 as usize][e]) as i64) as u64;
+                    st.v[rd as usize][e] = (f64::from_bits(st.v[rs1 as usize][e]) as i64) as u64;
                 }
             }
             kind = DynKind::Vector;
@@ -485,7 +485,7 @@ pub fn step(
 
         Op::Vld | Op::Vlds | Op::Vldx => {
             let base = st.get_x(rs1);
-            let mut addrs = Vec::with_capacity(st.vl);
+            let mut addrs = arena.begin(st.tid, st.vl);
             vl_field = st.vl as u16;
             for e in 0..st.vl {
                 if !st.lane_enabled(masked, e) {
@@ -499,11 +499,11 @@ pub fn step(
                 st.v[rd as usize][e] = mem.read_u64(addr);
                 addrs.push(addr);
             }
-            kind = DynKind::VMem { addrs };
+            kind = DynKind::VMem { addrs: addrs.finish() };
         }
         Op::Vst | Op::Vsts | Op::Vstx => {
             let base = st.get_x(rs1);
-            let mut addrs = Vec::with_capacity(st.vl);
+            let mut addrs = arena.begin(st.tid, st.vl);
             vl_field = st.vl as u16;
             for e in 0..st.vl {
                 if !st.lane_enabled(masked, e) {
@@ -517,7 +517,7 @@ pub fn step(
                 mem.write_u64(addr, st.v[rd as usize][e]);
                 addrs.push(addr);
             }
-            kind = DynKind::VMem { addrs };
+            kind = DynKind::VMem { addrs: addrs.finish() };
         }
     }
 

@@ -438,7 +438,8 @@ fn vector_memory_indexed_gather_scatter() {
 
 #[test]
 fn masked_vector_load_skips_lanes() {
-    let p = assemble(r#"
+    let p = assemble(
+        r#"
         .data
     src:
         .dword 1, 2, 3, 4
@@ -450,24 +451,24 @@ fn masked_vector_load_skips_lanes() {
         la      x4, src
         vld     v1, x4, vm
         halt
-    "#).unwrap();
+    "#,
+    )
+    .unwrap();
     let mut sim = FuncSim::new(&p, 1);
     // Collect the VMem dyninst to check address count.
     let mut vmem_addrs = None;
-    loop {
-        match sim.step_thread(0).unwrap() {
-            crate::funcsim::Step::Inst(d) => {
-                if let DynKind::VMem { addrs } = &d.kind {
-                    vmem_addrs = Some(addrs.clone());
-                }
-                if d.kind == DynKind::Halt {
-                    break;
-                }
-            }
-            _ => break,
+    while let crate::funcsim::Step::Inst(d) = sim.step_thread(0).unwrap() {
+        if let DynKind::VMem { addrs } = &d.kind {
+            vmem_addrs = Some(*addrs);
+        }
+        if d.kind == DynKind::Halt {
+            break;
         }
     }
-    assert_eq!(vmem_addrs.unwrap().len(), 2); // only lanes 0 and 2
+    let r = vmem_addrs.unwrap();
+    assert_eq!(r.len(), 2); // only lanes 0 and 2
+    let src = p.symbol("src").unwrap();
+    assert_eq!(sim.addrs(r), &[src, src + 16]); // elements 0 and 2
     assert_eq!(sim.thread(0).v[1][0], 1);
     assert_eq!(sim.thread(0).v[1][1], 0); // untouched
     assert_eq!(sim.thread(0).v[1][2], 3);

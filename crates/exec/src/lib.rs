@@ -29,14 +29,16 @@
 //! assert_eq!(sim.thread(0).x[3], 42);
 //! ```
 
+pub mod arena;
 pub mod error;
-pub mod memory;
-pub mod state;
-pub mod program;
-pub mod trace;
-pub mod interp;
 pub mod funcsim;
+pub mod interp;
+pub mod memory;
+pub mod program;
+pub mod state;
+pub mod trace;
 
+pub use arena::{AddrArena, AddrRange};
 pub use error::ExecError;
 pub use funcsim::{FuncSim, RunSummary, Step};
 pub use memory::Memory;

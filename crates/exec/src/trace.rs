@@ -1,12 +1,15 @@
 //! Dynamic instruction records — the interface between the functional
 //! simulator and the timing models.
 
+use crate::arena::AddrRange;
+
 /// Dynamic outcome of one executed instruction.
 ///
 /// Static properties (opcode, class, defs/uses) live in
 /// [`crate::StaticInst`], reached through `sidx`; only values that vary per
-/// execution are recorded here.
-#[derive(Debug, Clone, PartialEq)]
+/// execution are recorded here. Every variant is plain data — the whole
+/// record is `Copy`, so the functional→timing hand-off never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DynKind {
     /// Non-memory scalar computation (ALU/FP/etc.).
     Plain,
@@ -29,8 +32,10 @@ pub enum DynKind {
     Vector,
     /// Vector memory access.
     VMem {
-        /// Element byte addresses, post-mask, in element order.
-        addrs: Vec<u64>,
+        /// Handle to the post-mask element byte addresses, in element
+        /// order, stored in the producing thread's
+        /// [`AddrArena`](crate::arena::AddrArena).
+        addrs: AddrRange,
     },
     /// SPMD barrier rendezvous.
     Barrier,
@@ -44,7 +49,7 @@ pub enum DynKind {
 }
 
 /// One executed instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynInst {
     /// Index into [`crate::DecodedProgram::insts`].
     pub sidx: u32,
@@ -82,6 +87,13 @@ impl DynInst {
     }
 }
 
+// The whole point of the arena refactor: the trace record must stay plain
+// data. A `Vec` sneaking back into `DynKind` breaks this at compile time.
+const _: fn() = || {
+    fn assert_copy<T: Copy>() {}
+    assert_copy::<DynInst>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,7 +122,12 @@ mod tests {
     fn element_counts() {
         let v = DynInst { sidx: 0, pc: 0, vl: 17, kind: DynKind::Vector };
         assert_eq!(v.elems(), 17);
-        let m = DynInst { sidx: 0, pc: 0, vl: 8, kind: DynKind::VMem { addrs: vec![0; 5] } };
+        let m = DynInst {
+            sidx: 0,
+            pc: 0,
+            vl: 8,
+            kind: DynKind::VMem { addrs: AddrRange { start: 0, len: 5 } },
+        };
         assert_eq!(m.elems(), 5); // masked-off elements generate no accesses
         let s = DynInst { sidx: 0, pc: 0, vl: 0, kind: DynKind::Plain };
         assert_eq!(s.elems(), 0);

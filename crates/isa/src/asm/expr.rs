@@ -43,7 +43,9 @@ pub fn eval(expr: &str, env: &HashMap<String, i64>, line: usize) -> Result<i64, 
         if term.is_empty() {
             return Err(IsaError::asm(line, format!("dangling operator in `{expr}`")));
         }
-        total = total.wrapping_add(sign * parse_term(term, env, line)?);
+        // wrapping_mul: `-9223372036854775808` parses the magnitude as
+        // i64::MIN (two's complement) and negating it must wrap, not trap.
+        total = total.wrapping_add(sign.wrapping_mul(parse_term(term, env, line)?));
         rest = next;
         if rest.trim().is_empty() {
             return Ok(total);
@@ -74,9 +76,7 @@ fn parse_term(term: &str, env: &HashMap<String, i64>, line: usize) -> Result<i64
             .or_else(|_| term.parse::<u64>().map(|v| v as i64))
             .map_err(|_| IsaError::asm(line, format!("bad integer literal `{term}`")));
     }
-    env.get(term)
-        .copied()
-        .ok_or_else(|| IsaError::asm(line, format!("undefined symbol `{term}`")))
+    env.get(term).copied().ok_or_else(|| IsaError::asm(line, format!("undefined symbol `{term}`")))
 }
 
 #[cfg(test)]
@@ -103,6 +103,14 @@ mod tests {
         assert_eq!(eval("BASE + N - 4", &e, 1).unwrap(), 0x1000 + 60);
         assert_eq!(eval("N + N + N", &e, 1).unwrap(), 192);
         assert_eq!(eval("-N + 1", &e, 1).unwrap(), -63);
+    }
+
+    #[test]
+    fn extreme_literals_wrap_not_trap() {
+        let e = env(&[]);
+        assert_eq!(eval("-9223372036854775808", &e, 1).unwrap(), i64::MIN);
+        assert_eq!(eval("9223372036854775808", &e, 1).unwrap(), i64::MIN);
+        assert_eq!(eval("18446744073709551615", &e, 1).unwrap(), -1);
     }
 
     #[test]

@@ -146,8 +146,7 @@ impl Assembler {
         if self.cur_section() != Section::Text {
             return Err(IsaError::asm(line, "instruction outside .text section"));
         }
-        let ops: Vec<&str> =
-            if operands.is_empty() { vec![] } else { split_operands(operands) };
+        let ops: Vec<&str> = if operands.is_empty() { vec![] } else { split_operands(operands) };
 
         if pseudo::is_pseudo(mnemonic) {
             let expanded = pseudo::expand(mnemonic, &ops, &self.consts, line)?;
@@ -223,7 +222,7 @@ impl Assembler {
                 if n <= 0 || (n & (n - 1)) != 0 {
                     return Err(IsaError::asm(line, ".align expects a power of two"));
                 }
-                while self.data.len() % n as usize != 0 {
+                while !self.data.len().is_multiple_of(n as usize) {
                     self.data.push(0);
                 }
             }
@@ -312,8 +311,7 @@ pub(crate) fn parse_operands(
                     return Err(IsaError::asm(line, format!("expected `off(xN)`, got `{o}`")));
                 }
                 let off = o[..open].trim();
-                inst.imm =
-                    if off.is_empty() { 0 } else { eval(off, consts, line)? as i32 };
+                inst.imm = if off.is_empty() { 0 } else { eval(off, consts, line)? as i32 };
                 let base = parse_reg_alias(o[open + 1..o.len() - 1].trim(), line, 'x')?;
                 inst.rs1 = base;
             }

@@ -42,8 +42,10 @@ pub fn expand(
             let rd = parse_reg_alias(ops[0], line, 'x')?;
             let sym = ops[1].trim().to_string();
             Ok(vec![
-                (Inst { op: Op::Lui, rd, rs1: 0, rs2: 0, imm: 0, masked: false },
-                 Some(Fixup::Hi(sym.clone()))),
+                (
+                    Inst { op: Op::Lui, rd, rs1: 0, rs2: 0, imm: 0, masked: false },
+                    Some(Fixup::Hi(sym.clone())),
+                ),
                 (Inst::i(Op::Ori, rd, rd, 0), Some(Fixup::Lo(sym))),
             ])
         }
@@ -84,13 +86,11 @@ pub fn expand(
             Ok(vec![(Inst::sys(Op::Jal), Some(Fixup::Rel(ops[0].trim().to_string())))])
         }
         "ret" => {
-            if !ops.is_empty() && !(ops.len() == 1 && ops[0].is_empty()) {
+            let no_operands = ops.is_empty() || (ops.len() == 1 && ops[0].is_empty());
+            if !no_operands {
                 return Err(IsaError::asm(line, "`ret` takes no operands"));
             }
-            Ok(vec![(
-                Inst { op: Op::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0, masked: false },
-                None,
-            )])
+            Ok(vec![(Inst { op: Op::Jr, rd: 0, rs1: 31, rs2: 0, imm: 0, masked: false }, None)])
         }
         other => Err(IsaError::asm(line, format!("not a pseudo-instruction `{other}`"))),
     }

@@ -45,9 +45,7 @@ pub fn encode(inst: &Inst) -> Result<u32, IsaError> {
         Format::R => base | field(inst.rd, 19) | field(inst.rs1, 14) | field(inst.rs2, 9) | m,
         Format::RR0 => base | field(inst.rs1, 14) | field(inst.rs2, 9),
         Format::I => {
-            base | field(inst.rd, 19)
-                | field(inst.rs1, 14)
-                | check_signed(op, inst.imm as i64, 14)?
+            base | field(inst.rd, 19) | field(inst.rs1, 14) | check_signed(op, inst.imm as i64, 14)?
         }
         Format::U => base | field(inst.rd, 19) | check_signed(op, inst.imm as i64, 19)?,
         Format::UI => base | check_signed(op, inst.imm as i64, 19)?,

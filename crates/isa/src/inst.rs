@@ -312,18 +312,15 @@ impl Inst {
             }
         }
 
-        if self.masked && self.op.class().is_vector() {
-            if !uses.contains(&RegRef::Vm) {
-                uses.push(RegRef::Vm);
-            }
+        if self.masked && self.op.class().is_vector() && !uses.contains(&RegRef::Vm) {
+            uses.push(RegRef::Vm);
         }
         (defs, uses)
     }
 
     /// True if this is a control-transfer instruction.
     pub fn is_control(&self) -> bool {
-        matches!(self.op.format(), Format::B | Format::J)
-            || matches!(self.op, Op::Jr | Op::Jalr)
+        matches!(self.op.format(), Format::B | Format::J) || matches!(self.op, Op::Jr | Op::Jalr)
     }
 }
 

@@ -29,14 +29,14 @@
 //! assert_eq!(prog.text.len(), 5);
 //! ```
 
-pub mod error;
-pub mod opcode;
-pub mod reg;
-pub mod inst;
-pub mod encode;
-pub mod program;
 pub mod asm;
 pub mod disasm;
+pub mod encode;
+pub mod error;
+pub mod inst;
+pub mod opcode;
+pub mod program;
+pub mod reg;
 
 pub use error::IsaError;
 pub use inst::Inst;

@@ -49,7 +49,7 @@ impl Program {
 
     /// Map a byte address to a text index.
     pub fn index_of(&self, pc: u64) -> Option<usize> {
-        if pc < TEXT_BASE || pc % 4 != 0 {
+        if pc < TEXT_BASE || !pc.is_multiple_of(4) {
             return None;
         }
         let idx = ((pc - TEXT_BASE) / 4) as usize;
@@ -79,6 +79,7 @@ mod tests {
     use crate::opcode::Op;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate layout sanity checks
     fn layout_is_disjoint() {
         assert!(TEXT_BASE < DATA_BASE);
         // Generous text budget before data:

@@ -124,7 +124,7 @@ mod tests {
     fn same_bank_stride_serializes() {
         let mut l2 = l2();
         let stride = 8 * 16; // all accesses land in bank 0
-        // Issue 8 simultaneous accesses at cycle 0.
+                             // Issue 8 simultaneous accesses at cycle 0.
         let mut last = 0;
         for e in 0..8u64 {
             last = last.max(l2.access(0x80000 + stride * e, false, 0));

@@ -11,14 +11,13 @@ proptest! {
     fn l2_latency_bounds(addrs in proptest::collection::vec(0u64..10_000_000, 1..200)) {
         let cfg = MemConfig::default();
         let mut l2 = BankedL2::new(&cfg);
-        let mut now = 0u64;
-        for a in addrs {
+        for (now, a) in addrs.into_iter().enumerate() {
+            let now = now as u64;
             let t = l2.access(a, false, now);
             prop_assert!(t >= now + cfg.l2_hit, "{t} < {now} + hit");
             // Worst case: waited for the bank, missed, and queued behind
             // every preceding line fill.
             prop_assert!(t <= now + l2.accesses * cfg.mem_line_cycles + cfg.l2_hit + cfg.l2_miss + l2.accesses);
-            now += 1;
         }
     }
 

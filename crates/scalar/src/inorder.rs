@@ -147,11 +147,8 @@ impl InOrderCore {
             );
 
             // In-order: stall the whole front end on an unready operand.
-            let operands_ready = si
-                .uses
-                .iter()
-                .filter_map(|u| reg_index(*u))
-                .all(|i| self.ready[i] <= now);
+            let operands_ready =
+                si.uses.iter().filter_map(|u| reg_index(*u)).all(|i| self.ready[i] <= now);
             if !operands_ready {
                 self.pending = Some(d);
                 self.stats.stall_cycles += 1;
@@ -279,8 +276,8 @@ mod tests {
     fn dual_issue_needs_independence() {
         // Independent pairs can dual-issue; a dependent chain cannot.
         // (Loops keep the lane I-cache warm so steady state dominates.)
-        let indep = lane_loop(&vec!["add x1, x2, x3\nadd x4, x5, x6"; 8].join("\n"), 100);
-        let chain = lane_loop(&vec!["add x1, x1, x2\nadd x1, x1, x3"; 8].join("\n"), 100);
+        let indep = lane_loop(&["add x1, x2, x3\nadd x4, x5, x6"; 8].join("\n"), 100);
+        let chain = lane_loop(&["add x1, x1, x2\nadd x1, x1, x3"; 8].join("\n"), 100);
         let (ci, _) = run_lane(&indep);
         let (cc, _) = run_lane(&chain);
         assert!(

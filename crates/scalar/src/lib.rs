@@ -18,10 +18,10 @@
 //! mispredictions charge a front-end redirect penalty (DESIGN.md §7).
 
 pub mod config;
-pub mod traits;
-pub mod predictor;
-pub mod ooo;
 pub mod inorder;
+pub mod ooo;
+pub mod predictor;
+pub mod traits;
 
 pub use config::{CoreConfig, LaneCoreConfig};
 pub use inorder::InOrderCore;

@@ -45,7 +45,7 @@ pub fn latency(class: OpClass) -> u64 {
 }
 
 /// Aggregated per-core statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions committed (all contexts).
     pub committed: u64,
@@ -502,7 +502,7 @@ impl OooCore {
                 Producer::Ready(c) => ready_base = ready_base.max(c),
                 Producer::InFlight(s) => {
                     let rob_entry = self.ctxs[ci].rob.iter().find(|e| e.seq == s);
-                    let completion_pending = rob_entry.map_or(true, |e| {
+                    let completion_pending = rob_entry.is_none_or(|e| {
                         // Early-retired vector producers have a placeholder
                         // done_at (dispatch cycle); wait for the VU instead.
                         matches!(e.kind, EKind::Vector { early: true, .. }) || e.done_at.is_none()
@@ -541,8 +541,8 @@ impl OooCore {
             }
             (_, c) if c.is_vector() => {
                 let addrs = match &d.kind {
-                    DynKind::VMem { addrs } => addrs.clone(),
-                    _ => Vec::new(),
+                    DynKind::VMem { addrs } => *addrs,
+                    _ => vlt_exec::AddrRange::EMPTY,
                 };
                 let disp = VecDispatch {
                     vthread: self.ctxs[ci].vthread,
@@ -553,7 +553,7 @@ impl OooCore {
                     seq,
                     deps: deps.clone(),
                     ready_base,
-                    };
+                };
                 match vu.try_dispatch(disp, now) {
                     Some(token) => {
                         self.stats.vec_dispatched += 1;

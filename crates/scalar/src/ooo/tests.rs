@@ -89,10 +89,7 @@ fn dependent_chain_is_serial() {
     // Each add reads its own output: at most 1 IPC on the chain.
     let src = looped(&vec!["add x2, x2, x3"; 16].join("\n"), 100);
     let (cycles, committed) = run_core(&src, CoreConfig::four_way(), 1);
-    assert!(
-        cycles >= 1600,
-        "dependent chain must serialize: {committed} insts in {cycles} cycles"
-    );
+    assert!(cycles >= 1600, "dependent chain must serialize: {committed} insts in {cycles} cycles");
 }
 
 #[test]
@@ -100,10 +97,7 @@ fn two_way_core_is_slower() {
     let src = looped(&indep_body(), 200);
     let (c4, _) = run_core(&src, CoreConfig::four_way(), 1);
     let (c2, _) = run_core(&src, CoreConfig::two_way(), 1);
-    assert!(
-        c2 as f64 > 1.4 * c4 as f64,
-        "2-way ({c2}) should be much slower than 4-way ({c4})"
-    );
+    assert!(c2 as f64 > 1.4 * c4 as f64, "2-way ({c2}) should be much slower than 4-way ({c4})");
 }
 
 #[test]
@@ -191,10 +185,7 @@ fn random_branches_cost_redirects() {
     let (cb, nb) = run_core(&data_branch_loop(&biased), CoreConfig::four_way(), 1);
     let cpi_r = cr as f64 / nr as f64;
     let cpi_b = cb as f64 / nb as f64;
-    assert!(
-        cpi_r > 1.3 * cpi_b,
-        "random branches should cost redirects: {cpi_r:.2} vs {cpi_b:.2}"
-    );
+    assert!(cpi_r > 1.3 * cpi_b, "random branches should cost redirects: {cpi_r:.2} vs {cpi_b:.2}");
 }
 
 #[test]
@@ -205,14 +196,8 @@ fn smt_shares_issue_bandwidth() {
     let (c1, n1) = run_core(&src, CoreConfig::four_way(), 1);
     let (c2, n2) = run_core(&src, CoreConfig::four_way().with_smt(2), 2);
     assert_eq!(n2, 2 * n1, "both SMT threads must commit fully");
-    assert!(
-        c2 as f64 > 1.3 * c1 as f64,
-        "issue-bound threads must contend: {c2} vs {c1}"
-    );
-    assert!(
-        (c2 as f64) < 2.5 * c1 as f64,
-        "SMT should overlap threads: {c2} vs {c1}"
-    );
+    assert!(c2 as f64 > 1.3 * c1 as f64, "issue-bound threads must contend: {c2} vs {c1}");
+    assert!((c2 as f64) < 2.5 * c1 as f64, "SMT should overlap threads: {c2} vs {c1}");
 }
 
 #[test]
@@ -223,10 +208,7 @@ fn smt_overlaps_latency_bound_threads() {
     let (c1, _) = run_core(&src, CoreConfig::four_way(), 1);
     let (c2, n2) = run_core(&src, CoreConfig::four_way().with_smt(2), 2);
     assert!(n2 > 2000);
-    assert!(
-        (c2 as f64) < 1.5 * c1 as f64,
-        "latency-bound threads should overlap: {c2} vs {c1}"
-    );
+    assert!((c2 as f64) < 1.5 * c1 as f64, "latency-bound threads should overlap: {c2} vs {c1}");
 }
 
 #[test]

@@ -1,11 +1,11 @@
 //! Interfaces between the scalar cores, the instruction source (the
 //! functional simulator), and the vector unit.
 
-use vlt_exec::{DynInst, ExecError};
+use vlt_exec::{AddrRange, DynInst, ExecError};
 use vlt_isa::OpClass;
 
 /// What the front end got when it asked for the next instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FetchResult {
     /// The next correct-path instruction.
     Inst(DynInst),
@@ -43,8 +43,9 @@ pub struct VecDispatch {
     pub vl: u16,
     /// Resource class (`VAdd`/`VMul`/`VDiv`/`VMask`/`VLoad`/`VStore`).
     pub class: OpClass,
-    /// Element addresses for vector memory operations (post-mask).
-    pub addrs: Vec<u64>,
+    /// Arena handle to the element addresses of vector memory operations
+    /// (post-mask); [`AddrRange::EMPTY`] for arithmetic.
+    pub addrs: AddrRange,
     /// Program-order sequence number within `vthread` (also identifies this
     /// instruction as a producer for later `resolve` calls).
     pub seq: u64,
@@ -102,7 +103,7 @@ mod tests {
                 sidx: 0,
                 vl: 8,
                 class: OpClass::VAdd,
-                addrs: vec![],
+                addrs: AddrRange::EMPTY,
                 seq: 0,
                 deps: vec![],
                 ready_base: 0,

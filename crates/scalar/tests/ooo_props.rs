@@ -33,9 +33,8 @@ fn arb_program() -> impl Strategy<Value = String> {
         5 => format!("addi x{rd}, x{rs1}, 7"),
         _ => format!("sltu x{rd}, x{rs1}, x{rs2}"),
     });
-    proptest::collection::vec(inst, 1..120).prop_map(|insts| {
-        format!("li x1, 3\nli x2, 5\n{}\nhalt\n", insts.join("\n"))
-    })
+    proptest::collection::vec(inst, 1..120)
+        .prop_map(|insts| format!("li x1, 3\nli x2, 5\n{}\nhalt\n", insts.join("\n")))
 }
 
 fn run_core(src: &str, cfg: CoreConfig) -> (u64, u64) {

@@ -8,9 +8,10 @@
 //!   next to the text output so EXPERIMENTS.md can be regenerated and
 //!   diffed.
 
-pub mod table;
-pub mod speedup;
+pub mod json;
 pub mod report;
+pub mod speedup;
+pub mod table;
 
 pub use report::{Experiment, Series};
 pub use table::Table;

@@ -8,10 +8,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// One measured series (e.g. one application across configurations).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series label (application or configuration name).
     pub label: String,
@@ -21,7 +21,6 @@ pub struct Series {
     pub values: Vec<f64>,
     /// The paper's reference values where the paper reports them
     /// (empty when the paper only shows a chart without numbers).
-    #[serde(default)]
     pub paper: Vec<f64>,
 }
 
@@ -39,10 +38,49 @@ impl Series {
         self.paper = paper;
         self
     }
+
+    fn to_json(&self) -> Json {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("label".to_string(), Json::Str(self.label.clone()));
+        m.insert("x".to_string(), Json::Arr(self.x.iter().map(|s| Json::Str(s.clone())).collect()));
+        m.insert(
+            "values".to_string(),
+            Json::Arr(self.values.iter().map(|&v| Json::Num(v)).collect()),
+        );
+        m.insert(
+            "paper".to_string(),
+            Json::Arr(self.paper.iter().map(|&v| Json::Num(v)).collect()),
+        );
+        Json::Obj(m)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, &'static str> {
+        let label =
+            v.get("label").and_then(Json::as_str).ok_or("series missing `label`")?.to_string();
+        let x = v
+            .get("x")
+            .and_then(Json::as_arr)
+            .ok_or("series missing `x`")?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string).ok_or("non-string x label"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let values = num_array(v.get("values"), "series missing `values`")?;
+        // `paper` is optional and defaults to empty, matching the old
+        // #[serde(default)] behavior.
+        let paper = match v.get("paper") {
+            Some(p) => num_array(Some(p), "non-numeric paper value")?,
+            None => Vec::new(),
+        };
+        Ok(Series { label, x, values, paper })
+    }
+}
+
+fn num_array(v: Option<&Json>, msg: &'static str) -> Result<Vec<f64>, &'static str> {
+    v.and_then(Json::as_arr).ok_or(msg)?.iter().map(|n| n.as_f64().ok_or(msg)).collect()
 }
 
 /// One experiment (a figure or table of the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// Identifier, e.g. `fig3` or `table4`.
     pub id: String,
@@ -73,7 +111,41 @@ impl Experiment {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiment serializes")
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("id".to_string(), Json::Str(self.id.clone()));
+        m.insert("title".to_string(), Json::Str(self.title.clone()));
+        m.insert("metric".to_string(), Json::Str(self.metric.clone()));
+        m.insert(
+            "series".to_string(),
+            Json::Arr(self.series.iter().map(Series::to_json).collect()),
+        );
+        Json::Obj(m).pretty()
+    }
+
+    /// Parse a record back from JSON text.
+    pub fn from_json(text: &str) -> io::Result<Self> {
+        let invalid =
+            |e: &dyn std::fmt::Display| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+        let v = Json::parse(text).map_err(|e| invalid(&e))?;
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| invalid(&format!("experiment missing `{k}`")))
+        };
+        let series = v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid(&"experiment missing `series`"))?
+            .iter()
+            .map(|s| Series::from_json(s).map_err(|e| invalid(&e)))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Experiment {
+            id: field("id")?,
+            title: field("title")?,
+            metric: field("metric")?,
+            series,
+        })
     }
 
     /// Write to `dir/<id>.json`, creating the directory.
@@ -86,8 +158,7 @@ impl Experiment {
 
     /// Read back a record.
     pub fn read_from(path: &Path) -> io::Result<Self> {
-        let text = fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Self::from_json(&fs::read_to_string(path)?)
     }
 }
 
@@ -101,8 +172,19 @@ mod tests {
         let x = vec!["2 threads".to_string(), "4 threads".to_string()];
         e.push(Series::new("mpenc", &x, vec![1.6, 1.8]).with_paper(vec![1.8, 2.0]));
         let json = e.to_json();
-        let back: Experiment = serde_json::from_str(&json).unwrap();
+        let back = Experiment::from_json(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn missing_paper_defaults_to_empty() {
+        let text = r#"{
+            "id": "t", "title": "x", "metric": "y",
+            "series": [{"label": "a", "x": ["i"], "values": [1.5]}]
+        }"#;
+        let e = Experiment::from_json(text).unwrap();
+        assert_eq!(e.series[0].paper, Vec::<f64>::new());
+        assert_eq!(e.series[0].values, vec![1.5]);
     }
 
     #[test]

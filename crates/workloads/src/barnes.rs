@@ -10,9 +10,7 @@
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
 
-use crate::common::{
-    data_doubles, expect_f64s, read_f64s, rng_stream, Built, Scale,
-};
+use crate::common::{data_doubles, expect_f64s, read_f64s, rng_stream, Built, Scale};
 use crate::suite::{PaperRow, Workload};
 
 /// The workload singleton.
@@ -37,9 +35,8 @@ fn lists(nb: usize) -> (Vec<u64>, Vec<Vec<usize>>) {
     let mut partners: Vec<Vec<usize>> = Vec::with_capacity(nb);
     for i in 0..nb {
         let len = LIST_LEN / 2 + (rand[i] as usize % LIST_LEN); // 6..=17
-        partners.push(
-            (0..len).map(|k| rand[(i * LIST_LEN + k) % rand.len()] as usize % nb).collect(),
-        );
+        partners
+            .push((0..len).map(|k| rand[(i * LIST_LEN + k) % rand.len()] as usize % nb).collect());
     }
     // Allocate nodes in a shuffled global order.
     let total: usize = partners.iter().map(|p| p.len()).sum();
@@ -126,8 +123,8 @@ impl Workload for Barnes {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let nb = scale.pick(64, 1024, 2048);
-        assert!(nb % threads == 0);
+        let nb: usize = scale.pick(64, 1024, 2048);
+        assert!(nb.is_multiple_of(threads));
         let (blob, _) = lists(nb);
         let src = format!(
             r#"

@@ -21,10 +21,7 @@ const B: usize = 5; // block dimension
 const BSLOT: usize = 32; // storage stride per cell's block (5x5 padded)
 
 fn a_data(cells: usize) -> Vec<f64> {
-    rng_stream(0xB7A, cells * BSLOT)
-        .into_iter()
-        .map(|v| ((v % 32) as f64 - 15.0) / 4.0)
-        .collect()
+    rng_stream(0xB7A, cells * BSLOT).into_iter().map(|v| ((v % 32) as f64 - 15.0) / 4.0).collect()
 }
 
 fn x_data(cells: usize) -> Vec<f64> {
@@ -101,8 +98,8 @@ impl Workload for Bt {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let cells = scale.pick(32, 512, 1024);
-        assert!(cells % (4 * threads) == 0);
+        let cells: usize = scale.pick(32, 512, 1024);
+        assert!(cells.is_multiple_of(4 * threads));
         let strips = cells / 4;
         let src = format!(
             r#"
@@ -253,7 +250,8 @@ impl Workload for Bt {
 {serial}
         halt
     "#,
-            serial = crate::common::serial_phase("y", cells * 8 + cells + cells / 2 * 10, "serial_out"),
+            serial =
+                crate::common::serial_phase("y", cells * 8 + cells + cells / 2 * 10, "serial_out"),
             a_data = data_doubles("a", &a_data(cells)),
             x_data = data_doubles("x", &x_data(cells)),
             bsrc_data = data_doubles("bsrc", &bdy_data(strips * 12 + 12)),
@@ -280,11 +278,7 @@ impl Workload for Bt {
             words.extend(g.diag.iter().map(|v| v.to_bits()));
             words.extend(g.relax.iter().map(|v| v.to_bits()));
             let want = serial_golden(&words);
-            crate::common::expect_u64s(
-                &read_u64s(sim, "serial_out", 1),
-                &[want],
-                "bt serial",
-            )
+            crate::common::expect_u64s(&read_u64s(sim, "serial_out", 1), &[want], "bt serial")
         });
         Built { program, verifier }
     }

@@ -5,7 +5,7 @@
 //! yields the % opportunity (fraction of execution time inside `region`
 //! markers, which tag each workload's VLT-eligible parallel phases).
 
-use vlt_core::{SystemConfig, System};
+use vlt_core::{System, SystemConfig};
 use vlt_exec::FuncSim;
 
 use crate::common::Scale;

@@ -105,7 +105,7 @@ pub fn expect_u64s(got: &[u64], want: &[u64], what: &str) -> Result<(), String> 
 /// non-parallelizable portion — the complement of Table 4's "% opportunity".
 /// `x10` must still hold the thread id.
 pub fn serial_phase(array: &str, count: usize, out: &str) -> String {
-    assert!(count % 4 == 0 && count > 0, "serial phase walks four items per block");
+    assert!(count.is_multiple_of(4) && count > 0, "serial phase walks four items per block");
     let iters = count / 4;
     format!(
         r#"

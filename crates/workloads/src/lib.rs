@@ -23,19 +23,19 @@
 //! returned [`Built`] bundles the program with a verifier that replays the
 //! exact arithmetic in Rust and compares the final memory image.
 
+pub mod characterize;
 pub mod common;
 pub mod suite;
-pub mod characterize;
 
-pub mod mxm;
-pub mod sage;
-pub mod mpenc;
-pub mod trfd;
-pub mod multprec;
-pub mod bt;
-pub mod radix;
-pub mod ocean;
 pub mod barnes;
+pub mod bt;
+pub mod mpenc;
+pub mod multprec;
+pub mod mxm;
+pub mod ocean;
+pub mod radix;
+pub mod sage;
+pub mod trfd;
 
 pub use common::{Built, Scale};
 pub use suite::{suite, workload, PaperRow, Workload};

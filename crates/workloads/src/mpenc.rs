@@ -13,9 +13,7 @@
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
 
-use crate::common::{
-    data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale,
-};
+use crate::common::{data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale};
 use crate::suite::{PaperRow, Workload};
 
 /// The workload singleton.
@@ -95,8 +93,8 @@ impl Workload for Mpenc {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let nb = scale.pick(8, 64, 128); // 8x8 blocks
-        assert!(nb % threads == 0);
+        let nb: usize = scale.pick(8, 64, 128); // 8x8 blocks
+        assert!(nb.is_multiple_of(threads));
         let cur = cur_plane(nb);
         let rf = ref_plane(nb);
         let plane = nb * BLOCK;

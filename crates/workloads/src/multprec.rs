@@ -10,9 +10,7 @@
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
 
-use crate::common::{
-    data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale,
-};
+use crate::common::{data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale};
 use crate::suite::{PaperRow, Workload};
 
 /// The workload singleton.
@@ -20,7 +18,7 @@ pub struct Multprec;
 
 /// Limb widths alternate between the paper's common VLs.
 fn width(num: usize) -> usize {
-    if num % 2 == 0 {
+    if num.is_multiple_of(2) {
         24
     } else {
         23
@@ -92,8 +90,8 @@ impl Workload for Multprec {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let nums = scale.pick(16, 256, 512);
-        assert!(nums % (2 * threads) == 0);
+        let nums: usize = scale.pick(16, 256, 512);
+        assert!(nums.is_multiple_of(2 * threads));
         let total = nums * SLOT;
         let src = format!(
             r#"
@@ -243,8 +241,8 @@ mod tests {
         let (c, _) = golden(4);
         // Every third number uses 32-bit limbs: its limbs must be masked
         // back below 2^32 after propagation.
-        for l in 0..width(0) {
-            assert!(c[l] < 1 << 32, "limb {l} = {:#x}", c[l]);
+        for (l, &limb) in c.iter().enumerate().take(width(0)) {
+            assert!(limb < 1 << 32, "limb {l} = {limb:#x}");
         }
     }
 

@@ -56,8 +56,8 @@ impl Workload for Mxm {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let n = scale.pick(64, 192, 256);
-        assert!(n % threads == 0, "n must divide across threads");
+        let n: usize = scale.pick(64, 192, 256);
+        assert!(n.is_multiple_of(threads), "n must divide across threads");
         let a: Vec<f64> = (0..n * n).map(|x| a_val(x / n, x % n)).collect();
         let b: Vec<f64> = (0..n * n).map(|x| b_val(x / n, x % n)).collect();
         let src = format!(

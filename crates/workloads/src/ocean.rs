@@ -70,11 +70,11 @@ impl Workload for Ocean {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let n = scale.pick(18, 130, 194); // grid edge
-        let steps = scale.pick(2, 3, 4);
+        let n: usize = scale.pick(18, 130, 194); // grid edge
+        let steps: usize = scale.pick(2, 3, 4);
         let interior = n - 2;
-        assert!(interior % threads == 0);
-        assert!(interior % 2 == 0, "point loop is unrolled by two");
+        assert!(interior.is_multiple_of(threads));
+        assert!(interior.is_multiple_of(2), "point loop is unrolled by two");
         let u0 = initial(n);
         let src = format!(
             r#"
@@ -162,13 +162,13 @@ impl Workload for Ocean {
             row_bytes = 8 * n,
             interior_pairs = interior / 2,
             serial = crate::common::serial_phase(
-                if steps % 2 == 0 { "u0" } else { "u1" },
+                if steps.is_multiple_of(2) { "u0" } else { "u1" },
                 n * n / 8,
                 "serial_out"
             ),
         );
         let program = assemble(&src).unwrap_or_else(|e| panic!("ocean: {e}"));
-        let result_sym = if steps % 2 == 0 { "u0" } else { "u1" };
+        let result_sym = if steps.is_multiple_of(2) { "u0" } else { "u1" };
         let verifier = Box::new(move |sim: &FuncSim| {
             let g = golden(n, steps);
             expect_f64s(&read_f64s(sim, result_sym, n * n), &g, "ocean u")?;

@@ -17,9 +17,7 @@
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
 
-use crate::common::{
-    data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale,
-};
+use crate::common::{data_dwords, expect_u64s, read_u64s, rng_stream, serial_golden, Built, Scale};
 use crate::suite::{PaperRow, Workload};
 
 /// The workload singleton.
@@ -49,11 +47,11 @@ fn golden_chk(n: usize, threads: usize) -> Vec<u64> {
     let per = n / threads;
     let mut chk = vec![0u64; threads];
     for pass in 0..PASSES {
-        for t in 0..threads {
+        for (t, c) in chk.iter_mut().enumerate() {
             for _loop in 0..2 {
-                for i in t * per..(t + 1) * per {
-                    chk[t] = chk[t].wrapping_mul(PRIME).wrapping_add(arr[i]);
-                    chk[t] = chk[t].wrapping_mul(PRIME2);
+                for &key in &arr[t * per..(t + 1) * per] {
+                    *c = c.wrapping_mul(PRIME).wrapping_add(key);
+                    *c = c.wrapping_mul(PRIME2);
                 }
             }
         }
@@ -161,8 +159,8 @@ impl Workload for Radix {
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
         assert!(threads.is_power_of_two(), "transposed histograms need 2^k threads");
-        let n = scale.pick(512, 16384, 32768);
-        assert!(n % threads == 0);
+        let n: usize = scale.pick(512, 16384, 32768);
+        assert!(n.is_multiple_of(threads));
         // hist/offs slot for (bucket, thread): (b * threads + t) * 8 bytes.
         let bshift = 3 + threads.trailing_zeros();
         let src = format!(

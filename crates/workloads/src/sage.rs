@@ -53,10 +53,10 @@ impl Workload for Sage {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let n = scale.pick(258, 8194, 16386);
-        let steps = scale.pick(2, 5, 5);
+        let n: usize = scale.pick(258, 8194, 16386);
+        let steps: usize = scale.pick(2, 5, 5);
         let interior = n - 2;
-        assert!(interior % threads == 0, "interior must divide across threads");
+        assert!(interior.is_multiple_of(threads), "interior must divide across threads");
         let u0 = initial(n);
         let src = format!(
             r#"
@@ -129,7 +129,7 @@ impl Workload for Sage {
             last_off = 8 * (n - 1),
         );
         let program = assemble(&src).unwrap_or_else(|e| panic!("sage: {e}"));
-        let result_sym = if steps % 2 == 0 { "u0" } else { "u1" };
+        let result_sym = if steps.is_multiple_of(2) { "u0" } else { "u1" };
         let verifier = Box::new(move |sim: &FuncSim| {
             expect_f64s(&read_f64s(sim, result_sym, n), &golden(n, steps), "sage u")
         });

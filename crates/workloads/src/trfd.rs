@@ -9,9 +9,7 @@
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
 
-use crate::common::{
-    data_doubles, data_dwords, expect_f64s, read_f64s, rng_stream, Built, Scale,
-};
+use crate::common::{data_doubles, data_dwords, expect_f64s, read_f64s, rng_stream, Built, Scale};
 use crate::suite::{PaperRow, Workload};
 
 /// The workload singleton.
@@ -59,24 +57,24 @@ fn golden(rows: usize, mvl: usize) -> (Vec<f64>, Vec<f64>) {
     let mut z = vec![0.0f64; total];
     let mut d = vec![0.0f64; rows];
     for _pass in 0..PASSES {
-    for r in 0..rows {
-        let (o, l) = (offs[r] as usize, row_len(r));
-        let mut red = 0.0f64;
-        let mut done = 0;
-        while done < l {
-            let vl = (l - done).min(mvl);
-            let mut chunk_red = 0.0f64;
-            for e in done..done + vl {
-                // vfma.vs: z += y * v  (computed as y.mul_add(v, z))
-                z[o + e] = y[o + e].mul_add(v[r], z[o + e]);
-                chunk_red += z[o + e]; // vfredsum order: ascending
+        for r in 0..rows {
+            let (o, l) = (offs[r] as usize, row_len(r));
+            let mut red = 0.0f64;
+            let mut done = 0;
+            while done < l {
+                let vl = (l - done).min(mvl);
+                let mut chunk_red = 0.0f64;
+                for e in done..done + vl {
+                    // vfma.vs: z += y * v  (computed as y.mul_add(v, z))
+                    z[o + e] = y[o + e].mul_add(v[r], z[o + e]);
+                    chunk_red += z[o + e]; // vfredsum order: ascending
+                }
+                red += chunk_red;
+                done += vl;
             }
-            red += chunk_red;
-            done += vl;
+            let tri = (r * (r + 1) / 2) as f64;
+            d[r] = red + tri;
         }
-        let tri = (r * (r + 1) / 2) as f64;
-        d[r] = red + tri;
-    }
     }
     (z, d)
 }
@@ -101,8 +99,8 @@ impl Workload for Trfd {
     }
 
     fn build(&self, threads: usize, scale: Scale) -> Built {
-        let rows = scale.pick(32, 512, 1024);
-        assert!(rows % threads.max(ROW_LENGTHS.len()) == 0);
+        let rows: usize = scale.pick(32, 512, 1024);
+        assert!(rows.is_multiple_of(threads.max(ROW_LENGTHS.len())));
         let offs = offsets(rows);
         let total = offs[rows] as usize;
         let src = format!(

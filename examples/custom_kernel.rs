@@ -76,19 +76,14 @@ fn kernel(threads: usize) -> vlt::isa::Program {
 }
 
 fn main() {
-    for (cfg, threads) in [
-        (SystemConfig::base(8), 1),
-        (SystemConfig::v2_cmp(), 2),
-        (SystemConfig::v4_cmt(), 4),
-    ] {
+    for (cfg, threads) in
+        [(SystemConfig::base(8), 1), (SystemConfig::v2_cmp(), 2), (SystemConfig::v4_cmt(), 4)]
+    {
         let prog = kernel(threads);
         let name = cfg.name.clone();
         let mut sys = System::new(cfg, &prog, threads);
         let r = sys.run(100_000_000).expect("simulates");
         let total = sys.funcsim().mem.read_f64(prog.symbol("total").unwrap());
-        println!(
-            "{name:<7} x{threads}: sum(x^2) = {total:.2} in {:>7} cycles",
-            r.cycles
-        );
+        println!("{name:<7} x{threads}: sum(x^2) = {total:.2} in {:>7} cycles", r.cycles);
     }
 }

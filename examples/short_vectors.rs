@@ -24,11 +24,9 @@ fn main() {
     println!("mpenc (video encoding, avg VL ~11) across VLT configurations:\n");
     let (_, base, base_busy) = run(SystemConfig::base(8), 1);
     println!("base   : {base:>9} cycles  (busy datapaths {:.1}%)", 100.0 * base_busy);
-    for (cfg, threads) in [
-        (SystemConfig::v2_cmp(), 2),
-        (SystemConfig::v4_cmt(), 4),
-        (SystemConfig::v4_cmp(), 4),
-    ] {
+    for (cfg, threads) in
+        [(SystemConfig::v2_cmp(), 2), (SystemConfig::v4_cmt(), 4), (SystemConfig::v4_cmp(), 4)]
+    {
         let (name, cycles, busy) = run(cfg, threads);
         println!(
             "{name:<7}: {cycles:>9} cycles  (busy datapaths {:.1}%)  speedup {:.2}x",

@@ -25,10 +25,12 @@ fn main() {
         let stalled = s.utilization.stalled - prev.utilization.stalled;
         let busy_pct = 100.0 * busy as f64 / dp_cycles as f64;
         let stall_pct = 100.0 * stalled as f64 / dp_cycles as f64;
-        let bar: String =
-            std::iter::repeat('#').take((busy_pct / 2.0) as usize).collect::<String>()
-                + &std::iter::repeat('.').take((stall_pct / 2.0) as usize).collect::<String>();
-        println!("{:>9}  r{}      {:5.1}% busy {:5.1}% stalled   |{bar}|", s.cycle, s.region, busy_pct, stall_pct);
+        let bar: String = std::iter::repeat_n('#', (busy_pct / 2.0) as usize).collect::<String>()
+            + &std::iter::repeat_n('.', (stall_pct / 2.0) as usize).collect::<String>();
+        println!(
+            "{:>9}  r{}      {:5.1}% busy {:5.1}% stalled   |{bar}|",
+            s.cycle, s.region, busy_pct, stall_pct
+        );
         prev = *s;
     }
     println!("\n'#' = busy datapaths, '.' = stalled; watch the vector phases");

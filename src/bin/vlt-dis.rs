@@ -58,10 +58,7 @@ fn main() -> ExitCode {
             eprintln!("vlt-dis: {input}: length is not a multiple of 4");
             return ExitCode::FAILURE;
         }
-        bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+        bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
     };
 
     print!("{}", disasm_text(&text, TEXT_BASE));

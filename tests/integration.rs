@@ -20,11 +20,8 @@ fn assemble_disassemble_reassemble() {
     let p1 = assemble(src).unwrap();
     // Disassemble and reassemble: identical encodings.
     let listing = disasm_text(&p1.text, vlt::isa::TEXT_BASE);
-    let stripped: String = listing
-        .lines()
-        .map(|l| l.split_once(": ").unwrap().1)
-        .collect::<Vec<_>>()
-        .join("\n");
+    let stripped: String =
+        listing.lines().map(|l| l.split_once(": ").unwrap().1).collect::<Vec<_>>().join("\n");
     let p2 = assemble(&stripped).unwrap();
     assert_eq!(p1.text, p2.text);
 }
@@ -86,8 +83,7 @@ fn every_workload_verifies_on_its_figure_configurations() {
             (b1.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{} cmt: {e}", w.name()));
 
             let b2 = w.build(8, Scale::Test);
-            let mut sys =
-                System::new(SystemConfig::v4_cmt_lane_threads(), &b2.program, 8);
+            let mut sys = System::new(SystemConfig::v4_cmt_lane_threads(), &b2.program, 8);
             sys.run(200_000_000).unwrap_or_else(|e| panic!("{} lanes: {e}", w.name()));
             (b2.verifier)(sys.funcsim()).unwrap_or_else(|e| panic!("{} lanes: {e}", w.name()));
         }
@@ -97,11 +93,9 @@ fn every_workload_verifies_on_its_figure_configurations() {
 #[test]
 fn simulation_is_deterministic_across_configs() {
     let w = vlt::workloads::workload("trfd").unwrap();
-    for (cfg, threads) in [
-        (SystemConfig::base(8), 1usize),
-        (SystemConfig::v2_smt(), 2),
-        (SystemConfig::v4_cmt(), 4),
-    ] {
+    for (cfg, threads) in
+        [(SystemConfig::base(8), 1usize), (SystemConfig::v2_smt(), 2), (SystemConfig::v4_cmt(), 4)]
+    {
         let built = w.build(threads, Scale::Test);
         let a = System::new(cfg.clone(), &built.program, threads).run(200_000_000).unwrap();
         let b = System::new(cfg.clone(), &built.program, threads).run(200_000_000).unwrap();

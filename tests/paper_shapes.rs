@@ -18,8 +18,8 @@ fn cycles(cfg: SystemConfig, name: &str, threads: usize) -> u64 {
 /// Figure 1 shape: long-vector apps scale with lanes, scalar apps do not.
 #[test]
 fn long_vectors_scale_scalar_apps_do_not() {
-    let mxm_speedup =
-        cycles(SystemConfig::base(1), "mxm", 1) as f64 / cycles(SystemConfig::base(8), "mxm", 1) as f64;
+    let mxm_speedup = cycles(SystemConfig::base(1), "mxm", 1) as f64
+        / cycles(SystemConfig::base(8), "mxm", 1) as f64;
     assert!(mxm_speedup > 2.0, "mxm 1->8 lanes: {mxm_speedup:.2}");
 
     let radix_speedup = cycles(SystemConfig::base(1), "radix", 1) as f64
