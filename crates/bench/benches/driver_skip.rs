@@ -1,0 +1,194 @@
+//! Event-driven driver vs the cycle-by-cycle oracle.
+//!
+//! The event-driven driver skips quiescent spans — cycles where no unit can
+//! change state — in one jump instead of ticking through them. The win is
+//! proportional to how much of the run is dead time:
+//!
+//! * `mem_bound`: a dependent pointer chase with the caches shrunk until
+//!   every hop misses to memory. Almost the whole run is the core parked on
+//!   a load; the event-driven driver should be **several times** faster.
+//! * `barrier_heavy`: two threads with lopsided work meeting at barriers.
+//!   The light thread parks for most of each phase; skipping reclaims its
+//!   idle spans.
+//! * `compute_bound` (control): cache-resident daxpy that issues vector
+//!   work nearly every cycle. There is nothing to skip, so this guards
+//!   against the event scan itself regressing the dense case.
+//!
+//! Both drivers produce byte-identical `SimResult`s (asserted here and
+//! property-tested in `vlt-core`), so any delta is pure driver overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use vlt_core::{DriverMode, System, SystemConfig};
+use vlt_isa::asm::assemble;
+use vlt_isa::Program;
+
+const MAX: u64 = 2_000_000_000;
+
+/// A serial pointer chase: `hops` dependent loads through a ring of `cells`
+/// pointers laid out with a large stride so consecutive hops never share a
+/// cache line. With the tiny cache config below, every hop is a full memory
+/// round trip with a dead core in between.
+fn chase_kernel(cells: usize, hops: usize) -> Program {
+    // ring[i] -> ring[(i + stride) % cells]; each cell is padded to its own
+    // 64-byte cache line so consecutive hops never share one.
+    let stride = 7usize; // coprime with cells => full cycle
+    let slots: Vec<String> = (0..cells)
+        .map(|i| format!(".dword ring + {}\n        .zero 56", ((i + stride) % cells) * 64))
+        .collect();
+    let src = format!(
+        r#"
+        .data
+    ring:
+        {slots}
+        .text
+        la      x1, ring
+        li      x2, {hops}
+        li      x3, 0
+    loop:
+        ld      x1, 0(x1)
+        addi    x3, x3, 1
+        blt     x3, x2, loop
+        halt
+    "#,
+        slots = slots.join("\n    "),
+        hops = hops,
+    );
+    assemble(&src).unwrap()
+}
+
+/// Two threads, `phases` barrier-separated phases of serially dependent
+/// `fdiv`s (16-cycle unpipelined divides — the longest scalar latency).
+/// Thread 0 does `heavy` divides per phase, thread 1 does 1/16th of that
+/// and parks at the barrier. The light thread's park plus the heavy
+/// thread's inter-divide bubbles leave most cycles globally quiescent.
+fn barrier_kernel(phases: usize, heavy: usize) -> Program {
+    let src = format!(
+        r#"
+        .data
+    out:
+        .zero 16
+        .text
+        tid     x10
+        li      x11, {heavy}
+        li      x12, {light}
+        li      x13, {phases}
+        li      x14, 0
+        li      x4, 3
+        fcvt.f.x f1, x4
+        fcvt.f.x f2, x11
+        mv      x5, x11
+        beqz    x10, phase
+        mv      x5, x12
+    phase:
+        li      x6, 0
+    work:
+        fdiv    f2, f2, f1
+        addi    x6, x6, 1
+        blt     x6, x5, work
+        barrier
+        addi    x14, x14, 1
+        blt     x14, x13, phase
+        la      x15, out
+        slli    x16, x10, 3
+        add     x15, x15, x16
+        sd      x6, 0(x15)
+        halt
+    "#,
+        phases = phases,
+        heavy = heavy,
+        light = (heavy / 16).max(1),
+    );
+    assemble(&src).unwrap()
+}
+
+/// Cache-resident daxpy: the VU has work essentially every cycle.
+fn daxpy_kernel(n: usize) -> Program {
+    let src = format!(
+        r#"
+        .data
+    xs:
+        .zero {bytes}
+    ys:
+        .zero {bytes}
+        .text
+        li      x18, 2
+        fcvt.f.x f1, x18
+        la      x15, xs
+        la      x16, ys
+        li      x12, {n}
+        li      x17, 0
+    loop:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vld     v1, x15
+        vld     v2, x16
+        vfma.vs v2, v1, f1
+        vst     v2, x16
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x16, x16, x7
+        add     x17, x17, x2
+        blt     x17, x12, loop
+        halt
+    "#,
+        bytes = 8 * n,
+        n = n
+    );
+    assemble(&src).unwrap()
+}
+
+/// base(8) with the caches shrunk so the pointer chase misses everywhere.
+fn tiny_cache_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::base(8);
+    cfg.mem.l1_size = 256;
+    cfg.mem.l2_size = 1024;
+    cfg
+}
+
+fn run(cfg: &SystemConfig, prog: &Program, threads: usize, mode: DriverMode) -> u64 {
+    System::new(cfg.clone(), prog, threads).with_driver(mode).run(MAX).unwrap().cycles
+}
+
+fn bench_pair(c: &mut Criterion, group: &str, cfg: &SystemConfig, prog: &Program, threads: usize) {
+    // Sanity: the two drivers must agree before we time them.
+    let naive = System::new(cfg.clone(), prog, threads)
+        .with_driver(DriverMode::CycleByCycle)
+        .run(MAX)
+        .unwrap();
+    let event = System::new(cfg.clone(), prog, threads).run(MAX).unwrap();
+    assert_eq!(naive, event, "drivers diverged on {group}");
+
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(naive.cycles));
+    for (name, mode) in
+        [("event_driven", DriverMode::EventDriven), ("cycle_by_cycle", DriverMode::CycleByCycle)]
+    {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |()| black_box(run(cfg, prog, threads, mode)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_driver_skip(c: &mut Criterion) {
+    let cfg = tiny_cache_cfg();
+    let prog = chase_kernel(64, 4096);
+    bench_pair(c, "driver_skip_mem_bound", &cfg, &prog, 1);
+
+    let cfg = SystemConfig::v2_cmp();
+    let prog = barrier_kernel(64, 2048);
+    bench_pair(c, "driver_skip_barrier_heavy", &cfg, &prog, 2);
+
+    let cfg = SystemConfig::base(8);
+    let prog = daxpy_kernel(8 * 1024);
+    bench_pair(c, "driver_skip_compute_bound", &cfg, &prog, 1);
+}
+
+criterion_group!(benches, bench_driver_skip);
+criterion_main!(benches);

@@ -6,9 +6,11 @@
 //! golden-model verification mismatches — propagate to the caller as
 //! [`SuiteError`]s instead of panicking inside a worker.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use vlt_core::{SimError, SimResult, System, SystemConfig};
 use vlt_workloads::{Built, Scale, Workload};
@@ -82,9 +84,15 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    fn execute(&self) -> Result<SimResult, SuiteError> {
-        let built = self.workload.build(self.threads, self.scale);
-        run_built(self.config.clone(), &built, self.threads, self.workload.name())
+    /// The build-memoization key: two specs with the same key produce
+    /// identical [`Built`]s (workload builders are pure functions of
+    /// `(threads, scale)`), so the suite runner builds each key once.
+    fn build_key(&self) -> (&'static str, usize, Scale) {
+        (self.workload.name(), self.threads, self.scale)
+    }
+
+    fn execute(&self, built: &Built) -> Result<SimResult, SuiteError> {
+        run_built(self.config.clone(), built, self.threads, self.workload.name())
     }
 }
 
@@ -92,12 +100,30 @@ impl RunSpec {
 /// result vector. The pool never spawns more than `available_parallelism`
 /// OS threads (and never more than there are specs); the first failure (in
 /// spec order) is returned after all in-flight work drains.
+///
+/// `Workload::build` results are memoized by `(workload, threads, scale)`
+/// and shared across the pool via `Arc`: a config sweep over one workload
+/// (the common suite shape) assembles the program once instead of once per
+/// config. Builds happen up front on the calling thread — they are cheap
+/// (assembly) next to the simulations they feed.
 pub fn run_suite_parallel(specs: Vec<RunSpec>) -> Result<Vec<SimResult>, SuiteError> {
     if specs.is_empty() {
         return Ok(Vec::new());
     }
     let workers =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(specs.len());
+
+    let mut cache: HashMap<(&'static str, usize, Scale), Arc<Built>> = HashMap::new();
+    let builds: Vec<Arc<Built>> = specs
+        .iter()
+        .map(|s| {
+            Arc::clone(
+                cache
+                    .entry(s.build_key())
+                    .or_insert_with(|| Arc::new(s.workload.build(s.threads, s.scale))),
+            )
+        })
+        .collect();
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<SimResult, SuiteError>)>();
@@ -107,10 +133,11 @@ pub fn run_suite_parallel(specs: Vec<RunSpec>) -> Result<Vec<SimResult>, SuiteEr
             let tx = tx.clone();
             let next = &next;
             let specs = &specs;
+            let builds = &builds;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                if tx.send((i, spec.execute())).is_err() {
+                if tx.send((i, spec.execute(&builds[i]))).is_err() {
                     break;
                 }
             });
@@ -153,6 +180,49 @@ mod tests {
             assert_eq!(lane_counts[i], lane_counts[j]);
             assert_eq!(results[i].cycles, results[j].cycles, "slot {i} vs {j}");
         }
+    }
+
+    #[test]
+    fn suite_memoizes_builds_across_configs() {
+        use vlt_workloads::PaperRow;
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        struct Counting;
+        impl Workload for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn vectorizable(&self) -> bool {
+                false
+            }
+            fn paper_row(&self) -> PaperRow {
+                PaperRow {
+                    pct_vect: None,
+                    avg_vl: None,
+                    common_vls: &[],
+                    opportunity: None,
+                    description: "build-counting test double",
+                }
+            }
+            fn build(&self, threads: usize, scale: Scale) -> vlt_workloads::Built {
+                BUILDS.fetch_add(1, Ordering::Relaxed);
+                workload("radix").unwrap().build(threads, scale)
+            }
+        }
+        static COUNTING: Counting = Counting;
+
+        // Four configs over the same (workload, threads, scale): one build.
+        let specs: Vec<RunSpec> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&lanes| RunSpec {
+                workload: &COUNTING,
+                config: SystemConfig::base(lanes),
+                threads: 1,
+                scale: Scale::Test,
+            })
+            .collect();
+        let results = run_suite_parallel(specs).expect("suite runs");
+        assert_eq!(results.len(), 4);
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 1, "identical specs must share one build");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod vu;
 pub use config::{SystemConfig, VclConfig};
 pub use result::{SimError, SimResult, Utilization};
 pub use system::{
-    CycleView, NullObserver, ProgressObserver, RepartitionEvent, Sample, SamplingObserver,
-    SimObserver, System,
+    CycleView, DriverMode, NullObserver, ProgressObserver, RepartitionEvent, Sample,
+    SamplingObserver, SimObserver, System,
 };
 pub use vu::{VectorUnit, VuConfig};

@@ -6,6 +6,12 @@
 //! public entry point (`run`, `run_sampled`) is a thin wrapper that plugs a
 //! different [`SimObserver`] into it, so sampling, progress heartbeats, and
 //! any future instrumentation cannot drift from the plain run path.
+//!
+//! Time advances event-driven by default: when a cycle makes no progress,
+//! the driver queries every unit's `next_event` and jumps straight to the
+//! earliest future one, bulk-crediting the skipped span — with results
+//! byte-identical to the naive cycle-by-cycle oracle, which stays
+//! selectable via [`DriverMode::CycleByCycle`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -49,6 +55,24 @@ impl FetchSource for TrackedSource {
             Step::Halted => FetchResult::Halted,
         })
     }
+
+    fn parked(&self, thread: usize) -> bool {
+        self.sim.thread_parked(thread)
+    }
+}
+
+/// How [`System::run_observed`] advances simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// Skip provably-quiescent spans: query every unit's `next_event`,
+    /// jump straight to the earliest one, and credit the skipped cycles in
+    /// bulk. Produces byte-identical [`SimResult`]s (and sample streams) to
+    /// [`DriverMode::CycleByCycle`]; `tests/driver_props.rs` enforces it.
+    #[default]
+    EventDriven,
+    /// Tick every unit on every cycle — the naive oracle the event-driven
+    /// fast path is validated against.
+    CycleByCycle,
 }
 
 /// A `vltcfg` repartition observed by the driver, after validation against
@@ -109,9 +133,25 @@ impl CycleView<'_> {
 /// 3. `on_barrier` / `on_repartition` for events that cycle produced.
 ///
 /// `on_finish` fires once, after the machine drains, with the final result.
+///
+/// Under the default [`DriverMode::EventDriven`] driver, cycles inside a
+/// provably-quiescent span are *not* simulated, so `on_cycle` does not fire
+/// for them. An observer that must see specific cycles declares them via
+/// [`SimObserver::next_deadline`]; the driver never skips past a deadline,
+/// and the machine state at a deadline cycle is identical to what the
+/// cycle-by-cycle driver would present (nothing happens in a skipped span
+/// by construction). Barriers and repartitions are machine activity, so
+/// `on_barrier` / `on_repartition` are never elided.
 pub trait SimObserver {
     /// Start of a simulated cycle, before any unit ticks.
     fn on_cycle(&mut self, _now: u64, _view: &CycleView<'_>) {}
+    /// The next cycle (`>= now`) at which this observer needs `on_cycle` to
+    /// fire even if the machine is idle; the event-driven driver caps every
+    /// skip at it. `Some(now)` forbids skipping entirely (the observer sees
+    /// every cycle); `None` (the default) lets the driver skip freely.
+    fn next_deadline(&self, _now: u64) -> Option<u64> {
+        None
+    }
     /// A barrier rendezvous completed; `releases` is the cumulative count.
     fn on_barrier(&mut self, _now: u64, _releases: u64) {}
     /// A `vltcfg` was applied (possibly clamped) to the vector unit.
@@ -178,6 +218,12 @@ impl SimObserver for SamplingObserver {
             self.next += self.interval;
         }
     }
+
+    fn next_deadline(&self, _now: u64) -> Option<u64> {
+        // Never skip past a sample boundary: samples land on exactly the
+        // same cycles (with the same values) as under the naive driver.
+        Some(self.next)
+    }
 }
 
 /// Heartbeat for long runs under a cycle budget: prints progress to stderr
@@ -211,6 +257,10 @@ impl SimObserver for ProgressObserver {
         }
     }
 
+    fn next_deadline(&self, _now: u64) -> Option<u64> {
+        Some(self.next) // keep heartbeats on their exact cycles
+    }
+
     fn on_repartition(&mut self, now: u64, ev: &RepartitionEvent) {
         if ev.clamped {
             eprintln!(
@@ -238,6 +288,7 @@ pub struct System {
     mem: MemSystem,
     /// Barrier releases already flushed, against the funcsim's exact count.
     flushed_releases: u64,
+    driver: DriverMode,
 }
 
 impl System {
@@ -322,12 +373,31 @@ impl System {
             vu,
             mem,
             flushed_releases: 0,
+            driver: DriverMode::default(),
         }
     }
 
     /// The configuration this machine was built from.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Select how the driver advances time (default:
+    /// [`DriverMode::EventDriven`]). [`DriverMode::CycleByCycle`] is the
+    /// naive oracle — kept selectable so tests and benchmarks can compare.
+    pub fn set_driver(&mut self, mode: DriverMode) {
+        self.driver = mode;
+    }
+
+    /// Builder-style [`System::set_driver`].
+    pub fn with_driver(mut self, mode: DriverMode) -> Self {
+        self.driver = mode;
+        self
+    }
+
+    /// The driver mode in force.
+    pub fn driver_mode(&self) -> DriverMode {
+        self.driver
     }
 
     /// The functional simulator (memory image and architectural state) —
@@ -360,15 +430,31 @@ impl System {
     }
 
     /// The one driver loop: run to completion (all threads halted and
-    /// pipelines drained) with `obs` hooked into every cycle.
+    /// pipelines drained) with `obs` hooked into every simulated cycle.
+    ///
+    /// Under [`DriverMode::EventDriven`] (the default), whenever a simulated
+    /// cycle makes no observable progress the driver asks every unit for its
+    /// next event cycle and jumps straight to the earliest one, crediting
+    /// the skipped span in bulk to the per-cycle counters (region
+    /// attribution, VU utilization, core busy/stall counters). The skip is
+    /// sound because a `next_event` answer is never *later* than the unit's
+    /// true next state change, so nothing that would have happened in the
+    /// span is lost — and results stay byte-identical to
+    /// [`DriverMode::CycleByCycle`] (see DESIGN.md §"Time advancement").
     pub fn run_observed<O: SimObserver + ?Sized>(
         &mut self,
         max_cycles: u64,
         obs: &mut O,
     ) -> Result<SimResult, SimError> {
         let mut region_cycles: BTreeMap<u32, u64> = BTreeMap::new();
+        // Region time accrues into a (region, count) accumulator flushed on
+        // region change, not a per-cycle BTreeMap probe.
+        let mut acc_region = self.src.cur_region;
+        let mut acc_cycles = 0u64;
         let mut clamped_repartitions = 0u64;
         let mut now = 0u64;
+        let skipping = self.driver == DriverMode::EventDriven;
+        let mut fingerprint = self.progress_fingerprint();
         loop {
             if self.done() {
                 break;
@@ -387,12 +473,112 @@ impl System {
                 }
                 obs.on_repartition(now, rp);
             }
-            *region_cycles.entry(self.src.cur_region).or_insert(0) += 1;
+            if self.src.cur_region != acc_region {
+                if acc_cycles > 0 {
+                    *region_cycles.entry(acc_region).or_insert(0) += acc_cycles;
+                }
+                acc_region = self.src.cur_region;
+                acc_cycles = 0;
+            }
+            acc_cycles += 1;
             now += 1;
+            if skipping {
+                let fp = self.progress_fingerprint();
+                let quiet = fp == fingerprint;
+                fingerprint = fp;
+                // Only a cycle that made no progress is worth a horizon
+                // scan (a gate, not a soundness condition: a false "busy"
+                // just defers the scan one cycle).
+                if quiet && !self.done() {
+                    if let Some(target) = self.quiescent_horizon(now, max_cycles, obs) {
+                        let span = target - now;
+                        self.credit_idle_span(now, span);
+                        acc_cycles += span;
+                        now = target;
+                    }
+                }
+            }
+        }
+        if acc_cycles > 0 {
+            *region_cycles.entry(acc_region).or_insert(0) += acc_cycles;
         }
         let result = self.finish(now, region_cycles, clamped_repartitions);
         obs.on_finish(&result);
         Ok(result)
+    }
+
+    /// The latest cycle `> from` the driver may jump to without simulating
+    /// the span in between, or `None` when no skip is possible: the minimum
+    /// over every unit's `next_event`, the observer's deadline, and the
+    /// cycle budget (so a would-be hang times out at exactly `max_cycles`,
+    /// like the naive driver).
+    fn quiescent_horizon<O: SimObserver + ?Sized>(
+        &self,
+        from: u64,
+        max_cycles: u64,
+        obs: &O,
+    ) -> Option<u64> {
+        let mut horizon = match obs.next_deadline(from) {
+            Some(d) if d <= from => return None,
+            Some(d) => d.min(max_cycles),
+            None => max_cycles,
+        };
+        for c in &self.cores {
+            match c.next_event(from, &self.src) {
+                Some(t) if t <= from => return None,
+                Some(t) => horizon = horizon.min(t),
+                None => {}
+            }
+        }
+        for l in &self.lane_cores {
+            match l.next_event(from, &self.src) {
+                Some(t) if t <= from => return None,
+                Some(t) => horizon = horizon.min(t),
+                None => {}
+            }
+        }
+        if let Some(v) = &self.vu {
+            match v.next_event(from) {
+                Some(t) if t <= from => return None,
+                Some(t) => horizon = horizon.min(t),
+                None => {}
+            }
+        }
+        if let Some(t) = self.mem.next_event(from) {
+            horizon = horizon.min(t); // advisory, always > from
+        }
+        (horizon > from).then_some(horizon)
+    }
+
+    /// Bulk-credit a skipped `[from, from + span)` window to every
+    /// per-cycle counter, exactly as `span` naive ticks would have.
+    fn credit_idle_span(&mut self, from: u64, span: u64) {
+        for c in &mut self.cores {
+            c.credit_idle_span(from, span);
+        }
+        for l in &mut self.lane_cores {
+            l.credit_idle_span(span);
+        }
+        if let Some(v) = &mut self.vu {
+            v.account_idle_span(span);
+        }
+    }
+
+    /// A cheap monotone digest of total forward progress; unchanged across
+    /// a step means the machine (very likely) idled that cycle. Only a gate
+    /// for the horizon scan — correctness rests on `quiescent_horizon`.
+    fn progress_fingerprint(&self) -> u64 {
+        let mut fp = self.src.sim.executed + self.src.sim.barrier_releases();
+        for c in &self.cores {
+            fp += c.stats.committed + c.stats.issued + c.stats.vec_dispatched;
+        }
+        for l in &self.lane_cores {
+            fp += l.stats.committed;
+        }
+        if let Some(v) = &self.vu {
+            fp += v.issued;
+        }
+        fp
     }
 
     /// Advance the whole machine by one cycle.

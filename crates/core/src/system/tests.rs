@@ -6,7 +6,7 @@ use vlt_isa::Program;
 
 use crate::config::SystemConfig;
 use crate::result::SimResult;
-use crate::system::{CycleView, NullObserver, RepartitionEvent, SimObserver, System};
+use crate::system::{CycleView, DriverMode, NullObserver, RepartitionEvent, SimObserver, System};
 
 const MAX: u64 = 20_000_000;
 
@@ -540,14 +540,121 @@ fn all_entry_points_share_one_driver() {
     assert_eq!(plain, observed);
 }
 
-/// The observer sees every cycle exactly once and one `on_finish`.
+/// The cycle-by-cycle oracle presents every cycle to the observer exactly
+/// once, plus one `on_finish`.
 #[test]
 fn observer_sees_every_cycle() {
     let prog = daxpy(128, 16, 1, 0);
     let mut rec = Recorder::default();
-    let r = System::new(SystemConfig::base(8), &prog, 1).run_observed(MAX, &mut rec).unwrap();
+    let r = System::new(SystemConfig::base(8), &prog, 1)
+        .with_driver(DriverMode::CycleByCycle)
+        .run_observed(MAX, &mut rec)
+        .unwrap();
     assert_eq!(rec.cycles_seen, r.cycles);
     assert_eq!(rec.finishes, 1);
+}
+
+/// A dependent pointer-chase: one in-flight load at a time, so the machine
+/// is provably idle for most of each access — guaranteed skippable spans
+/// for the event-driven driver tests.
+fn chase_kernel(hops: usize) -> Program {
+    let lds = vec!["ld x1, 0(x1)"; hops].join("\n        ");
+    let src = format!(
+        r#"
+        .data
+    cell:
+        .dword cell
+        .text
+        la x1, cell
+        {lds}
+        halt
+    "#
+    );
+    assemble(&src).unwrap()
+}
+
+/// The event-driven driver elides provably-idle cycles for observers with
+/// no deadline — but an observer that declares a deadline of `now` still
+/// sees every cycle, and the results agree either way.
+#[test]
+fn event_driver_skips_only_what_observers_allow() {
+    struct EveryCycle(Recorder);
+    impl SimObserver for EveryCycle {
+        fn on_cycle(&mut self, now: u64, view: &CycleView<'_>) {
+            self.0.on_cycle(now, view);
+        }
+        fn next_deadline(&self, now: u64) -> Option<u64> {
+            Some(now)
+        }
+    }
+
+    let prog = chase_kernel(24);
+    let mut passive = Recorder::default();
+    let r = System::new(SystemConfig::base(8), &prog, 1).run_observed(MAX, &mut passive).unwrap();
+    assert!(
+        passive.cycles_seen < r.cycles / 2,
+        "memory waits should be skipped: saw {} of {} cycles",
+        passive.cycles_seen,
+        r.cycles
+    );
+    assert_eq!(passive.finishes, 1);
+
+    let mut every = EveryCycle(Recorder::default());
+    let r2 = System::new(SystemConfig::base(8), &prog, 1).run_observed(MAX, &mut every).unwrap();
+    assert_eq!(every.0.cycles_seen, r2.cycles);
+    assert_eq!(r, r2);
+}
+
+/// Event-driven vs cycle-by-cycle equality across every machine family:
+/// vector (with VU), SMT, scalar CMT, and lane-thread configurations.
+#[test]
+fn event_driver_matches_naive_all_config_families() {
+    let checks: Vec<(SystemConfig, Program, usize)> = vec![
+        (SystemConfig::base(8), daxpy(256, 16, 1, 4), 1),
+        (SystemConfig::base(8), chase_kernel(24), 1),
+        (SystemConfig::v2_cmp(), daxpy(128, 8, 2, 4), 2),
+        (SystemConfig::v2_smt(), daxpy(128, 8, 2, 4), 2),
+        (SystemConfig::cmt(), scalar_sum_kernel(2000, 4), 4),
+        (SystemConfig::v4_cmt_lane_threads(), scalar_sum_kernel(1000, 8), 8),
+    ];
+    for (cfg, prog, threads) in checks {
+        let name = cfg.name.clone();
+        let event = System::new(cfg.clone(), &prog, threads).run(MAX).unwrap();
+        let naive = System::new(cfg, &prog, threads)
+            .with_driver(DriverMode::CycleByCycle)
+            .run(MAX)
+            .unwrap();
+        assert_eq!(event, naive, "driver divergence on {name} x{threads}");
+    }
+}
+
+/// Satellite coverage: `SamplingObserver` under skipping — samples land on
+/// exactly the same cycles, with the same values, as the naive driver.
+#[test]
+fn sampling_matches_naive_driver_under_skipping() {
+    for interval in [1u64, 7, 64, 1024] {
+        let prog = chase_kernel(24);
+        let (re, se) =
+            System::new(SystemConfig::base(8), &prog, 1).run_sampled(MAX, interval).unwrap();
+        let (rn, sn) = System::new(SystemConfig::base(8), &prog, 1)
+            .with_driver(DriverMode::CycleByCycle)
+            .run_sampled(MAX, interval)
+            .unwrap();
+        assert_eq!(re, rn, "result divergence at interval {interval}");
+        assert_eq!(se, sn, "sample divergence at interval {interval}");
+    }
+}
+
+/// A would-be hang times out at exactly the same cycle in both modes (the
+/// skip horizon is capped at the cycle budget).
+#[test]
+fn timeout_identical_across_drivers() {
+    let prog = assemble("loop:\nj loop\n").unwrap();
+    for mode in [DriverMode::EventDriven, DriverMode::CycleByCycle] {
+        let err =
+            System::new(SystemConfig::base(8), &prog, 1).with_driver(mode).run(10_000).unwrap_err();
+        assert!(matches!(err, crate::result::SimError::Timeout { cycles: 10_000 }));
+    }
 }
 
 /// `vltcfg 8` is architecturally valid (the funcsim accepts 1/2/4/8) but

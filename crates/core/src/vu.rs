@@ -19,7 +19,7 @@ use std::sync::Arc;
 use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
 use vlt_isa::{Op, OpClass};
 use vlt_mem::MemSystem;
-use vlt_scalar::{VecDispatch, VecToken, VectorSink};
+use vlt_scalar::{fold_event, VecDispatch, VecToken, VectorSink};
 
 use crate::result::Utilization;
 
@@ -340,6 +340,60 @@ impl VectorUnit {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Earliest cycle `>= from` at which the vector unit can change state:
+    /// a drained repartition can apply, an in-flight arithmetic op's
+    /// per-cycle datapath occupancy is still evolving (no skip — the
+    /// utilization taxonomy varies cycle to cycle), a completed entry
+    /// awaits the scalar unit's poll, or a dep-free entry can issue.
+    /// `None` when every window entry is blocked on an unresolved producer
+    /// — the wake then comes from the producing unit's own event. Never
+    /// later than the true next change; `Some(from)` means "cannot skip".
+    pub fn next_event(&self, from: u64) -> Option<u64> {
+        if self.pending_threads.is_some() && self.drained() {
+            return Some(from); // repartition applies at the next tick
+        }
+        let mut ev: Option<u64> = None;
+        for p in &self.partitions {
+            for f in &p.arith {
+                if let Some((start, dur, _, _)) = f.cur {
+                    if start + dur > from {
+                        return Some(from);
+                    }
+                }
+            }
+            for e in &p.window {
+                match e.state {
+                    // The SU consumes completions at its next poll.
+                    St::Done(_) | St::Reported => return Some(from),
+                    St::Waiting if e.deps.is_empty() => {
+                        fold_event(&mut ev, from.max(e.ready_base).max(e.dispatched_at + 1));
+                    }
+                    St::Waiting => {}
+                }
+            }
+        }
+        ev
+    }
+
+    /// Credit `cycles` provably-idle cycles to the utilization taxonomy,
+    /// exactly as per-cycle [`VectorUnit::tick`] accounting would have: no
+    /// datapath does element work during a skipped span
+    /// ([`VectorUnit::next_event`] refuses to skip while any arithmetic
+    /// pipeline is occupied), so each partition's three datapath groups
+    /// accrue `stalled` when work is waiting in its window and `all_idle`
+    /// otherwise.
+    pub fn account_idle_span(&mut self, cycles: u64) {
+        for p in &self.partitions {
+            let waiting = p.window.iter().any(|e| matches!(e.state, St::Waiting));
+            let add = 3 * p.lanes as u64 * cycles;
+            if waiting {
+                self.util.stalled += add;
+            } else {
+                self.util.all_idle += add;
             }
         }
     }

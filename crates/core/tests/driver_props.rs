@@ -1,10 +1,15 @@
-//! Property test on the driver spine: every public entry point is a thin
-//! wrapper over the same observed loop, so `run`, `run_sampled(interval=1)`,
-//! and `run_observed` with a no-op observer must produce identical
-//! `SimResult`s for any workload shape.
+//! Property tests on the driver spine.
+//!
+//! 1. Every public entry point is a thin wrapper over the same observed
+//!    loop, so `run`, `run_sampled(interval=1)`, and `run_observed` with a
+//!    no-op observer must produce identical `SimResult`s for any workload.
+//! 2. The event-driven driver (idle-cycle skipping) must be **byte
+//!    identical** — `SimResult` and sample stream — to the cycle-by-cycle
+//!    oracle across randomized workload/config/thread matrices, including
+//!    mid-run `vltcfg` repartitions and barrier flushes.
 
 use proptest::prelude::*;
-use vlt_core::{NullObserver, System, SystemConfig};
+use vlt_core::{DriverMode, NullObserver, System, SystemConfig};
 use vlt_isa::asm::assemble;
 use vlt_isa::Program;
 
@@ -73,6 +78,122 @@ fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
     assemble(&src).unwrap()
 }
 
+/// A scalar SPMD kernel: thread t sums integers [t*n, (t+1)*n) into out[t]
+/// — exercises the CMT and lane-thread machines (no vector unit).
+fn scalar_sum(n: usize, threads: usize) -> Program {
+    let src = format!(
+        r#"
+        .data
+    out:
+        .zero {out_bytes}
+        .text
+        tid     x10
+        li      x11, {n}
+        mul     x12, x10, x11
+        add     x13, x12, x11
+        li      x14, 0
+    loop:
+        add     x14, x14, x12
+        addi    x12, x12, 1
+        blt     x12, x13, loop
+        la      x15, out
+        slli    x16, x10, 3
+        add     x15, x15, x16
+        sd      x14, 0(x15)
+        barrier
+        halt
+    "#,
+        out_bytes = 8 * threads,
+        n = n
+    );
+    assemble(&src).unwrap()
+}
+
+/// A two-phase program with a mid-run repartition: phase A runs wide
+/// vectors on thread 0 alone (`vltcfg 1`, thread 1 parked at the barrier),
+/// phase B switches to 2 partitions (`vltcfg 2`) and both threads sweep
+/// short vectors. Exercises drain-gated repartitions, barrier flushes, and
+/// long parked spans under the event-driven driver.
+fn two_phase(wide: usize, narrow_npt: usize) -> Program {
+    let total = 2 * narrow_npt.max(wide);
+    let src = format!(
+        r#"
+        .data
+    xs:
+        .zero {xs_bytes}
+    ys:
+        .zero {xs_bytes}
+        .text
+        tid     x10
+        li      x9, 1
+        vltcfg  x9
+        bnez    x10, phase_a_done
+        la      x15, xs
+        li      x17, 0
+        li      x12, {wide}
+    wide:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vid     v1
+        vadd.vs v1, v1, x17
+        vst     v1, x15
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x17, x17, x2
+        blt     x17, x12, wide
+    phase_a_done:
+        barrier
+        li      x9, 2
+        vltcfg  x9
+        li      x12, {narrow_npt}
+        mul     x13, x10, x12
+        slli    x14, x13, 3
+        la      x15, xs
+        add     x15, x15, x14
+        la      x16, ys
+        add     x16, x16, x14
+        li      x17, 0
+    narrow:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vld     v1, x15
+        vadd.vv v2, v1, v1
+        vst     v2, x16
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x16, x16, x7
+        add     x17, x17, x2
+        blt     x17, x12, narrow
+        barrier
+        halt
+    "#,
+        xs_bytes = 8 * total,
+        wide = wide,
+        narrow_npt = narrow_npt,
+    );
+    assemble(&src).unwrap()
+}
+
+/// Run the same machine under both drivers; the results (and, when
+/// `interval` is given, the sample streams) must match byte for byte.
+/// Panics on mismatch (the vendored proptest has no shrinking, so a
+/// panic is exactly how properties fail).
+fn assert_drivers_agree(mk: impl Fn() -> System, max: u64, interval: Option<u64>) {
+    match interval {
+        Some(iv) => {
+            let (re, se) = mk().run_sampled(max, iv).unwrap();
+            let (rn, sn) = mk().with_driver(DriverMode::CycleByCycle).run_sampled(max, iv).unwrap();
+            assert_eq!(re, rn, "SimResult diverged (interval {iv})");
+            assert_eq!(se, sn, "sample stream diverged (interval {iv})");
+        }
+        None => {
+            let re = mk().run(max).unwrap();
+            let rn = mk().with_driver(DriverMode::CycleByCycle).run(max).unwrap();
+            assert_eq!(re, rn, "SimResult diverged");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -105,4 +226,71 @@ proptest! {
         prop_assert_eq!(samples.first().unwrap().cycle, 0);
         prop_assert_eq!(samples.last().unwrap().cycle, plain.cycles - 1);
     }
+
+    /// Tentpole guarantee: the event-driven driver is byte-identical to the
+    /// cycle-by-cycle oracle — SimResult *and* sample stream — over random
+    /// daxpy shapes, vector lengths, thread counts, and sample intervals.
+    #[test]
+    fn event_driver_is_byte_identical_to_naive(
+        npt in 16usize..96,
+        vl_pick in 0usize..3,
+        threads_pick in 0usize..2,
+        scalar_work in 0usize..5,
+        interval_pick in 0usize..4,
+    ) {
+        let vl = [8usize, 16, 64][vl_pick];
+        let threads = [1usize, 2][threads_pick];
+        let interval = [None, Some(1u64), Some(61), Some(509)][interval_pick];
+        let cfg = || if threads == 2 { SystemConfig::v2_cmp() } else { SystemConfig::base(8) };
+        let vl = vl.min(64 / threads);
+        let prog = daxpy(npt, vl, threads, scalar_work);
+        assert_drivers_agree(|| System::new(cfg(), &prog, threads), MAX, interval);
+    }
+
+    /// Mid-run `vltcfg` repartitions and barrier flushes: phase A parks one
+    /// thread at a barrier for a long span (the driver's best skipping
+    /// opportunity), phase B re-splits the lanes two ways.
+    #[test]
+    fn event_driver_survives_repartitions_and_barriers(
+        wide in 32usize..256,
+        narrow_npt in 8usize..64,
+        interval_pick in 0usize..3,
+    ) {
+        let interval = [None, Some(1u64), Some(97)][interval_pick];
+        let prog = two_phase(wide, narrow_npt);
+        assert_drivers_agree(|| System::new(SystemConfig::v2_cmp(), &prog, 2), MAX, interval);
+    }
+
+    /// Scalar machines: the CMT baseline (in-order scalar cores, no VU) and
+    /// VLT lane-thread mode (scalar threads on the lane cores).
+    #[test]
+    fn event_driver_matches_naive_on_scalar_machines(
+        n in 32usize..256,
+        cfg_pick in 0usize..2,
+        interval_pick in 0usize..3,
+    ) {
+        let interval = [None, Some(1u64), Some(61)][interval_pick];
+        let cfg: fn() -> SystemConfig =
+            [SystemConfig::cmt, SystemConfig::v4_cmt_lane_threads][cfg_pick];
+        // CMT runs on the 4 SMT contexts; lane-thread mode on the 8 lanes.
+        let threads = [4usize, 8][cfg_pick];
+        let prog = scalar_sum(n, threads);
+        assert_drivers_agree(|| System::new(cfg(), &prog, threads), MAX, interval);
+    }
+}
+
+/// At-scale equivalence run for CI's release-mode step: big enough that a
+/// debug build would crawl, so it is `#[ignore]`d by default and run with
+/// `cargo test --release -- --include-ignored`.
+#[test]
+#[ignore = "release-mode CI step: large inputs, slow under debug builds"]
+fn event_driver_matches_naive_at_scale() {
+    let prog = daxpy(4096, 64, 2, 12);
+    assert_drivers_agree(|| System::new(SystemConfig::v2_cmp(), &prog, 2), MAX, Some(1024));
+
+    let prog = two_phase(2048, 512);
+    assert_drivers_agree(|| System::new(SystemConfig::v2_cmp(), &prog, 2), MAX, Some(257));
+
+    let prog = scalar_sum(4096, 8);
+    assert_drivers_agree(|| System::new(SystemConfig::v4_cmt_lane_threads(), &prog, 8), MAX, None);
 }

@@ -141,6 +141,16 @@ impl FuncSim {
         self.threads.len()
     }
 
+    /// True when thread `t`'s next [`FuncSim::step_thread`] is guaranteed to
+    /// return [`Step::AtBarrier`] with no side effects: the thread is parked
+    /// at a barrier that has not opened, and only *another* thread's progress
+    /// can change that. A released-but-unconsumed barrier reports `false`
+    /// (the flags clear lazily at the next `step_thread`, which does make
+    /// progress). Non-mutating, for the timing driver's idle-cycle skipping.
+    pub fn thread_parked(&self, t: usize) -> bool {
+        !self.threads[t].halted && self.waiting[t] && !self.barrier_released()
+    }
+
     /// Immutable view of a thread's architectural state.
     pub fn thread(&self, t: usize) -> &ArchState {
         &self.threads[t]

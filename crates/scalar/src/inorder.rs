@@ -93,6 +93,50 @@ impl InOrderCore {
         self.thread
     }
 
+    /// Earliest cycle `>= from` at which this lane core can next make
+    /// progress: its stall window expires, a stashed instruction's operands
+    /// (or a load-queue slot) become ready, or the front end can pull a new
+    /// instruction. `None` when halted or parked at a barrier — only
+    /// another thread can wake it then. Never later than the true next
+    /// state change; `Some(from)` simply means "cannot skip".
+    pub fn next_event(&self, from: u64, src: &dyn FetchSource) -> Option<u64> {
+        if self.halted {
+            return None;
+        }
+        let base = from.max(self.stall_until);
+        let Some(d) = &self.pending else {
+            return if src.parked(self.thread) { None } else { Some(base) };
+        };
+        let si = self.prog.get(d.sidx as usize);
+        let mut t = base;
+        for u in &si.uses {
+            if let Some(i) = reg_index(*u) {
+                t = t.max(self.ready[i]);
+            }
+        }
+        if si.class == OpClass::Load && self.outstanding.len() >= self.cfg.load_queue {
+            // Also blocked on a load-queue slot: the oldest outstanding
+            // load's completion frees one.
+            if let Some(min_done) = self.outstanding.iter().copied().min() {
+                t = t.max(min_done);
+            }
+        }
+        Some(t)
+    }
+
+    /// Credit a provably-idle span to the stall counter, as per-cycle ticks
+    /// would have: every persistent quiescent state of a live lane core
+    /// (stall window, operand wait, full load queue, barrier park) charges
+    /// exactly one stall cycle per cycle. Port-conflict stashes are the only
+    /// stall-free quiescent-looking states, and they cannot persist across a
+    /// cycle boundary (ports replenish every tick), so
+    /// [`InOrderCore::next_event`] never lets a span cover one.
+    pub fn credit_idle_span(&mut self, cycles: u64) {
+        if !self.halted {
+            self.stats.stall_cycles += cycles;
+        }
+    }
+
     /// Advance one cycle.
     pub fn tick(
         &mut self,

@@ -27,4 +27,6 @@ pub use config::{CoreConfig, LaneCoreConfig};
 pub use inorder::InOrderCore;
 pub use ooo::{CoreStats, OooCore};
 pub use predictor::Predictor;
-pub use traits::{FetchResult, FetchSource, NullVectorSink, VecDispatch, VecToken, VectorSink};
+pub use traits::{
+    fold_event, FetchResult, FetchSource, NullVectorSink, VecDispatch, VecToken, VectorSink,
+};

@@ -27,7 +27,7 @@ use vlt_mem::MemSystem;
 
 use crate::config::CoreConfig;
 use crate::predictor::Predictor;
-use crate::traits::{FetchResult, FetchSource, VecDispatch, VecToken, VectorSink};
+use crate::traits::{fold_event, FetchResult, FetchSource, VecDispatch, VecToken, VectorSink};
 
 /// Execution latency by class (cycles from issue to result availability).
 pub fn latency(class: OpClass) -> u64 {
@@ -208,6 +208,88 @@ impl OooCore {
     /// Branch predictor statistics access.
     pub fn predictor(&self) -> &Predictor {
         &self.pred
+    }
+
+    /// Earliest cycle `>= from` at which this core can next change state:
+    /// a head entry becomes committable, a dep-free entry becomes an issue
+    /// candidate, a redirect/I-cache penalty expires, or the front end can
+    /// pull a new instruction. `None` means the core is inert until some
+    /// other unit acts (drained, or every context parked at a barrier).
+    ///
+    /// The contract shared by all `next_event` implementations: the returned
+    /// cycle is never *later* than the true first state change — reporting
+    /// too early merely shortens a skip (`Some(from)` means "cannot skip").
+    /// Completed non-head ROB entries are inert here because producers
+    /// broadcast their completion cycle at issue time, not at commit.
+    /// `fetch_ready` is reported for every bound context so the
+    /// fetch-eligibility predicate (and with it the `fetch_stall_cycles`
+    /// accounting in [`OooCore::credit_idle_span`]) is constant over any
+    /// skipped span.
+    pub fn next_event(&self, from: u64, src: &dyn FetchSource) -> Option<u64> {
+        if self.done() {
+            return None;
+        }
+        let mut ev: Option<u64> = None;
+        for c in &self.ctxs {
+            let Some(thread) = c.thread else { continue };
+            if let Some(head) = c.rob.front() {
+                if let Some(d) = head.done_at {
+                    fold_event(&mut ev, d.max(from));
+                }
+            }
+            for e in &c.rob {
+                if !e.issued && e.deps.is_empty() {
+                    // Issue candidate at `ready_base`; entries still carrying
+                    // deps wake through their producer's own event.
+                    fold_event(&mut ev, e.ready_base.max(from));
+                }
+            }
+            if c.halted {
+                continue; // drains through commit events alone
+            }
+            if c.fetch_ready > from {
+                fold_event(&mut ev, c.fetch_ready);
+                continue;
+            }
+            if c.draining {
+                continue; // cleared by the Serialize commit (head event)
+            }
+            if c.pending.is_some() {
+                // Stashed instruction retried while the window has room (a
+                // VIQ-full retry depends on VU state not modeled here).
+                if c.rob.len() < self.cfg.window_per_ctx() {
+                    fold_event(&mut ev, from);
+                }
+                continue;
+            }
+            if c.rob.len() < self.cfg.window_per_ctx() && !src.parked(thread) {
+                fold_event(&mut ev, from); // front end can fetch right now
+            }
+        }
+        ev
+    }
+
+    /// Credit a provably-idle span of `cycles` cycles starting at `from` to
+    /// the per-cycle counters, exactly as cycle-by-cycle ticks would have:
+    /// `busy_cycles` accrues while any context holds in-flight work, and
+    /// `fetch_stall_cycles` accrues while no context is fetch-eligible but
+    /// some context is still active. Both predicates are constant across a
+    /// quiescent span — [`OooCore::next_event`] caps the span at anything
+    /// that could flip them.
+    pub fn credit_idle_span(&mut self, from: u64, cycles: u64) {
+        if self.ctxs.iter().any(|c| !c.rob.is_empty()) {
+            self.stats.busy_cycles += cycles;
+        }
+        let any_eligible = self.ctxs.iter().any(|c| {
+            c.thread.is_some()
+                && !c.halted
+                && !c.draining
+                && c.fetch_ready <= from
+                && (c.rob.len() < self.cfg.window_per_ctx() || c.pending.is_some())
+        });
+        if !any_eligible && self.ctxs.iter().any(|c| c.active()) {
+            self.stats.fetch_stall_cycles += cycles;
+        }
     }
 
     /// Advance one cycle.

@@ -20,6 +20,26 @@ pub enum FetchResult {
 pub trait FetchSource {
     /// Pull the next instruction for software thread `thread`.
     fn fetch(&mut self, thread: usize) -> Result<FetchResult, ExecError>;
+
+    /// Non-consuming probe: true when `thread`'s next [`FetchSource::fetch`]
+    /// is guaranteed to return [`FetchResult::AtBarrier`] — the thread is
+    /// parked at an unopened barrier and only another thread's progress can
+    /// wake it. The event-driven driver uses this to prove a front end
+    /// quiescent without pulling from the stream. The default ("never
+    /// parked") is always safe: it only forfeits skipping.
+    fn parked(&self, _thread: usize) -> bool {
+        false
+    }
+}
+
+/// Fold a candidate event cycle into a running `Option<u64>` minimum —
+/// shared by the timed units' `next_event` implementations.
+#[inline]
+pub fn fold_event(ev: &mut Option<u64>, t: u64) {
+    *ev = Some(match *ev {
+        Some(e) => e.min(t),
+        None => t,
+    });
 }
 
 /// Opaque handle for a vector instruction in flight in the vector unit.
