@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # vlt-bench — the experiment harness
 //!
 //! One module per table/figure of the paper's evaluation (§7), each

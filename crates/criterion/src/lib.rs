@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! A self-contained, std-only stand-in for the `criterion` crate.
 //!
 //! The build environment has no network access to crates.io, so this
@@ -33,8 +36,11 @@ pub enum Throughput {
 /// How `iter_batched` amortizes setup; all variants behave identically here.
 #[derive(Debug, Clone, Copy)]
 pub enum BatchSize {
+    /// Inputs are cheap; batch many per allocation.
     SmallInput,
+    /// Inputs are expensive; batch few.
     LargeInput,
+    /// One fresh input per iteration.
     PerIteration,
 }
 

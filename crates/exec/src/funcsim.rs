@@ -13,6 +13,7 @@ use std::sync::Arc;
 use vlt_isa::Program;
 
 use crate::arena::{AddrArena, AddrRange};
+use crate::checker::{CheckConfig, Checker};
 use crate::error::ExecError;
 use crate::interp;
 use crate::memory::Memory;
@@ -95,6 +96,7 @@ pub struct FuncSim {
     waiting: Vec<bool>,
     arena: AddrArena,
     releases: u64,
+    checker: Option<Checker>,
     /// Total instructions executed so far.
     pub executed: u64,
 }
@@ -113,8 +115,25 @@ impl FuncSim {
             waiting: vec![false; nthr],
             arena: AddrArena::new(nthr),
             releases: 0,
+            checker: None,
             executed: 0,
         }
+    }
+
+    /// Turn on checked mode: every subsequently executed instruction is
+    /// observed by a [`Checker`] that records undefined reads and
+    /// out-of-bounds/misaligned accesses the forgiving memory system never
+    /// faults on. See [`crate::checker`] for the cross-validation contract
+    /// with the static verifier.
+    pub fn enable_checker(&mut self, cfg: CheckConfig) {
+        let nthr = self.threads.len();
+        let data_len = self.prog.program.data.len();
+        self.checker = Some(Checker::new(nthr, data_len, cfg));
+    }
+
+    /// The checked-mode observer, if [`FuncSim::enable_checker`] was called.
+    pub fn checker(&self) -> Option<&Checker> {
+        self.checker.as_ref()
     }
 
     /// The element-address arena backing `DynKind::VMem` ranges.
@@ -181,6 +200,11 @@ impl FuncSim {
                 self.releases += 1;
             } else {
                 return Ok(Step::AtBarrier);
+            }
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            if let Some(sidx) = self.prog.index_of(self.threads[t].pc) {
+                ck.observe(t, &self.threads[t], self.prog.get(sidx), sidx);
             }
         }
         let d = interp::step(&mut self.threads[t], &mut self.mem, &self.prog, &mut self.arena)?;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # vlt-exec — the functional simulator
@@ -30,6 +31,7 @@
 //! ```
 
 pub mod arena;
+pub mod checker;
 pub mod error;
 pub mod funcsim;
 pub mod interp;
@@ -39,6 +41,7 @@ pub mod state;
 pub mod trace;
 
 pub use arena::{AddrArena, AddrRange};
+pub use checker::{CheckConfig, Checker, DynFault, FaultRecord};
 pub use error::ExecError;
 pub use funcsim::{FuncSim, RunSummary, Step};
 pub use memory::Memory;

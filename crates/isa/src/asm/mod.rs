@@ -250,11 +250,7 @@ pub(crate) fn parse_operands(
     // Optional trailing `vm` mask operand on maskable vector formats.
     let mut masked = false;
     let mut ops = ops;
-    if matches!(op.format(), Format::R | Format::R2)
-        && op.class().is_vector()
-        && ops.len() == sig.len() + 1
-        && ops[sig.len()].trim() == "vm"
-    {
+    if op.maskable() && ops.len() == sig.len() + 1 && ops[sig.len()].trim() == "vm" {
         masked = true;
         ops = &ops[..sig.len()];
     }

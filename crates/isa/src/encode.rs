@@ -35,6 +35,9 @@ pub fn encode(inst: &Inst) -> Result<u32, IsaError> {
         }
     }
     let op = inst.op;
+    if inst.masked && !op.maskable() {
+        return Err(IsaError::BadMask(op.mnemonic()));
+    }
     let base = (op as u8 as u32) << 24;
     let m = if inst.masked { MASK_BIT } else { 0 };
     let w = match op.format() {
@@ -66,7 +69,10 @@ pub fn decode(word: u32) -> Result<Inst, IsaError> {
     let rd = ((word >> 19) & 0x1F) as u8;
     let rs1 = ((word >> 14) & 0x1F) as u8;
     let rs2 = ((word >> 9) & 0x1F) as u8;
-    let masked = word & MASK_BIT != 0;
+    // The mask bit is meaningful only on maskable (vector R/R2) ops;
+    // scalar encodings treat bit 8 as don't-care so a stray bit cannot
+    // conjure an `Inst` the assembler could never produce.
+    let masked = op.maskable() && word & MASK_BIT != 0;
     let inst = match op.format() {
         Format::R0 => Inst::sys(op),
         Format::R1 => Inst { op, rd, rs1: 0, rs2: 0, imm: 0, masked: false },
@@ -193,6 +199,9 @@ mod tests {
                         i.rs2 = 0;
                         i.masked = false;
                     }
+                }
+                if !op.maskable() {
+                    i.masked = false;
                 }
                 i
             },

@@ -18,6 +18,8 @@ pub enum IsaError {
     },
     /// A register index outside `0..32`.
     BadRegister(u8),
+    /// A mask flag on an instruction that does not accept `, vm`.
+    BadMask(&'static str),
     /// Assembler error with source location.
     Asm {
         /// 1-based source line number.
@@ -35,6 +37,7 @@ impl fmt::Display for IsaError {
                 write!(f, "immediate {imm} does not fit in {bits} bits for `{op}`")
             }
             IsaError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            IsaError::BadMask(op) => write!(f, "`{op}` does not accept a `vm` mask operand"),
             IsaError::Asm { line, msg } => write!(f, "line {line}: {msg}"),
         }
     }

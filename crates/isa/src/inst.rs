@@ -322,6 +322,23 @@ impl Inst {
     pub fn is_control(&self) -> bool {
         matches!(self.op.format(), Format::B | Format::J) || matches!(self.op, Op::Jr | Op::Jalr)
     }
+
+    /// True for the self-XOR/self-SUB zeroing idiom (`xor x5, x5, x5`,
+    /// `vxor.vv v4, v4, v4`, ...): the result is zero regardless of the
+    /// source value, so the "read" of the source is not a real data use.
+    /// Static analyses use this to avoid flagging the idiom as a read of
+    /// an undefined register.
+    pub fn is_zero_idiom(&self) -> bool {
+        matches!(self.op, Op::Xor | Op::Sub | Op::VxorVV | Op::VsubVV) && self.rs1 == self.rs2
+    }
+
+    /// True if this instruction writes only part of its destination
+    /// register (element insert, or a vector write under a mask), so the
+    /// previous value of the destination remains partly live.
+    pub fn is_partial_def(&self) -> bool {
+        matches!(self.op, Op::Vinsert | Op::Vfinsert)
+            || (self.masked && self.op.class().is_vector())
+    }
 }
 
 #[cfg(test)]

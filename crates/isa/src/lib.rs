@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # vlt-isa — the instruction set of the VLT vector processor
@@ -13,7 +14,7 @@
 //!   (associates the running thread group with a lane partition), and
 //! * a `barrier` instruction used by the SPMD threading runtime.
 //!
-//! All instructions encode to a fixed 32-bit word ([`encode`]) and a two-pass
+//! All instructions encode to a fixed 32-bit word ([`encode()`]) and a two-pass
 //! assembler ([`asm`]) turns readable kernels into [`Program`]s.
 //!
 //! ```
@@ -38,6 +39,8 @@ pub mod opcode;
 pub mod program;
 pub mod reg;
 
+pub use disasm::disasm;
+pub use encode::{decode, encode};
 pub use error::IsaError;
 pub use inst::Inst;
 pub use opcode::{Format, Op, OpClass, OperandSig};

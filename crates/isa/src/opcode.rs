@@ -119,6 +119,16 @@ impl OpClass {
     }
 }
 
+impl Op {
+    /// True if this instruction accepts a trailing `, vm` mask operand:
+    /// vector-class ops in the `R`/`R2` formats. The encoder rejects and
+    /// the decoder ignores the mask bit on everything else, so the flag
+    /// can never appear where the assembler could not have written it.
+    pub fn maskable(self) -> bool {
+        matches!(self.format(), Format::R | Format::R2) && self.class().is_vector()
+    }
+}
+
 macro_rules! define_ops {
     ($(($variant:ident, $code:literal, $mn:literal, $fmt:ident, [$($sig:ident),*], $class:ident)),* $(,)?) => {
         /// Every instruction mnemonic in the ISA. The discriminant is the

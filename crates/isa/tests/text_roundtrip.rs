@@ -1,0 +1,92 @@
+//! Assemble → disassemble → reassemble round-trip over the whole ISA.
+//!
+//! Every op, in every format, masked and unmasked, must disassemble to
+//! text the assembler accepts and re-encode to the identical word. This
+//! is the contract `vlint` diagnostics rely on when they quote an
+//! instruction back at the user.
+
+use proptest::prelude::*;
+use vlt_isa::asm::assemble;
+use vlt_isa::{decode, disasm, encode, Format, Inst, IsaError, Op};
+
+/// Re-assemble one instruction's disassembly and return the single word.
+fn reassemble(inst: &Inst) -> u32 {
+    let text = disasm(inst);
+    let p = assemble(&text).unwrap_or_else(|e| panic!("`{text}` did not reassemble: {e}"));
+    assert_eq!(p.text.len(), 1, "`{text}` assembled to {} words", p.text.len());
+    p.text[0]
+}
+
+/// A representative immediate that exercises sign extension per format.
+fn imm_for(f: Format) -> i32 {
+    match f {
+        Format::I | Format::B => -168,
+        Format::U | Format::UI => -26_000,
+        Format::J => 99_999,
+        _ => 0,
+    }
+}
+
+#[test]
+fn every_op_roundtrips_through_text() {
+    for &op in Op::ALL {
+        let candidate =
+            Inst { op, rd: 5, rs1: 6, rs2: 7, imm: imm_for(op.format()), masked: false };
+        // encode/decode normalizes fields the format does not carry.
+        let word = encode(&candidate).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+        let inst = decode(word).unwrap();
+        assert_eq!(reassemble(&inst), word, "{op:?} text roundtrip changed the encoding");
+    }
+}
+
+#[test]
+fn every_maskable_op_roundtrips_masked() {
+    let mut covered = 0;
+    for &op in Op::ALL {
+        if !op.maskable() {
+            continue;
+        }
+        covered += 1;
+        let candidate = Inst { op, rd: 5, rs1: 6, rs2: 7, imm: 0, masked: true };
+        let word = encode(&candidate).unwrap();
+        let inst = decode(word).unwrap();
+        assert!(inst.masked, "{op:?} lost the mask bit through decode");
+        assert_eq!(reassemble(&inst), word, "{op:?} masked roundtrip changed the encoding");
+    }
+    assert!(covered > 20, "only {covered} maskable ops — sig table changed?");
+}
+
+#[test]
+fn mask_flag_rejected_on_scalar_ops() {
+    for op in [Op::Add, Op::Fadd, Op::Ld, Op::Fsqrt] {
+        let inst = Inst { op, rd: 1, rs1: 2, rs2: 3, imm: 0, masked: true };
+        assert!(
+            matches!(encode(&inst), Err(IsaError::BadMask(_))),
+            "{op:?} must not encode with a mask flag"
+        );
+    }
+}
+
+#[test]
+fn stray_mask_bit_ignored_on_scalar_decode() {
+    // `add x1, x2, x3` with bit 8 (the mask bit) forced on: the decoder
+    // must not invent a masked scalar instruction the assembler could
+    // never write (and disassembly would then fail to reassemble).
+    let clean = encode(&Inst::r(Op::Add, 1, 2, 3)).unwrap();
+    let dirty = clean | (1 << 8);
+    let inst = decode(dirty).unwrap();
+    assert!(!inst.masked);
+    assert_eq!(disasm(&inst), "add x1, x2, x3");
+}
+
+proptest! {
+    /// Any decodable word must survive text: decode → disasm → assemble
+    /// gives back an instruction with the identical canonical encoding.
+    #[test]
+    fn decoded_words_survive_text(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let canonical = encode(&inst).unwrap();
+            prop_assert_eq!(reassemble(&inst), canonical);
+        }
+    }
+}

@@ -96,7 +96,7 @@ impl MemSystem {
 
     /// Barrier coherence action: invalidate L1 data caches so post-barrier
     /// reads observe other threads' writes (compiler memory barriers in the
-    /// paper; see DESIGN.md §7).
+    /// paper; see DESIGN.md §8).
     pub fn barrier_flush(&mut self) {
         for c in &mut self.l1d {
             c.invalidate_all();

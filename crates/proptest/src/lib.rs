@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! A self-contained, std-only stand-in for the `proptest` crate.
 //!
 //! The build environment has no network access to crates.io, so this
@@ -256,7 +259,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// An inclusive length range for [`vec`].
+    /// An inclusive length range for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # vlt-scalar — scalar-unit timing models
@@ -15,7 +16,7 @@
 //!
 //! Both consume the correct-path dynamic instruction stream of
 //! [`vlt_exec::FuncSim`] through the [`FetchSource`] trait; branch
-//! mispredictions charge a front-end redirect penalty (DESIGN.md §7).
+//! mispredictions charge a front-end redirect penalty (DESIGN.md §8).
 
 pub mod config;
 pub mod inorder;

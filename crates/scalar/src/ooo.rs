@@ -16,7 +16,7 @@
 //!
 //! Register renaming is modeled as unlimited physical registers: only true
 //! (RAW) dependences constrain issue, while the window bounds run-ahead
-//! (DESIGN.md §7).
+//! (DESIGN.md §8).
 
 use std::collections::VecDeque;
 use std::sync::Arc;

@@ -1,0 +1,625 @@
+//! Forward abstract interpretation over the CFG.
+//!
+//! One fixpoint computes three families of facts simultaneously, because
+//! they share the same propagation structure:
+//!
+//! * **Definedness** — for every `x`/`f`/`v` register, whether it has been
+//!   written on *all* paths ([`Init::Yes`]), *some* paths ([`Init::Maybe`]),
+//!   or *no* path ([`Init::No`]) from the entry. `x0` is hardwired zero and
+//!   `x30` (`sp`) is initialized by the runtime, so both start defined.
+//! * **Constant propagation** — integer register values in the flat lattice
+//!   `Bot < K(c) < Top`, exact over the ALU subset the kernels use for
+//!   address arithmetic (`li`/`la` expansions, shifts, add/mul). This feeds
+//!   the static memory checks and the `vl`/`vltcfg` checks.
+//! * **Vector-length state** — abstract `vl` (value + whether any `setvl`
+//!   executed), abstract MVL under the current `vltcfg` partition, and
+//!   whether `vm` was ever written.
+//!
+//! Soundness caveats (documented in DESIGN.md §7): register definedness is
+//! whole-register (a masked or element-wise write counts as a full def),
+//! and memory checks fire only where the address is statically constant —
+//! the analysis never *proves* memory safety, it catches constant-address
+//! slips.
+
+use vlt_isa::{Inst, Op, Program, RegRef, DATA_BASE, MAX_VL, STACK_BASE, STACK_SIZE, TEXT_BASE};
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Options};
+
+/// Flat constant lattice: `Bot` (unreached) < `K(c)` < `Top` (unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cv {
+    /// No value has reached this point yet.
+    Bot,
+    /// Exactly this value on every path.
+    K(i64),
+    /// More than one possible value.
+    Top,
+}
+
+impl Cv {
+    fn join(self, other: Cv) -> Cv {
+        match (self, other) {
+            (Cv::Bot, v) | (v, Cv::Bot) => v,
+            (Cv::K(a), Cv::K(b)) if a == b => Cv::K(a),
+            _ => Cv::Top,
+        }
+    }
+
+    fn map2(self, other: Cv, f: impl Fn(i64, i64) -> i64) -> Cv {
+        match (self, other) {
+            (Cv::K(a), Cv::K(b)) => Cv::K(f(a, b)),
+            (Cv::Bot, _) | (_, Cv::Bot) => Cv::Bot,
+            _ => Cv::Top,
+        }
+    }
+
+    fn known(self) -> Option<i64> {
+        match self {
+            Cv::K(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Three-point definedness lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Not written on any path.
+    No,
+    /// Written on some paths but not all.
+    Maybe,
+    /// Written on every path.
+    Yes,
+}
+
+impl Init {
+    fn join(self, other: Init) -> Init {
+        if self == other {
+            self
+        } else {
+            Init::Maybe
+        }
+    }
+}
+
+/// The abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsState {
+    /// Integer register values.
+    pub x: [Cv; 32],
+    /// Integer register definedness.
+    pub xi: [Init; 32],
+    /// FP register definedness.
+    pub fi: [Init; 32],
+    /// Vector register definedness (whole-register granularity).
+    pub vi: [Init; 32],
+    /// Abstract current vector length.
+    pub vl: Cv,
+    /// Whether any `setvl` executed on paths reaching this point.
+    pub vl_set: Init,
+    /// Abstract MVL under the current `vltcfg` partition.
+    pub mvl: Cv,
+    /// Whether `vm` was ever written.
+    pub vm_set: Init,
+    /// True while no path has reached this point (join identity).
+    pub bot: bool,
+}
+
+impl AbsState {
+    /// The entry state: architectural reset. Registers reset to zero, but
+    /// only `x0` (hardwired) and `x30` (stack pointer, set per-thread by the
+    /// runtime) count as *defined*; reading any other register before
+    /// writing it is a def-before-use finding even though the machine
+    /// forgivingly returns zero. `x30` differs per thread, so its value is
+    /// unknown.
+    pub fn entry() -> AbsState {
+        let mut x = [Cv::K(0); 32];
+        x[30] = Cv::Top;
+        let mut xi = [Init::No; 32];
+        xi[0] = Init::Yes;
+        xi[30] = Init::Yes;
+        AbsState {
+            x,
+            xi,
+            fi: [Init::No; 32],
+            vi: [Init::No; 32],
+            vl: Cv::K(MAX_VL as i64),
+            vl_set: Init::No,
+            mvl: Cv::K(MAX_VL as i64),
+            vm_set: Init::No,
+            bot: false,
+        }
+    }
+
+    fn bottom() -> AbsState {
+        AbsState { bot: true, ..AbsState::entry() }
+    }
+
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        if other.bot {
+            return false;
+        }
+        if self.bot {
+            *self = other.clone();
+            return true;
+        }
+        let before = self.clone();
+        for i in 0..32 {
+            self.x[i] = self.x[i].join(other.x[i]);
+            self.xi[i] = self.xi[i].join(other.xi[i]);
+            self.fi[i] = self.fi[i].join(other.fi[i]);
+            self.vi[i] = self.vi[i].join(other.vi[i]);
+        }
+        self.vl = self.vl.join(other.vl);
+        self.vl_set = self.vl_set.join(other.vl_set);
+        self.mvl = self.mvl.join(other.mvl);
+        self.vm_set = self.vm_set.join(other.vm_set);
+        *self != before
+    }
+}
+
+/// A finding produced by the abstract interpretation, before severity
+/// assignment and allow filtering.
+pub type RawDiag = (Code, usize, String);
+
+/// Run the forward analysis; returns raw findings in discovery order.
+pub fn run(cfg: &Cfg, prog: &Program, opts: &Options) -> Vec<RawDiag> {
+    let nb = cfg.blocks.len();
+    let mut input: Vec<AbsState> = (0..nb).map(|_| AbsState::bottom()).collect();
+    input[cfg.entry] = AbsState::entry();
+
+    // Fixpoint over reverse post-order.
+    let order = cfg.rpo();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            if input[b].bot {
+                continue;
+            }
+            let mut st = input[b].clone();
+            for i in cfg.blocks[b].start..cfg.blocks[b].end {
+                transfer(&cfg.insts[i], i, &mut st, prog, opts, None);
+            }
+            for &s in &cfg.blocks[b].succs {
+                if input[s].join_from(&st) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Emission pass: replay each reachable block from its fixed input.
+    let mut out: Vec<RawDiag> = Vec::new();
+    for &b in &order {
+        if input[b].bot {
+            continue;
+        }
+        let mut st = input[b].clone();
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            transfer(&cfg.insts[i], i, &mut st, prog, opts, Some(&mut out));
+        }
+    }
+    out
+}
+
+/// Apply one instruction to the abstract state, optionally emitting
+/// findings. The emission-pass replay must take exactly the same state
+/// transitions as the fixpoint pass, so all mutation lives here.
+fn transfer(
+    inst: &Inst,
+    sidx: usize,
+    st: &mut AbsState,
+    prog: &Program,
+    opts: &Options,
+    mut sink: Option<&mut Vec<RawDiag>>,
+) {
+    let (rd, rs1) = (inst.rd, inst.rs1);
+    let mut emit = |code: Code, msg: String| {
+        if let Some(s) = sink.as_deref_mut() {
+            s.push((code, sidx, msg));
+        }
+    };
+
+    // --- use checks -------------------------------------------------------
+    let (defs, uses) = inst.defs_uses();
+    let zero_idiom = inst.is_zero_idiom();
+    for u in &uses {
+        match *u {
+            RegRef::I(r) => {
+                if !zero_idiom {
+                    check_init(st.xi[r as usize], format!("x{r}"), &mut emit);
+                }
+            }
+            RegRef::F(r) => check_init(st.fi[r as usize], format!("f{r}"), &mut emit),
+            RegRef::V(r) => {
+                if !zero_idiom {
+                    check_init(st.vi[r as usize], format!("v{r}"), &mut emit);
+                }
+            }
+            RegRef::Vl => {
+                if inst.op.class().is_vector() && st.vl_set != Init::Yes {
+                    let how = if st.vl_set == Init::No { "never" } else { "not on every path" };
+                    emit(
+                        Code::VlReset,
+                        format!(
+                            "vector instruction executes with `vl` {how} set by `setvl` \
+                             (reset value is the full MVL)"
+                        ),
+                    );
+                }
+            }
+            RegRef::Vm => {
+                let meaningful = inst.masked
+                    || matches!(inst.op, Op::Vmerge | Op::Vpopc | Op::Vmfirst | Op::Vmgetb);
+                if meaningful && st.vm_set == Init::No {
+                    emit(
+                        Code::MaskReset,
+                        "mask-consuming operation with `vm` never written \
+                         (reset mask enables every lane)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- memory checks ----------------------------------------------------
+    check_memory(inst, st, prog, opts, &mut emit);
+
+    // --- vl / vltcfg semantics -------------------------------------------
+    match inst.op {
+        Op::SetVl => {
+            let req = st.x[rs1 as usize];
+            if req == Cv::K(0) {
+                emit(
+                    Code::ZeroVl,
+                    "`setvl` request is statically zero — dynamic `ZeroVl` fault".to_string(),
+                );
+            }
+            if let (Some(r), Some(m)) = (req.known(), st.mvl.known()) {
+                if r > m && rd == 0 {
+                    emit(
+                        Code::SetvlDiscardsClamp,
+                        format!(
+                            "request {r} exceeds the partition MVL {m} and the clamped \
+                             result is discarded (rd = x0)"
+                        ),
+                    );
+                }
+            }
+            st.vl = match (req.known(), st.mvl.known()) {
+                (Some(r), Some(m)) => Cv::K(r.min(m)),
+                _ => Cv::Top,
+            };
+            st.vl_set = Init::Yes;
+        }
+        Op::VltCfg => {
+            let t = st.x[rs1 as usize];
+            if let Some(tv) = t.known() {
+                if !matches!(tv, 1 | 2 | 4 | 8) {
+                    emit(
+                        Code::BadVltCfg,
+                        format!("thread count {tv} is not 1, 2, 4, or 8 — dynamic fault"),
+                    );
+                    // Keep analyzing with an unknown partition.
+                    st.mvl = Cv::Top;
+                } else {
+                    let new_mvl = MAX_VL as i64 / tv;
+                    // Only meaningful when a `setvl` actually ran: the
+                    // reset vl is the full MVL and clamping it is the
+                    // normal effect of partitioning.
+                    if let (Init::Maybe | Init::Yes, Some(v)) = (st.vl_set, st.vl.known()) {
+                        if v > new_mvl {
+                            emit(
+                                Code::VltcfgClampsVl,
+                                format!(
+                                    "partition MVL {new_mvl} is below the current vl {v}; \
+                                     the stale vl is silently clamped — `vltcfg` before `setvl`"
+                                ),
+                            );
+                        }
+                    }
+                    st.mvl = Cv::K(new_mvl);
+                }
+            } else {
+                st.mvl = Cv::Top;
+            }
+            st.vl = match (st.vl.known(), st.mvl.known()) {
+                (Some(v), Some(m)) => Cv::K(v.min(m)),
+                _ => Cv::Top,
+            };
+        }
+        _ => {}
+    }
+
+    // --- value transfer for integer defs ---------------------------------
+    let val = int_value(inst, st);
+
+    // --- apply defs -------------------------------------------------------
+    for d in &defs {
+        match *d {
+            RegRef::I(r) => {
+                st.xi[r as usize] = Init::Yes;
+                st.x[r as usize] = val;
+            }
+            RegRef::F(r) => st.fi[r as usize] = Init::Yes,
+            RegRef::V(r) => st.vi[r as usize] = Init::Yes,
+            RegRef::Vm => st.vm_set = Init::Yes,
+            RegRef::Vl => {} // handled in the SetVl arm above
+        }
+    }
+    // setvl writes the clamped vl to rd.
+    if inst.op == Op::SetVl && rd != 0 {
+        st.x[rd as usize] = st.vl;
+    }
+}
+
+fn check_init(init: Init, reg: String, emit: &mut impl FnMut(Code, String)) {
+    match init {
+        Init::Yes => {}
+        Init::No => emit(
+            Code::UndefRead,
+            format!("{reg} is read but never written on any path from entry (reads reset zero)"),
+        ),
+        Init::Maybe => emit(
+            Code::MaybeUndefRead,
+            format!("{reg} is read but written on only some paths from entry"),
+        ),
+    }
+}
+
+/// The constant value an instruction writes to its integer destination, if
+/// the analysis can compute it. Unmodeled ops produce `Top`.
+fn int_value(inst: &Inst, st: &AbsState) -> Cv {
+    let (rs1, rs2, imm) = (inst.rs1 as usize, inst.rs2 as usize, inst.imm as i64);
+    let a = st.x[rs1];
+    let b = st.x[rs2];
+    let k = Cv::K(imm);
+    match inst.op {
+        Op::Addi => a.map2(k, i64::wrapping_add),
+        Op::Andi => a.map2(k, |x, y| x & y),
+        Op::Ori => a.map2(k, |x, y| x | y),
+        Op::Xori => a.map2(k, |x, y| x ^ y),
+        Op::Slli => a.map2(k, |x, y| ((x as u64) << (y as u64 & 63)) as i64),
+        Op::Srli => a.map2(k, |x, y| ((x as u64) >> (y as u64 & 63)) as i64),
+        Op::Srai => a.map2(k, |x, y| x >> (y as u64 & 63)),
+        Op::Slti => a.map2(k, |x, y| (x < y) as i64),
+        Op::Lui => Cv::K(imm << 13),
+        Op::Add => a.map2(b, i64::wrapping_add),
+        Op::Sub => a.map2(b, i64::wrapping_sub),
+        Op::Mul => a.map2(b, i64::wrapping_mul),
+        Op::Div => a.map2(b, |x, y| if y == 0 { -1 } else { x.wrapping_div(y) }),
+        Op::Rem => a.map2(b, |x, y| if y == 0 { x } else { x.wrapping_rem(y) }),
+        Op::And => a.map2(b, |x, y| x & y),
+        Op::Or => a.map2(b, |x, y| x | y),
+        Op::Xor => a.map2(b, |x, y| x ^ y),
+        Op::Sll => a.map2(b, |x, y| ((x as u64) << (y as u64 & 63)) as i64),
+        Op::Srl => a.map2(b, |x, y| ((x as u64) >> (y as u64 & 63)) as i64),
+        Op::Sra => a.map2(b, |x, y| x >> (y as u64 & 63)),
+        Op::Slt => a.map2(b, |x, y| (x < y) as i64),
+        Op::Sltu => a.map2(b, |x, y| ((x as u64) < (y as u64)) as i64),
+        Op::GetVl => st.vl,
+        // Loads, tid/nthr, reductions, extracts, converts: unknown.
+        _ => Cv::Top,
+    }
+}
+
+/// Static memory checks for constant-addressed accesses.
+fn check_memory(
+    inst: &Inst,
+    st: &AbsState,
+    prog: &Program,
+    opts: &Options,
+    emit: &mut impl FnMut(Code, String),
+) {
+    use vlt_isa::OpClass;
+    let class = inst.op.class();
+    if !class.is_mem() {
+        return;
+    }
+    let base = st.x[inst.rs1 as usize];
+    let Some(b) = base.known() else { return };
+
+    match class {
+        OpClass::Load | OpClass::Store => {
+            let size = match inst.op {
+                Op::Ld | Op::Sd | Op::Fld | Op::Fsd => 8,
+                Op::Lw | Op::Lwu | Op::Sw => 4,
+                _ => 1,
+            };
+            let addr = b.wrapping_add(inst.imm as i64);
+            let write = class == OpClass::Store;
+            check_addr(addr, size, write, prog, opts, emit);
+        }
+        OpClass::VLoad | OpClass::VStore => {
+            let write = class == OpClass::VStore;
+            match inst.op {
+                Op::Vld | Op::Vst => {
+                    // Check the full unit-stride footprint only when vl is
+                    // statically known; otherwise just the first element
+                    // (assuming the MVL bound would flag valid short strips).
+                    let elems = st.vl.known().unwrap_or(1).max(1);
+                    check_addr(b, 8, write, prog, opts, emit);
+                    if elems > 1 {
+                        check_addr(b + 8 * (elems - 1), 8, write, prog, opts, emit);
+                    }
+                }
+                Op::Vlds | Op::Vsts => {
+                    if let (Some(s), Some(v)) = (st.x[inst.rs2 as usize].known(), st.vl.known()) {
+                        // First and last element of the strided footprint;
+                        // alignment only when the stride preserves it.
+                        let aligned_stride = s % 8 == 0;
+                        let sz = if aligned_stride { 8 } else { 1 };
+                        check_addr(b, sz, write, prog, opts, emit);
+                        if v > 1 {
+                            check_addr(
+                                b.wrapping_add(s.wrapping_mul(v - 1)),
+                                sz,
+                                write,
+                                prog,
+                                opts,
+                                emit,
+                            );
+                        }
+                    }
+                }
+                // Indexed gather/scatter: element addresses are data values.
+                _ => {}
+            }
+        }
+        _ => unreachable!("is_mem covers scalar and vector memory classes"),
+    }
+}
+
+fn check_addr(
+    addr: i64,
+    size: i64,
+    write: bool,
+    prog: &Program,
+    opts: &Options,
+    emit: &mut impl FnMut(Code, String),
+) {
+    let (code, what) =
+        if write { (Code::OobWrite, "store to") } else { (Code::OobRead, "load from") };
+    if addr < 0 {
+        emit(code, format!("{what} negative address {addr:#x}"));
+        return;
+    }
+    let a = addr as u64;
+    if !a.is_multiple_of(size as u64) {
+        emit(
+            Code::Misaligned,
+            format!("address {a:#x} is not aligned to the {size}-byte element size"),
+        );
+    }
+    let data_end = DATA_BASE + prog.data.len() as u64;
+    let read_end = data_end + if write { 0 } else { opts.read_slack };
+    let in_data = (DATA_BASE..read_end).contains(&a);
+    let stack_end = STACK_BASE + 64 * STACK_SIZE;
+    let in_stack = (STACK_BASE..stack_end).contains(&a);
+    if !in_data && !in_stack {
+        let text_end = TEXT_BASE + 4 * prog.text.len() as u64;
+        let region =
+            if (TEXT_BASE..text_end).contains(&a) { " (inside the text segment)" } else { "" };
+        emit(
+            code,
+            format!(
+                "{what} {a:#x}{region}, outside the data segment \
+                 [{DATA_BASE:#x}, {data_end:#x}) and the stack region"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlt_isa::asm::assemble;
+
+    fn raw(src: &str) -> Vec<RawDiag> {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(p.decoded());
+        run(&cfg, &p, &Options::default())
+    }
+
+    fn has(diags: &[RawDiag], code: Code) -> bool {
+        diags.iter().any(|(c, _, _)| *c == code)
+    }
+
+    #[test]
+    fn clean_kernel_is_clean() {
+        let d = raw(".data\nxs: .dword 1, 2, 3, 4\n.text\n\
+             li x1, 4\nsetvl x2, x1\nla x3, xs\nvld v1, x3\n\
+             vadd.vv v2, v1, v1\nvst v2, x3\nhalt\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn undef_read_caught() {
+        let d = raw("add x1, x2, x3\nhalt\n");
+        assert!(has(&d, Code::UndefRead));
+    }
+
+    #[test]
+    fn maybe_undef_on_one_path() {
+        let d = raw("beqz x0, skip\nli x5, 1\nskip:\nadd x1, x5, x0\nhalt\n");
+        assert!(has(&d, Code::MaybeUndefRead));
+        assert!(!has(&d, Code::UndefRead));
+    }
+
+    #[test]
+    fn zero_idiom_not_flagged() {
+        let d = raw("xor x5, x5, x5\nadd x1, x5, x0\nvxor.vv v1, v1, v1\nli x2, 4\nsetvl x0, x2\nvadd.vv v2, v1, v1\nhalt\n");
+        assert!(!has(&d, Code::UndefRead), "{d:?}");
+    }
+
+    #[test]
+    fn vl_reset_warned() {
+        let d = raw("vid v1\nhalt\n");
+        assert!(has(&d, Code::VlReset));
+    }
+
+    #[test]
+    fn zero_vl_caught() {
+        let d = raw("setvl x1, x0\nhalt\n");
+        assert!(has(&d, Code::ZeroVl));
+    }
+
+    #[test]
+    fn bad_vltcfg_caught() {
+        let d = raw("li x1, 3\nvltcfg x1\nhalt\n");
+        assert!(has(&d, Code::BadVltCfg));
+    }
+
+    #[test]
+    fn vltcfg_after_setvl_warned() {
+        let d = raw("li x1, 64\nsetvl x2, x1\nli x3, 4\nvltcfg x3\nhalt\n");
+        assert!(has(&d, Code::VltcfgClampsVl));
+    }
+
+    #[test]
+    fn vltcfg_before_setvl_clean() {
+        let d = raw("li x3, 4\nvltcfg x3\nli x1, 64\nsetvl x2, x1\nhalt\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn oob_store_caught() {
+        let d = raw("li x1, 64\nsd x1, 0(x1)\nhalt\n");
+        assert!(has(&d, Code::OobWrite));
+    }
+
+    #[test]
+    fn misaligned_caught() {
+        let d = raw(".data\nxs: .dword 7\n.text\nla x1, xs\nld x2, 3(x1)\nhalt\n");
+        assert!(has(&d, Code::Misaligned));
+    }
+
+    #[test]
+    fn vld_footprint_checked() {
+        // 1-element array, vl = 16: the last element lands past data+slack.
+        let d = raw(".data\nys: .dword 1\n.text\n\
+             li x1, 16\nsetvl x0, x1\nla x2, ys\nvld v1, x2\nhalt\n");
+        assert!(has(&d, Code::OobRead), "{d:?}");
+    }
+
+    #[test]
+    fn stack_access_clean() {
+        let d = raw("sd x0, -8(sp)\nld x1, -8(sp)\nhalt\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn mask_reset_warned() {
+        let d = raw("li x1, 4\nsetvl x0, x1\nvid v1\nvmerge v2, v1, v1\nhalt\n");
+        assert!(has(&d, Code::MaskReset));
+    }
+
+    #[test]
+    fn setvl_discard_clamp_warned() {
+        let d = raw("li x1, 4\nvltcfg x1\nli x2, 64\nsetvl x0, x2\nhalt\n");
+        assert!(has(&d, Code::SetvlDiscardsClamp));
+    }
+}

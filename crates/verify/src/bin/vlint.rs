@@ -1,0 +1,158 @@
+//! `vlint` — static verifier and lint driver for VLT assembly files.
+//!
+//! ```text
+//! vlint [OPTIONS] <PATH>...
+//!
+//! Paths may be `.s` files or directories (scanned recursively for `.s`).
+//!
+//! Options:
+//!   --strict          exit nonzero on warnings, not just errors
+//!   --allow <code>    suppress a lint code (repeatable)
+//!   --list-codes      print every lint code with severity and description
+//!   -q, --quiet       print nothing for clean files
+//! ```
+//!
+//! Exit status: 0 when every file is clean, 1 when any file has an
+//! error-severity finding (or any finding under `--strict`), 2 on usage or
+//! I/O problems.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vlt_isa::asm::assemble;
+use vlt_verify::{verify_with, Code, Options};
+
+struct Cli {
+    strict: bool,
+    quiet: bool,
+    opts: Options,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: vlint [--strict] [--allow <code>] [--list-codes] [-q|--quiet] <path>...\n\
+     checks .s files (directories are scanned recursively)"
+}
+
+fn parse_args() -> Result<Option<Cli>, String> {
+    let mut cli = Cli { strict: false, quiet: false, opts: Options::default(), paths: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strict" => cli.strict = true,
+            "-q" | "--quiet" => cli.quiet = true,
+            "--list-codes" => {
+                for &c in Code::ALL {
+                    println!("{:7} {:22} {}", c.severity().to_string(), c.name(), c.describe());
+                }
+                return Ok(None);
+            }
+            "--allow" => {
+                let v = args.next().ok_or("--allow needs a lint code".to_string())?;
+                let code = Code::from_name(&v).ok_or(format!("unknown lint code `{v}`"))?;
+                cli.opts.allow.insert(code);
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown option `{a}`")),
+            _ => cli.paths.push(PathBuf::from(a)),
+        }
+    }
+    if cli.paths.is_empty() {
+        return Err("no input paths".to_string());
+    }
+    Ok(Some(cli))
+}
+
+/// Collect `.s` files under `path` (recursively for directories).
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if meta.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for e in entries {
+            if e.is_dir() || e.extension().is_some_and(|x| x == "s") {
+                collect(&e, out)?;
+            }
+        }
+    } else {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vlint: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    for p in &cli.paths {
+        if let Err(e) = collect(p, &mut files) {
+            eprintln!("vlint: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("vlint: no .s files found under the given paths");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for f in &files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vlint: {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        };
+        let prog = match assemble(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{}: assembly error: {e}", f.display());
+                failed = true;
+                continue;
+            }
+        };
+        let opts = cli.opts.clone().with_program_allows(&prog);
+        let report = verify_with(&prog, &opts);
+        let bad = report.errors() > 0 || (cli.strict && report.warnings() > 0);
+        failed |= bad;
+        if report.diags.is_empty() && report.suppressed == 0 {
+            if !cli.quiet {
+                println!("{}: clean", f.display());
+            }
+            continue;
+        }
+        println!("{}:", f.display());
+        for d in &report.diags {
+            println!("  {d}");
+        }
+        println!(
+            "  {} error(s), {} warning(s){}",
+            report.errors(),
+            report.warnings(),
+            if report.suppressed > 0 {
+                format!(", {} suppressed", report.suppressed)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -5,6 +5,11 @@
 //! FMA), heavy scalar pivot arithmetic (reciprocals, diagonal updates),
 //! and a VL-10 paired-cell relaxation; every fourth cell also touches a
 //! VL-12 boundary stencil.
+//!
+//! Lint note: the prologue once computed the `[cell0, cell_end)` range
+//! (`li`/`mul`/`add` into `x11`/`x12`/`x13`) that `pass_loop` immediately
+//! recomputes — `vlint`'s dead-write pass caught the redundant writes and
+//! the prologue copy was removed.
 
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
@@ -121,9 +126,6 @@ impl Workload for Bt {
         li      x9, {threads}
         vltcfg  x9
         tid     x10
-        li      x11, {cells_per_thread}
-        mul     x12, x10, x11
-        add     x13, x12, x11
         la      x20, a
         la      x21, x
         la      x22, y

@@ -8,6 +8,10 @@
 //!    min-tracking.
 //! 2. **Interpolation** (VL 16): 16-wide averaging of reference rows
 //!    (half-pel plane).
+//!
+//! Lint note: the prologue once computed the `[b0, b_end)` block range
+//! that `pass_loop` immediately recomputes; `vlint`'s dead-write pass
+//! caught the redundant prologue writes and they were removed.
 //! 3. **Reconstruction copy** (VL 64): full-plane copy/offset.
 
 use vlt_exec::FuncSim;
@@ -119,9 +123,6 @@ impl Workload for Mpenc {
         li      x9, {threads}
         vltcfg  x9
         tid     x10
-        li      x11, {blocks_per_thread}
-        mul     x12, x10, x11      # b0
-        add     x13, x12, x11      # b_end
         la      x20, cur
         la      x21, refp
         la      x22, cands

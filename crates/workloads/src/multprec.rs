@@ -6,6 +6,10 @@
 //! width; carry *detection* vectorizes too, but carry *propagation* is a
 //! scalar ripple executed only for numbers whose vector check finds a
 //! carry. A VL-64 normalization copy closes each batch.
+//!
+//! Lint note: the prologue once computed the `[num0, num_end)` range that
+//! `pass_loop` immediately recomputes; `vlint`'s dead-write pass caught
+//! the redundant prologue writes and they were removed.
 
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
@@ -108,9 +112,6 @@ impl Workload for Multprec {
         li      x9, {threads}
         vltcfg  x9
         tid     x10
-        li      x11, {nums_per_thread}
-        mul     x12, x10, x11      # num0
-        add     x13, x12, x11      # num_end
         la      x20, a
         la      x21, b
         la      x22, c

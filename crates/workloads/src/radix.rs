@@ -13,6 +13,12 @@
 //!   counters one ahead (with a rare same-bucket repair branch),
 //! * histograms are stored transposed (`hist[bucket][thread]`) so the
 //!   serial prefix is a contiguous walk, pipelined four slots deep.
+//!
+//! Lint notes (defects `vlint`'s dead-write pass caught): the prologue
+//! read `nthr` into a register nothing consumed (removed), and the VL-64
+//! checksum sweep computed its `vredsum` reduction and dropped it — the
+//! result is now stored to `vchk_out` and checked against the golden
+//! wrapping key sum in the verifier.
 
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
@@ -134,6 +140,8 @@ fn vector_checksum(vector: bool, n: usize) -> String {
         add     x5, x5, x2
         blt     x5, x15, vsum
         vredsum x16, v2
+        la      x4, vchk_out
+        sd      x16, 0(x4)
 "#
     )
 }
@@ -175,11 +183,12 @@ impl Workload for Radix {
         .zero {hbytes}
     chkout:
         .zero 64
+    vchk_out:
+        .zero 8
     serial_out:
         .zero 8
         .text
         tid     x10
-        nthr    x9
         li      x11, {keys_per_thread}
         mul     x12, x10, x11      # k0
         add     x13, x12, x11      # k_end
@@ -348,6 +357,12 @@ impl Workload for Radix {
             expect_u64s(&read_u64s(sim, "keys", n), &g, "radix keys")?;
             let chk = golden_chk(n, threads);
             expect_u64s(&read_u64s(sim, "chkout", threads), &chk, "radix chk")?;
+            if threads == 1 {
+                // The VL-64 checksum sweep: keys are a permutation of the
+                // input, so the reduction equals the wrapping input sum.
+                let vchk = g.iter().fold(0u64, |a, &k| a.wrapping_add(k));
+                expect_u64s(&read_u64s(sim, "vchk_out", 1), &[vchk], "radix vchk")?;
+            }
             let want = serial_golden(&g[..n / 4]);
             expect_u64s(&read_u64s(sim, "serial_out", 1), &[want], "radix serial")
         });

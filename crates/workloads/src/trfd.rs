@@ -5,6 +5,12 @@
 //! and accumulated (`z += v * y`), reduced into a diagonal term, and tagged
 //! with triangular index arithmetic — the classic pattern of medium/short
 //! vectors riding on heavy scalar index bookkeeping.
+//!
+//! Lint note: the "symmetric pair bookkeeping" scalar block inside the
+//! row loop models trfd's index-transformation workload and deliberately
+//! discards its result, so the kernel carries `.eq vlint.allow.dead_write`
+//! rather than storing a value no phase consumes. Everything else must
+//! stay lint-clean (`verify_suite` enforces it).
 
 use vlt_exec::FuncSim;
 use vlt_isa::asm::assemble;
@@ -114,6 +120,9 @@ impl Workload for Trfd {
     d:
         .zero {dbytes}
         .text
+        # the symmetric-pair bookkeeping below is modeled work whose result
+        # is intentionally unused; see the module docs
+        .eq vlint.allow.dead_write, 1
         li      x9, {threads}
         vltcfg  x9
         tid     x10

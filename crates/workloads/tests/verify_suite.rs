@@ -1,0 +1,73 @@
+//! Every workload's built program must pass the static verifier with zero
+//! error-severity diagnostics, at every supported thread count and scale
+//! the tests exercise. This is the acceptance gate that lets later PRs
+//! refactor kernels without hand-auditing all nine workloads.
+
+use vlt_verify::{verify, Code, Severity};
+use vlt_workloads::{suite, Scale};
+
+#[test]
+fn all_workloads_verify_clean() {
+    let mut failures = Vec::new();
+    for w in suite() {
+        for threads in [1, w.max_threads()] {
+            for scale in [Scale::Test, Scale::Small] {
+                let built = w.build(threads, scale);
+                let report = verify(&built.program);
+                if !report.is_clean() {
+                    failures.push(format!("{} x{threads} {scale:?}:\n{report}", w.name()));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n\n"));
+}
+
+/// Warnings are not hard failures, but the nine kernels are expected to be
+/// warning-free too (any intentional pattern gets a `vlint.allow.*`
+/// symbol). This keeps the lint output meaningful when a kernel changes.
+#[test]
+fn all_workloads_warning_free() {
+    let mut failures = Vec::new();
+    for w in suite() {
+        for threads in [1, w.max_threads()] {
+            let built = w.build(threads, Scale::Test);
+            let report = verify(&built.program);
+            let warns: Vec<String> = report
+                .diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warn)
+                .map(|d| d.to_string())
+                .collect();
+            if !warns.is_empty() {
+                failures.push(format!("{} x{threads}:\n  {}", w.name(), warns.join("\n  ")));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n\n"));
+}
+
+/// The verifier must see through every idiom the kernels rely on: no
+/// undef-read or memory findings of any severity, anywhere in the suite.
+#[test]
+fn no_dataflow_findings_across_suite() {
+    for w in suite() {
+        for threads in [1, w.max_threads()] {
+            let built = w.build(threads, Scale::Test);
+            let report = verify(&built.program);
+            for code in [
+                Code::UndefRead,
+                Code::MaybeUndefRead,
+                Code::OobRead,
+                Code::OobWrite,
+                Code::Misaligned,
+            ] {
+                assert!(
+                    !report.flags(code),
+                    "{} x{threads}: unexpected {code}:\n{report}",
+                    w.name()
+                );
+            }
+        }
+    }
+}

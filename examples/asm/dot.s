@@ -1,0 +1,49 @@
+# dot: two-phase reduction, dot = sum(x[i] * y[i]).
+#
+# Phase 1: each of the four threads reduces its own element range with
+# `vfredsum` and publishes a partial to `partials[tid]`. Phase 2 (after
+# the barrier): thread 0 loads the four partials as a tiny vector and
+# reduces them to the final scalar. Clean under `vlint`.
+
+    .data
+xs: .double 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
+    .zero 448                  # 64 doubles total
+ys: .double 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0
+    .zero 448
+partials:
+    .zero 32                   # one double per thread
+result:
+    .zero 8
+
+    .text
+    li      x9, 4
+    vltcfg  x9
+    tid     x10
+    li      x11, 16            # elements per thread
+    mul     x12, x10, x11
+    slli    x4, x12, 3
+    la      x20, xs
+    la      x21, ys
+    add     x5, x20, x4        # &x[lo]
+    add     x6, x21, x4        # &y[lo]
+    setvl   x2, x11            # whole range fits one strip (MVL = 16)
+    vld     v1, x5
+    vld     v2, x6
+    vfmul.vv v3, v1, v2
+    vfredsum f1, v3            # partial dot
+    la      x7, partials
+    slli    x4, x10, 3
+    add     x7, x7, x4
+    fsd     f1, 0(x7)          # partials[tid]
+    barrier
+
+    bnez    x10, done          # only thread 0 folds the partials
+    li      x3, 4
+    setvl   x0, x3
+    la      x7, partials
+    vld     v4, x7
+    vfredsum f2, v4
+    la      x8, result
+    fsd     f2, 0(x8)
+done:
+    halt

@@ -1,0 +1,25 @@
+# masked_clip: out[i] = min(x[i], 100) via a compare-and-merge mask.
+#
+# Demonstrates the mask pipeline `vlint` tracks: `vslt.vv` defines `vm`,
+# `vmerge` consumes it. Remove the compare and the verifier reports
+# `mask-reset` (merge with the mask still at its reset value).
+
+    .data
+xs: .dword 3, 250, 17, 999, 42, 100, 101, 0
+    .zero 192                  # 32 dwords total
+outp:
+    .zero 256
+
+    .text
+    li      x3, 32
+    setvl   x0, x3             # single thread, one full strip
+    la      x20, xs
+    vld     v1, x20            # x
+    vxor.vv v2, v2, v2         # zero idiom: v2 = 0
+    li      x5, 100
+    vadd.vs v2, v2, x5         # splat threshold
+    vslt.vv v2, v1             # vm[e] = (100 < x[e])  -> lanes to clip
+    vmerge  v3, v2, v1         # clip ? threshold : x
+    la      x21, outp
+    vst     v3, x21
+    halt

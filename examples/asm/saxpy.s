@@ -1,0 +1,40 @@
+# saxpy: y[i] += a * x[i], strip-mined over four VLT threads.
+#
+# The canonical VLT shape: `vltcfg` partitions the vector register file,
+# each thread owns a contiguous range of elements, and a converged
+# `barrier` closes the parallel section. Passes `vlint` with zero
+# findings; try seeding a defect (drop the `setvl`, typo a register) and
+# re-running `vlint examples/asm/saxpy.s`.
+
+    .data
+xs: .double 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
+    .zero 448                  # 64 doubles total
+ys: .double 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0
+    .zero 448
+
+    .text
+    li      x9, 4
+    vltcfg  x9                 # 4 threads, MVL 16 each
+    tid     x10
+    li      x11, 16            # elements per thread
+    mul     x12, x10, x11      # lo
+    add     x13, x12, x11      # hi
+    la      x20, xs
+    la      x21, ys
+    li      x4, 2
+    fcvt.f.x f1, x4            # a = 2.0
+    mv      x14, x12           # i
+loop:
+    sub     x3, x13, x14
+    setvl   x2, x3             # vl = min(remaining, MVL)
+    slli    x4, x14, 3
+    add     x5, x20, x4
+    vld     v1, x5             # x[i..]
+    add     x6, x21, x4
+    vld     v2, x6             # y[i..]
+    vfma.vs v2, v1, f1         # y += a*x
+    vst     v2, x6
+    add     x14, x14, x2
+    blt     x14, x13, loop
+    barrier
+    halt

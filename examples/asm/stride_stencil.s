@@ -1,0 +1,25 @@
+# stride_stencil: out[i] = even[i] + odd[i] over an interleaved array.
+#
+# Two strided loads (`vlds`, 16-byte stride) split an interleaved stream
+# into its even and odd phases; the sum is stored unit-stride. `vlint`
+# checks the full strided footprint (first and last element) against the
+# data image, so shrinking `xs` or doubling the stride trips `oob-read`.
+
+    .data
+xs: .dword 0, 1, 2, 3, 4, 5, 6, 7
+    .zero 192                  # 32 dwords, 16 interleaved pairs
+outp:
+    .zero 128                  # 16 dwords
+
+    .text
+    li      x3, 16
+    setvl   x0, x3             # 16 pairs
+    la      x20, xs
+    li      x4, 16             # stride: every other dword
+    vlds    v1, x20, x4        # even phase: xs[0], xs[2], ...
+    addi    x5, x20, 8
+    vlds    v2, x5, x4         # odd phase:  xs[1], xs[3], ...
+    vadd.vv v3, v1, v2
+    la      x21, outp
+    vst     v3, x21
+    halt

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # vlt — Vector Lane Threading, reproduced
@@ -12,7 +13,8 @@
 //! * [`core`] — the vector unit, VLT, and the full-system timing simulator,
 //! * [`stats`] — utilization accounting and reporting,
 //! * [`workloads`] — the nine applications from the paper's Table 4,
-//! * [`area`] — the Alpha-derived area model (Tables 1 and 2).
+//! * [`area`] — the Alpha-derived area model (Tables 1 and 2),
+//! * [`verify`] — the `vlint` static verifier and lint pass (DESIGN.md §7).
 
 pub use vlt_area as area;
 pub use vlt_core as core;
@@ -21,4 +23,5 @@ pub use vlt_isa as isa;
 pub use vlt_mem as mem;
 pub use vlt_scalar as scalar;
 pub use vlt_stats as stats;
+pub use vlt_verify as verify;
 pub use vlt_workloads as workloads;
