@@ -18,6 +18,7 @@ use crate::error::ExecError;
 use crate::interp;
 use crate::memory::Memory;
 use crate::program::DecodedProgram;
+use crate::race::{RaceChecker, RaceConfig};
 use crate::state::ArchState;
 use crate::trace::{DynInst, DynKind};
 
@@ -97,6 +98,7 @@ pub struct FuncSim {
     arena: AddrArena,
     releases: u64,
     checker: Option<Checker>,
+    race: Option<RaceChecker>,
     /// Total instructions executed so far.
     pub executed: u64,
 }
@@ -116,6 +118,7 @@ impl FuncSim {
             arena: AddrArena::new(nthr),
             releases: 0,
             checker: None,
+            race: None,
             executed: 0,
         }
     }
@@ -134,6 +137,21 @@ impl FuncSim {
     /// The checked-mode observer, if [`FuncSim::enable_checker`] was called.
     pub fn checker(&self) -> Option<&Checker> {
         self.checker.as_ref()
+    }
+
+    /// Turn on the dynamic barrier-epoch race checker: every subsequently
+    /// executed memory access is recorded against its thread's barrier
+    /// epoch, and same-epoch cross-thread overlaps with at least one write
+    /// are reported. See [`crate::race`] for the cross-validation contract
+    /// with the static race analysis.
+    pub fn enable_race_checker(&mut self, cfg: RaceConfig) {
+        self.race = Some(RaceChecker::new(self.threads.len(), cfg));
+    }
+
+    /// The race-checker observer, if [`FuncSim::enable_race_checker`] was
+    /// called.
+    pub fn race_checker(&self) -> Option<&RaceChecker> {
+        self.race.as_ref()
     }
 
     /// The element-address arena backing `DynKind::VMem` ranges.
@@ -209,6 +227,9 @@ impl FuncSim {
         }
         let d = interp::step(&mut self.threads[t], &mut self.mem, &self.prog, &mut self.arena)?;
         self.executed += 1;
+        if let Some(rc) = self.race.as_mut() {
+            rc.observe(t, &d, &self.arena, &self.prog);
+        }
         if d.kind == DynKind::Barrier {
             self.waiting[t] = true;
         }

@@ -37,6 +37,7 @@ pub mod funcsim;
 pub mod interp;
 pub mod memory;
 pub mod program;
+pub mod race;
 pub mod state;
 pub mod trace;
 
@@ -46,5 +47,6 @@ pub use error::ExecError;
 pub use funcsim::{FuncSim, RunSummary, Step};
 pub use memory::Memory;
 pub use program::{DecodedProgram, StaticInst};
+pub use race::{RaceChecker, RaceConfig, RaceRecord, RaceSite};
 pub use state::ArchState;
 pub use trace::{DynInst, DynKind};

@@ -8,39 +8,52 @@
 //! Options:
 //!   --strict          exit nonzero on warnings, not just errors
 //!   --allow <code>    suppress a lint code (repeatable)
+//!   --races[=N]       also run the barrier-epoch race analysis at N
+//!                     threads (default: the program's `vlint.threads`
+//!                     symbol, else 2)
 //!   --list-codes      print every lint code with severity and description
 //!   -q, --quiet       print nothing for clean files
 //! ```
 //!
 //! Exit status: 0 when every file is clean, 1 when any file has an
-//! error-severity finding (or any finding under `--strict`), 2 on usage or
-//! I/O problems.
+//! error-severity finding (or any finding under `--strict`), 2 on usage,
+//! I/O, or internal analysis problems.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vlt_isa::asm::assemble;
-use vlt_verify::{verify_with, Code, Options};
+use vlt_verify::{check_races_with, verify_with, Code, Options};
 
 struct Cli {
     strict: bool,
     quiet: bool,
+    /// `Some(None)` = `--races` (thread count from the program or 2);
+    /// `Some(Some(n))` = `--races=n`.
+    races: Option<Option<usize>>,
     opts: Options,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: vlint [--strict] [--allow <code>] [--list-codes] [-q|--quiet] <path>...\n\
+    "usage: vlint [--strict] [--allow <code>] [--races[=N]] [--list-codes] [-q|--quiet] <path>...\n\
      checks .s files (directories are scanned recursively)"
 }
 
 fn parse_args() -> Result<Option<Cli>, String> {
-    let mut cli = Cli { strict: false, quiet: false, opts: Options::default(), paths: Vec::new() };
+    let mut cli = Cli {
+        strict: false,
+        quiet: false,
+        races: None,
+        opts: Options::default(),
+        paths: Vec::new(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strict" => cli.strict = true,
             "-q" | "--quiet" => cli.quiet = true,
+            "--races" => cli.races = Some(None),
             "--list-codes" => {
                 for &c in Code::ALL {
                     println!("{:7} {:22} {}", c.severity().to_string(), c.name(), c.describe());
@@ -55,6 +68,15 @@ fn parse_args() -> Result<Option<Cli>, String> {
             "-h" | "--help" => {
                 println!("{}", usage());
                 return Ok(None);
+            }
+            _ if a.starts_with("--races=") => {
+                let v = &a["--races=".len()..];
+                let n: usize =
+                    v.parse().map_err(|_| format!("--races needs a thread count, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--races thread count must be at least 1".to_string());
+                }
+                cli.races = Some(Some(n));
             }
             _ if a.starts_with('-') => return Err(format!("unknown option `{a}`")),
             _ => cli.paths.push(PathBuf::from(a)),
@@ -126,7 +148,30 @@ fn main() -> ExitCode {
             }
         };
         let opts = cli.opts.clone().with_program_allows(&prog);
-        let report = verify_with(&prog, &opts);
+        // A panic inside the analyses is an internal error, not a finding:
+        // report it and exit 2 so CI can tell "program has races" (1) from
+        // "the checker itself fell over" (2).
+        let analysis = std::panic::catch_unwind(|| {
+            let mut report = verify_with(&prog, &opts);
+            if let Some(n) = cli.races {
+                let threads =
+                    n.or_else(|| prog.symbol("vlint.threads").map(|v| v as usize)).unwrap_or(2);
+                let races = check_races_with(&prog, threads, &opts);
+                report.diags.extend(races.diags);
+                report.suppressed += races.suppressed;
+            }
+            report
+        });
+        let report = match analysis {
+            Ok(r) => r,
+            Err(_) => {
+                eprintln!(
+                    "vlint: {}: internal error in analysis (this is a vlint bug)",
+                    f.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
         let bad = report.errors() > 0 || (cli.strict && report.warnings() > 0);
         failed |= bad;
         if report.diags.is_empty() && report.suppressed == 0 {

@@ -66,6 +66,9 @@ define_codes! {
     (Unreachable,      "unreachable",       Warn,  "instruction not reachable from the entry point"),
     (DeadWrite,        "dead-write",        Warn,  "register written but the value can never be read afterwards"),
     (IndirectFlow,     "indirect-flow",     Warn,  "`jr`/`jalr` present: indirect control flow is not statically tracked (analysis is partial)"),
+    (RaceWw,           "race-ww",           Warn,  "two threads may write overlapping addresses within the same barrier epoch"),
+    (RaceRw,           "race-rw",           Warn,  "one thread may read an address another thread writes within the same barrier epoch"),
+    (RaceUnknown,      "race-unknown",      Warn,  "access whose footprint the race analysis cannot bound may conflict across threads within an epoch"),
 }
 
 impl fmt::Display for Code {

@@ -34,12 +34,15 @@ use vlt_isa::{decode, disasm, Inst, IsaError, Program};
 mod absint;
 mod cfg;
 mod diag;
+mod footprint;
 mod liveness;
+mod races;
 mod structure;
 
 pub use absint::{AbsState, Cv, Init};
 pub use cfg::{direct_target, Block, Cfg, Term};
 pub use diag::{Code, Diagnostic, Options, Report, Severity};
+pub use races::{check_races, check_races_with, predicted_race_sites};
 
 /// Verify an assembled program with default options plus any
 /// program-embedded `vlint.allow.*` symbols.

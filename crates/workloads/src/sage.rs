@@ -65,6 +65,14 @@ impl Workload for Sage {
     u1:
         .zero {bytes}
         .text
+        # cur/next swap between u0 and u1 every timestep; after the swap
+        # join the race analysis sees each pointer as possibly-either-base,
+        # so one thread's reads of cur falsely overlap a neighbour's writes
+        # of next. The interior partition is disjoint (the dynamic epoch
+        # checker proves it at 1/2/4 threads); this is analysis imprecision,
+        # not sharing.
+        .eq vlint.allow.race_rw, 1
+        .eq vlint.allow.race_ww, 1
         li      x9, {threads}
         vltcfg  x9
         tid     x10

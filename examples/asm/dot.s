@@ -3,7 +3,11 @@
 # Phase 1: each of the four threads reduces its own element range with
 # `vfredsum` and publishes a partial to `partials[tid]`. Phase 2 (after
 # the barrier): thread 0 loads the four partials as a tiny vector and
-# reduces them to the final scalar. Clean under `vlint`.
+# reduces them to the final scalar. Clean under `vlint`, including the
+# barrier-epoch race analysis (`vlint --races examples/asm/dot.s`) —
+# the partials handoff is exactly the cross-thread communication the
+# barrier licenses. Delete the `barrier` (or store every partial to
+# `partials[0]`) and `--races` reports the conflict.
 
     .data
 xs: .double 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
@@ -16,6 +20,7 @@ result:
     .zero 8
 
     .text
+    .eq vlint.threads, 4       # thread count for `vlint --races`
     li      x9, 4
     vltcfg  x9
     tid     x10

@@ -11,6 +11,7 @@ outp:
     .zero 256
 
     .text
+    .eq vlint.threads, 1      # single-thread demo (for vlint --races)
     li      x3, 32
     setvl   x0, x3             # single thread, one full strip
     la      x20, xs

@@ -13,6 +13,7 @@ ys: .double 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0
     .zero 448
 
     .text
+    .eq vlint.threads, 4       # thread count for `vlint --races`
     li      x9, 4
     vltcfg  x9                 # 4 threads, MVL 16 each
     tid     x10

@@ -12,6 +12,7 @@ outp:
     .zero 128                  # 16 dwords
 
     .text
+    .eq vlint.threads, 1      # single-thread demo (for vlint --races)
     li      x3, 16
     setvl   x0, x3             # 16 pairs
     la      x20, xs
