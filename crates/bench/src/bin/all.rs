@@ -1,14 +1,21 @@
-//! Run every experiment and write all JSON records.
+//! Run every experiment, write all JSON records, and fail loudly if any
+//! expected figure/table record is absent afterwards.
 
 fn main() {
     use vlt_bench::experiments as ex;
     let scale = ex::scale_from_env();
-    println!("{}", ex::table3::run());
+    let results = vlt_bench::results_dir();
+    let t3 = ex::table3::run();
+    println!("{t3}");
+    match t3.write_to(&results, "table3") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => eprintln!("could not write results JSON: {err}"),
+    }
     ex::emit(&ex::table1::run());
     ex::emit(&ex::table2::run());
     println!("{}", ex::table4::render_full(scale));
     let t4 = ex::table4::run(scale);
-    t4.write_to(&vlt_bench::results_dir()).ok();
+    t4.write_to(&results).ok();
     for e in [
         ex::fig1::run(scale),
         ex::fig3::run(scale),
@@ -19,5 +26,15 @@ fn main() {
         ex::ext_chaining::run(scale),
     ] {
         ex::emit_result(e);
+    }
+
+    let missing = vlt_bench::missing_result_files(&results);
+    if !missing.is_empty() {
+        eprintln!(
+            "suite incomplete: {} is missing expected result files: {}",
+            results.display(),
+            missing.join(", ")
+        );
+        std::process::exit(1);
     }
 }

@@ -1,5 +1,14 @@
-//! Echo the base configuration against the paper's Table 3.
+//! Echo the base configuration against the paper's Table 3 and persist
+//! the JSON record.
 
 fn main() {
-    println!("{}", vlt_bench::experiments::table3::run());
+    let t = vlt_bench::experiments::table3::run();
+    println!("{t}");
+    match t.write_to(&vlt_bench::results_dir(), "table3") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => {
+            eprintln!("could not write results JSON: {err}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,244 @@
+//! `vlprof`: run any workload (or a raw `.s` program) under the full
+//! observability stack and emit a Perfetto/Chrome trace, a metrics JSON
+//! document, and a terminal summary of the top stall causes per region.
+//!
+//! ```text
+//! vlprof saxpy.s                      # profile an assembly file
+//! vlprof mxm --config v4-cmp          # profile a suite workload
+//! vlprof radix --threads 8 --config v4-cmt-lanes --out prof/
+//! ```
+//!
+//! Both output documents are validated before they are written (the same
+//! validators the test suite uses), so a malformed trace fails the run
+//! instead of failing later inside `chrome://tracing`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vlt_core::{SimResult, System, SystemConfig};
+use vlt_obs::perfetto::validate_chrome_trace;
+use vlt_obs::{MetricsObserver, Multi, PerfettoObserver};
+use vlt_stats::metrics::validate_metrics_json;
+use vlt_stats::{MetricsRegistry, Table};
+use vlt_workloads::{workload, Scale};
+
+const USAGE: &str = "\
+usage: vlprof <workload|file.s> [options]
+
+  <workload|file.s>   a suite workload name (mxm, sage, mpenc, trfd,
+                      multprec, bt, radix, ocean, barnes) or a path to a
+                      VLT assembly file
+
+options:
+  --config NAME   design point: base, v2-smt, v2-cmp, v2-cmp-h, v4-smt,
+                  v4-cmt, v4-cmp, v4-cmp-h, cmt, v4-cmt-lanes
+                  (default: v4-cmt)
+  --threads N     software threads (default: 4, the examples' shape)
+  --scale S       workload problem size: test | small | full
+                  (default: small; ignored for .s files)
+  --out DIR       output directory for trace.json + metrics.json
+                  (default: vlprof-out)
+  -h, --help      this text";
+
+struct Args {
+    target: String,
+    config: String,
+    threads: usize,
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    argv.next(); // program name
+    let mut target = None;
+    let mut config = "v4-cmt".to_string();
+    let mut threads = 4usize;
+    let mut scale = Scale::Small;
+    let mut out = PathBuf::from("vlprof-out");
+    let next = |argv: &mut std::env::Args, flag: &str| {
+        argv.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--config" => config = next(&mut argv, "--config")?,
+            "--threads" => {
+                threads = next(&mut argv, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_string())?;
+            }
+            "--scale" => {
+                scale = match next(&mut argv, "--scale")?.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    s => return Err(format!("unknown scale {s:?} (test | small | full)")),
+                };
+            }
+            "--out" => out = PathBuf::from(next(&mut argv, "--out")?),
+            s if s.starts_with('-') => return Err(format!("unknown option {s}\n\n{USAGE}")),
+            _ => {
+                if target.replace(a).is_some() {
+                    return Err("more than one workload given".to_string());
+                }
+            }
+        }
+    }
+    let target = target.ok_or_else(|| USAGE.to_string())?;
+    if threads == 0 {
+        return Err("--threads needs a positive integer".to_string());
+    }
+    Ok(Args { target, config, threads, scale, out })
+}
+
+/// Resolve a design-point name (case- and `-`/`_`-insensitive).
+fn config_by_name(name: &str) -> Option<SystemConfig> {
+    match name.to_ascii_lowercase().replace('_', "-").as_str() {
+        "base" => Some(SystemConfig::base(8)),
+        "v2-smt" => Some(SystemConfig::v2_smt()),
+        "v2-cmp" => Some(SystemConfig::v2_cmp()),
+        "v2-cmp-h" => Some(SystemConfig::v2_cmp_h()),
+        "v4-smt" => Some(SystemConfig::v4_smt()),
+        "v4-cmt" => Some(SystemConfig::v4_cmt()),
+        "v4-cmp" => Some(SystemConfig::v4_cmp()),
+        "v4-cmp-h" => Some(SystemConfig::v4_cmp_h()),
+        "cmt" => Some(SystemConfig::cmt()),
+        "v4-cmt-lanes" | "lane-threads" => Some(SystemConfig::v4_cmt_lane_threads()),
+        _ => None,
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let cfg = config_by_name(&args.config)
+        .ok_or_else(|| format!("unknown config {:?}\n\n{USAGE}", args.config))?;
+    if args.threads > cfg.max_threads() {
+        return Err(format!(
+            "{} supports at most {} threads, got {}",
+            cfg.name,
+            cfg.max_threads(),
+            args.threads
+        ));
+    }
+
+    // Resolve the target: a `.s` file profiles as-is; a workload name
+    // builds at the requested scale and verifies after the run.
+    let is_asm = args.target.ends_with(".s");
+    let (label, program, built) = if is_asm {
+        let src = std::fs::read_to_string(&args.target)
+            .map_err(|e| format!("cannot read {}: {e}", args.target))?;
+        let program = vlt_isa::asm::assemble(&src).map_err(|e| format!("{}: {e}", args.target))?;
+        (args.target.clone(), program, None)
+    } else {
+        let w = workload(&args.target).ok_or_else(|| {
+            format!("{:?} is neither a workload name nor a .s file\n\n{USAGE}", args.target)
+        })?;
+        let built = w.build(args.threads, args.scale);
+        (w.name().to_string(), built.program.clone(), Some(built))
+    };
+
+    eprintln!("vlprof: {label} on {} x{} ...", cfg.name, args.threads);
+    let mut sys = System::new(cfg.clone(), &program, args.threads);
+    let mut metrics = MetricsObserver::new();
+    let mut trace = PerfettoObserver::new();
+    let result = {
+        let mut multi = Multi::new().with(&mut metrics).with(&mut trace);
+        sys.run_observed(vlt_bench::harness::MAX_CYCLES, &mut multi)
+            .map_err(|e| format!("simulation failed: {e}"))?
+    };
+    if let Some(built) = &built {
+        (built.verifier)(sys.funcsim()).map_err(|m| format!("verification failed: {m}"))?;
+    }
+    result.check_stall_conservation().map_err(|e| format!("stall accounting broken: {e}"))?;
+
+    // Validate both documents before writing anything.
+    let metrics_doc = metrics.into_registry();
+    let metrics_json = metrics_doc.to_json();
+    validate_metrics_json(&metrics_json).map_err(|e| format!("metrics JSON invalid: {e}"))?;
+    let trace_json = trace.into_json();
+    validate_chrome_trace(&trace_json).map_err(|e| format!("trace JSON invalid: {e}"))?;
+
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    for (name, doc) in [("trace.json", &trace_json), ("metrics.json", &metrics_json)] {
+        let path = args.out.join(name);
+        std::fs::write(&path, doc.pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+
+    print_summary(&label, &cfg, &result, &metrics_doc);
+    Ok(())
+}
+
+/// Per-region stall-cause counters out of the registry, keyed by region.
+fn stalls_by_region(reg: &MetricsRegistry) -> BTreeMap<u32, Vec<(String, u64)>> {
+    let mut per_region: BTreeMap<u32, Vec<(String, u64)>> = BTreeMap::new();
+    for (name, v) in reg.counters() {
+        let Some(rest) = name.strip_prefix("stalls.region") else { continue };
+        let Some((region, cause)) = rest.split_once('.') else { continue };
+        let Ok(region) = region.parse::<u32>() else { continue };
+        per_region.entry(region).or_default().push((cause.to_string(), v));
+    }
+    for causes in per_region.values_mut() {
+        causes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+    per_region
+}
+
+fn print_summary(label: &str, cfg: &SystemConfig, result: &SimResult, reg: &MetricsRegistry) {
+    println!("{label} on {} — {} cycles, {} committed", cfg.name, result.cycles, result.committed);
+    if cfg.has_vu {
+        println!(
+            "vector datapaths {:.1}% busy; {} vector issues",
+            100.0 * result.utilization.busy_fraction(),
+            reg.counter("vu.issues"),
+        );
+    }
+    if reg.counter("barrier.releases") > 0 {
+        println!("{} barrier rendezvous", reg.counter("barrier.releases"));
+    }
+    println!();
+
+    let per_region = stalls_by_region(reg);
+    let mut t = Table::new(
+        "Top stall causes per region",
+        &["region", "cycles", "stall-cycles", "top causes"],
+    );
+    for (region, causes) in &per_region {
+        let total: u64 = causes.iter().map(|(_, n)| n).sum();
+        let top = causes
+            .iter()
+            .take(3)
+            .map(|(cause, n)| format!("{cause} {:.0}%", 100.0 * *n as f64 / total as f64))
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row(&[
+            region.to_string(),
+            result.region_cycles.get(region).copied().unwrap_or(0).to_string(),
+            total.to_string(),
+            top,
+        ]);
+    }
+    if t.is_empty() {
+        println!("no stalled or idle cycles attributed (nothing ever waited)");
+    } else {
+        println!("{t}");
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vlprof: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! [`SuiteError`]s instead of panicking inside a worker.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -21,6 +21,34 @@ pub const MAX_CYCLES: u64 = 2_000_000_000;
 /// Where JSON records land (repo-relative).
 pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Every figure/table record the full suite must leave in [`results_dir`].
+/// The `all` runner checks this set after writing and exits nonzero when
+/// one is absent — a silently-skipped experiment would otherwise look like
+/// a passing suite.
+pub const EXPECTED_RESULTS: [&str; 11] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ext_lanes",
+    "ext_chaining",
+];
+
+/// The expected result records missing from `dir`, as `<id>.json` names
+/// (empty when the suite output is complete).
+pub fn missing_result_files(dir: &Path) -> Vec<String> {
+    EXPECTED_RESULTS
+        .iter()
+        .map(|id| format!("{id}.json"))
+        .filter(|f| !dir.join(f).is_file())
+        .collect()
 }
 
 /// A failed run within a suite: which run, and what went wrong.
@@ -223,6 +251,23 @@ mod tests {
         let results = run_suite_parallel(specs).expect("suite runs");
         assert_eq!(results.len(), 4);
         assert_eq!(BUILDS.load(Ordering::Relaxed), 1, "identical specs must share one build");
+    }
+
+    #[test]
+    fn committed_results_are_complete() {
+        let missing = missing_result_files(&results_dir());
+        assert!(
+            missing.is_empty(),
+            "results/ is missing {missing:?} — run `cargo run --release --bin all` and commit"
+        );
+    }
+
+    #[test]
+    fn missing_results_are_reported() {
+        let empty = std::env::temp_dir().join("vlt-no-results-here");
+        let missing = missing_result_files(&empty);
+        assert_eq!(missing.len(), EXPECTED_RESULTS.len());
+        assert!(missing.contains(&"table3.json".to_string()));
     }
 
     #[test]

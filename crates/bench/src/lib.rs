@@ -26,4 +26,7 @@
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{results_dir, run_built, run_suite_parallel, RunSpec, SuiteError};
+pub use harness::{
+    missing_result_files, results_dir, run_built, run_suite_parallel, RunSpec, SuiteError,
+    EXPECTED_RESULTS,
+};

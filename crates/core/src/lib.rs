@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # vlt-core — Vector Lane Threading
 //!
@@ -37,4 +37,5 @@ pub use system::{
     CycleView, DriverMode, NullObserver, ProgressObserver, RepartitionEvent, Sample,
     SamplingObserver, SimObserver, System,
 };
-pub use vu::{VectorUnit, VuConfig};
+pub use vlt_scalar::{StallBreakdown, StallCause};
+pub use vu::{VecIssue, VectorUnit, VuConfig};

@@ -4,7 +4,8 @@ use std::collections::BTreeMap;
 
 use vlt_exec::ExecError;
 use vlt_mem::MemStats;
-use vlt_scalar::CoreStats;
+use vlt_scalar::inorder::LaneStats;
+use vlt_scalar::{CoreStats, StallBreakdown};
 
 /// Datapath utilization in the Figure-4 taxonomy, in datapath-cycles.
 /// The invariant `busy + partly_idle + stalled + all_idle ==
@@ -54,6 +55,12 @@ pub struct SimResult {
     pub utilization: Utilization,
     /// Per-scalar-unit statistics.
     pub cores: Vec<CoreStats>,
+    /// Per-lane-core statistics (empty outside VLT scalar-thread mode).
+    pub lanes: Vec<LaneStats>,
+    /// Vector-unit stall-cause breakdown, in datapath-cycles: attributes
+    /// `utilization.stalled + utilization.all_idle` by cause (zeros without
+    /// a vector unit).
+    pub vu_stalls: StallBreakdown,
     /// Memory-hierarchy statistics.
     pub mem: MemStats,
     /// Cycles attributed to each `region` marker (region 0 = unannotated).
@@ -76,6 +83,55 @@ impl SimResult {
         let eligible: u64 =
             self.region_cycles.iter().filter(|(r, _)| **r >= 1).map(|(_, c)| *c).sum();
         100.0 * eligible as f64 / total as f64
+    }
+
+    /// Machine-wide stall-cause composition: the vector unit's breakdown
+    /// merged with every scalar unit's and lane core's. Contributors use
+    /// different units (datapath-cycles vs core cycles) — a profile shape,
+    /// not a single count.
+    pub fn stalls(&self) -> StallBreakdown {
+        let mut b = self.vu_stalls;
+        for c in &self.cores {
+            b.merge(&c.stalls);
+        }
+        for l in &self.lanes {
+            b.merge(&l.stalls);
+        }
+        b
+    }
+
+    /// Check the stall-cause conservation invariants: per unit, the sum of
+    /// attributed cycles equals the unit's untagged stall/idle counters
+    /// (the vector unit's Figure-4 `stalled + all_idle`, each scalar
+    /// unit's `fetch_stall_cycles`, each lane core's `stall_cycles`).
+    /// Returns a description of the first violation, if any.
+    pub fn check_stall_conservation(&self) -> Result<(), String> {
+        let vu_lost = self.utilization.stalled + self.utilization.all_idle;
+        if self.vu_stalls.total() != vu_lost {
+            return Err(format!(
+                "vector unit: attributed {} datapath-cycles, stalled+all_idle is {vu_lost}",
+                self.vu_stalls.total(),
+            ));
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.stalls.total() != c.fetch_stall_cycles {
+                return Err(format!(
+                    "scalar unit {i}: attributed {} cycles, fetch_stall_cycles is {}",
+                    c.stalls.total(),
+                    c.fetch_stall_cycles,
+                ));
+            }
+        }
+        for (i, l) in self.lanes.iter().enumerate() {
+            if l.stalls.total() != l.stall_cycles {
+                return Err(format!(
+                    "lane core {i}: attributed {} cycles, stall_cycles is {}",
+                    l.stalls.total(),
+                    l.stall_cycles,
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -127,6 +183,8 @@ mod tests {
             committed: 0,
             utilization: Utilization::default(),
             cores: vec![],
+            lanes: vec![],
+            vu_stalls: StallBreakdown::default(),
             mem: MemStats::default(),
             region_cycles: BTreeMap::new(),
             clamped_repartitions: 0,

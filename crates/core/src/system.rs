@@ -18,12 +18,14 @@ use std::sync::Arc;
 
 use vlt_exec::{DecodedProgram, DynKind, ExecError, FuncSim, Step};
 use vlt_isa::{Op, Program};
-use vlt_mem::MemSystem;
-use vlt_scalar::{FetchResult, FetchSource, InOrderCore, LaneCoreConfig, NullVectorSink, OooCore};
+use vlt_mem::{BankEvent, MemSystem};
+use vlt_scalar::{
+    FetchResult, FetchSource, InOrderCore, LaneCoreConfig, NullVectorSink, OooCore, StallBreakdown,
+};
 
 use crate::config::SystemConfig;
 use crate::result::{SimError, SimResult, Utilization};
-use crate::vu::{VectorUnit, VuConfig};
+use crate::vu::{VecIssue, VectorUnit, VuConfig};
 
 /// Wraps the functional simulator as a [`FetchSource`], tracking the current
 /// `region` marker (for % opportunity attribution) and any `vltcfg` observed
@@ -95,6 +97,8 @@ struct CycleEvents {
     barrier_releases: Option<u64>,
     /// A `vltcfg` reached the vector unit this cycle.
     repartition: Option<RepartitionEvent>,
+    /// Bitmask of software threads parked at a barrier after this cycle.
+    parked: u64,
 }
 
 /// Read-only view of the machine handed to [`SimObserver::on_cycle`].
@@ -119,6 +123,22 @@ impl CycleView<'_> {
     /// Region marker active on thread 0.
     pub fn region(&self) -> u32 {
         self.sys.src.cur_region
+    }
+
+    /// Cumulative machine-wide stall-cause breakdown: the vector unit's
+    /// datapath-cycles merged with every scalar unit's and lane core's
+    /// stall cycles. Units differ across contributors (datapath-cycles vs
+    /// core cycles), so treat this as a composition profile, not a single
+    /// count; per-unit breakdowns are on the final [`SimResult`].
+    pub fn stalls(&self) -> StallBreakdown {
+        let mut b = self.sys.vu.as_ref().map(|v| v.stalls).unwrap_or_default();
+        for c in &self.sys.cores {
+            b.merge(&c.stats.stalls);
+        }
+        for l in &self.sys.lane_cores {
+            b.merge(&l.stats.stalls);
+        }
+        b
     }
 }
 
@@ -154,8 +174,38 @@ pub trait SimObserver {
     }
     /// A barrier rendezvous completed; `releases` is the cumulative count.
     fn on_barrier(&mut self, _now: u64, _releases: u64) {}
-    /// A `vltcfg` was applied (possibly clamped) to the vector unit.
+    /// A `vltcfg` was requested (possibly clamped) of the vector unit; the
+    /// unit drains before applying it (see
+    /// [`SimObserver::on_repartition_applied`]).
     fn on_repartition(&mut self, _now: u64, _ev: &RepartitionEvent) {}
+    /// A requested repartition finished draining and took effect this
+    /// cycle; `drain_latency` is the cycles it waited for the vector unit
+    /// to drain.
+    fn on_repartition_applied(&mut self, _now: u64, _drain_latency: u64) {}
+    /// Thread 0 entered a new region (the `region` marker changed). Fires
+    /// at the region boundary with the machine state entering the new
+    /// region, so cumulative counters snapshot per-region deltas exactly.
+    fn on_region(&mut self, _now: u64, _region: u32, _view: &CycleView<'_>) {}
+    /// Software thread `thread` parked at a barrier (`parked == true`) or
+    /// resumed from one (`parked == false`). Fires on transitions only.
+    fn on_park(&mut self, _now: u64, _thread: usize, _parked: bool) {}
+    /// A vector instruction issued to a functional unit. Only delivered
+    /// when [`SimObserver::wants_vec_events`] returned true at run start.
+    fn on_vec_issue(&mut self, _now: u64, _ev: &VecIssue) {}
+    /// Opt-in for [`SimObserver::on_vec_issue`] delivery. Checked once per
+    /// run; event logging in the vector unit is off otherwise so the plain
+    /// run path pays nothing.
+    fn wants_vec_events(&self) -> bool {
+        false
+    }
+    /// An L2 bank serviced an access. Only delivered when
+    /// [`SimObserver::wants_mem_events`] returned true at run start.
+    fn on_mem_access(&mut self, _now: u64, _ev: &BankEvent) {}
+    /// Opt-in for [`SimObserver::on_mem_access`] delivery. Checked once per
+    /// run; the L2 records no events otherwise.
+    fn wants_mem_events(&self) -> bool {
+        false
+    }
     /// The run completed; `result` is what the caller will receive.
     fn on_finish(&mut self, _result: &SimResult) {}
 }
@@ -286,6 +336,8 @@ pub struct System {
     lane_cores: Vec<InOrderCore>,
     vu: Option<VectorUnit>,
     mem: MemSystem,
+    /// Software threads loaded into the functional simulator.
+    nthreads: usize,
     /// Barrier releases already flushed, against the funcsim's exact count.
     flushed_releases: u64,
     driver: DriverMode,
@@ -372,9 +424,21 @@ impl System {
             lane_cores,
             vu,
             mem,
+            nthreads,
             flushed_releases: 0,
             driver: DriverMode::default(),
         }
+    }
+
+    /// Bitmask of software threads currently parked at a barrier.
+    fn parked_mask(&self) -> u64 {
+        let mut m = 0u64;
+        for t in 0..self.nthreads.min(64) {
+            if self.src.sim.thread_parked(t) {
+                m |= 1u64 << t;
+            }
+        }
+        m
     }
 
     /// The configuration this machine was built from.
@@ -455,6 +519,17 @@ impl System {
         let mut now = 0u64;
         let skipping = self.driver == DriverMode::EventDriven;
         let mut fingerprint = self.progress_fingerprint();
+        // Event delivery is opt-in per run: the producing units record
+        // nothing unless this observer asked, so `run` pays nothing.
+        let vec_events = obs.wants_vec_events();
+        if let Some(v) = &mut self.vu {
+            v.set_issue_logging(vec_events);
+        }
+        let mem_events = obs.wants_mem_events();
+        self.mem.l2.set_recording(mem_events);
+        // Park transitions are reported by diffing against the previous
+        // cycle's mask (threads start running, so the baseline is empty).
+        let mut parked_prev = 0u64;
         loop {
             if self.done() {
                 break;
@@ -473,12 +548,45 @@ impl System {
                 }
                 obs.on_repartition(now, rp);
             }
+            if let Some(v) = &mut self.vu {
+                if let Some(latency) = v.take_applied_repartition() {
+                    obs.on_repartition_applied(now, latency);
+                }
+            }
+            if ev.parked != parked_prev {
+                let diff = ev.parked ^ parked_prev;
+                for t in 0..self.nthreads.min(64) {
+                    if diff & (1u64 << t) != 0 {
+                        obs.on_park(now, t, ev.parked & (1u64 << t) != 0);
+                    }
+                }
+                parked_prev = ev.parked;
+            }
+            if vec_events {
+                if let Some(v) = &self.vu {
+                    for i in 0..v.issue_log().len() {
+                        let e = v.issue_log()[i];
+                        obs.on_vec_issue(now, &e);
+                    }
+                }
+                if let Some(v) = &mut self.vu {
+                    v.clear_issue_log();
+                }
+            }
+            if mem_events {
+                for i in 0..self.mem.l2.recorded_events().len() {
+                    let e = self.mem.l2.recorded_events()[i];
+                    obs.on_mem_access(now, &e);
+                }
+                self.mem.l2.clear_events();
+            }
             if self.src.cur_region != acc_region {
                 if acc_cycles > 0 {
                     *region_cycles.entry(acc_region).or_insert(0) += acc_cycles;
                 }
                 acc_region = self.src.cur_region;
                 acc_cycles = 0;
+                obs.on_region(now, acc_region, &CycleView { sys: self });
             }
             acc_cycles += 1;
             now += 1;
@@ -551,16 +659,22 @@ impl System {
     }
 
     /// Bulk-credit a skipped `[from, from + span)` window to every
-    /// per-cycle counter, exactly as `span` naive ticks would have.
+    /// per-cycle counter, exactly as `span` naive ticks would have. Park
+    /// state cannot change inside a quiescent span (parking and resuming
+    /// are front-end activity), so one mask covers the whole window.
     fn credit_idle_span(&mut self, from: u64, span: u64) {
+        let parked = self.parked_mask();
         for c in &mut self.cores {
             c.credit_idle_span(from, span);
         }
-        for l in &mut self.lane_cores {
-            l.credit_idle_span(span);
+        {
+            let System { lane_cores, src, .. } = self;
+            for l in lane_cores.iter_mut() {
+                l.credit_idle_span(from, span, src.sim.thread_parked(l.thread()));
+            }
         }
         if let Some(v) = &mut self.vu {
-            v.account_idle_span(span);
+            v.account_idle_span(from, span, parked, self.nthreads);
         }
     }
 
@@ -598,6 +712,10 @@ impl System {
             let System { lane_cores, mem, src, .. } = self;
             lane_cores[i].tick(now, mem, src)?;
         }
+        // Park state after the front ends ran (observation inputs: VU
+        // stall-cause attribution and the on_park transition hook).
+        let parked = self.parked_mask();
+        ev.parked = parked;
         if let Some(v) = &mut self.vu {
             // Per-phase lane repartitioning (paper §3.3): a fetched
             // `vltcfg` requests it; the VU applies it once drained and
@@ -607,10 +725,10 @@ impl System {
                 // Lane-partition counts beyond the configured maximum
                 // (e.g. a scalar-thread build's vltcfg 8) are clamped.
                 let applied = if clamped { self.cfg.vlt_threads } else { t as usize };
-                v.request_repartition(applied);
+                v.request_repartition(applied, now);
                 ev.repartition = Some(RepartitionEvent { requested: t, applied, clamped });
             }
-            v.tick(now, &mut self.mem, self.src.sim.arena());
+            v.tick(now, &mut self.mem, self.src.sim.arena(), parked, self.nthreads);
         }
 
         // Barrier rendezvous completed: flush L1 data caches so post-barrier
@@ -642,6 +760,8 @@ impl System {
             committed,
             utilization: self.vu.as_ref().map(|v| v.util).unwrap_or_default(),
             cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
+            lanes: self.lane_cores.iter().map(|c| c.stats.clone()).collect(),
+            vu_stalls: self.vu.as_ref().map(|v| v.stalls).unwrap_or_default(),
             mem: self.mem.stats(),
             region_cycles,
             clamped_repartitions,

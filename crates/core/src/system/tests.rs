@@ -477,22 +477,23 @@ fn repartition_backpressure() {
         addrs: AddrRange::EMPTY,
         seq,
         deps: vec![],
+        scalar_deps: vec![],
         ready_base: 0,
     };
     let tok = vu.try_dispatch(d(0), 0).unwrap();
-    vu.request_repartition(2);
+    vu.request_repartition(2, 0);
     // Pending repartition: dispatch refused even though the window has room.
     assert!(vu.try_dispatch(d(1), 0).is_none());
     assert_eq!(vu.threads(), 1, "not yet drained");
     // Drain and observe the repartition.
     let mut now = 0;
     while vu.poll(tok).is_none() {
-        vu.tick(now, &mut mem, &arena);
+        vu.tick(now, &mut mem, &arena, 0, 1);
         now += 1;
         assert!(now < 1000);
     }
-    vu.tick(now, &mut mem, &arena); // retire + apply
-    vu.tick(now + 1, &mut mem, &arena);
+    vu.tick(now, &mut mem, &arena, 0, 1); // retire + apply
+    vu.tick(now + 1, &mut mem, &arena, 0, 1);
     assert_eq!(vu.threads(), 2);
     // Dispatch flows again, into the new partitioning.
     assert!(vu.try_dispatch(d(2), now + 2).is_some());

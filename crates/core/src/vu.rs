@@ -19,7 +19,7 @@ use std::sync::Arc;
 use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
 use vlt_isa::{Op, OpClass};
 use vlt_mem::MemSystem;
-use vlt_scalar::{fold_event, VecDispatch, VecToken, VectorSink};
+use vlt_scalar::{fold_event, StallBreakdown, StallCause, VecDispatch, VecToken, VectorSink};
 
 use crate::result::Utilization;
 
@@ -105,6 +105,19 @@ enum St {
     Reported,
 }
 
+/// What kind of producer a dep-free entry's future `ready_base` traces back
+/// to — attribution metadata only (timing reads `ready_base` alone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WaitSrc {
+    /// A scalar producer (the dispatch-time snapshot, or a scalar-unit
+    /// resolution of a scalar instruction).
+    Scalar,
+    /// An in-flight vector arithmetic producer (chaining position).
+    Vector,
+    /// An in-flight vector memory producer (bank-bound wait).
+    VectorMem,
+}
+
 #[derive(Debug)]
 struct VuEntry {
     token: VecToken,
@@ -116,9 +129,13 @@ struct VuEntry {
     vl: u16,
     addrs: AddrRange,
     deps: Vec<u64>,
+    /// Subset of `deps` with scalar producers (attribution only).
+    scalar_deps: Vec<u64>,
     ready_base: u64,
     dispatched_at: u64,
     state: St,
+    /// Producer kind behind the current `ready_base` (attribution only).
+    wait: WaitSrc,
 }
 
 /// One functional-unit pipeline inside a partition: occupied for a window
@@ -154,6 +171,27 @@ struct Partition {
     vmem: [Fu; 2],
 }
 
+/// One vector instruction issued to a functional unit this cycle — logged
+/// (when event logging is on) for the observability layer; never read by
+/// the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecIssue {
+    /// Lane partition the instruction issued in.
+    pub partition: u32,
+    /// Originating VLT thread.
+    pub vthread: u32,
+    /// Static instruction index.
+    pub sidx: u32,
+    /// Effective vector length.
+    pub vl: u16,
+    /// Resource class.
+    pub class: OpClass,
+    /// Issue cycle.
+    pub start: u64,
+    /// Full-completion cycle.
+    pub done: u64,
+}
+
 /// The vector unit.
 #[derive(Debug)]
 pub struct VectorUnit {
@@ -162,11 +200,25 @@ pub struct VectorUnit {
     /// A requested repartition waiting for the unit to drain; while set,
     /// dispatch is refused (natural backpressure on the scalar units).
     pending_threads: Option<usize>,
+    /// Cycle the pending repartition was requested (latency attribution).
+    pending_since: u64,
+    /// Drain latency of the repartition applied this tick, if any; drained
+    /// by the system driver for observer notification.
+    applied_latency: Option<u64>,
     next_token: u64,
     /// Aggregate datapath utilization (Figure 4 categories).
     pub util: Utilization,
+    /// Why each stalled/all-idle datapath-cycle was lost. Conservation
+    /// invariant: `stalls.total() == util.stalled + util.all_idle` at all
+    /// times, under both drivers.
+    pub stalls: StallBreakdown,
     /// Total vector instructions issued to functional units.
     pub issued: u64,
+    /// When true, every functional-unit issue is appended to `issue_log`
+    /// (drained by the system driver each cycle). Observation only.
+    log_issues: bool,
+    /// Issues logged since the driver last drained them.
+    issue_log: Vec<VecIssue>,
     prog: Arc<DecodedProgram>,
 }
 
@@ -185,9 +237,14 @@ impl VectorUnit {
             cfg,
             partitions,
             pending_threads: None,
+            pending_since: 0,
+            applied_latency: None,
             next_token: 0,
             util: Utilization::default(),
+            stalls: StallBreakdown::default(),
             issued: 0,
+            log_issues: false,
+            issue_log: Vec::new(),
             prog,
         }
     }
@@ -195,6 +252,30 @@ impl VectorUnit {
     /// The configuration in force.
     pub fn config(&self) -> &VuConfig {
         &self.cfg
+    }
+
+    /// Enable or disable functional-unit issue logging (observer support).
+    pub fn set_issue_logging(&mut self, on: bool) {
+        self.log_issues = on;
+        if !on {
+            self.issue_log.clear();
+        }
+    }
+
+    /// Issues logged since the last [`VectorUnit::clear_issue_log`] call.
+    pub fn issue_log(&self) -> &[VecIssue] {
+        &self.issue_log
+    }
+
+    /// Discard consumed issue events, keeping the buffer capacity.
+    pub fn clear_issue_log(&mut self) {
+        self.issue_log.clear();
+    }
+
+    /// The drain latency of a repartition applied this tick, if one was;
+    /// consumes the record (driver-side observer notification).
+    pub fn take_applied_repartition(&mut self) -> Option<u64> {
+        self.applied_latency.take()
     }
 
     /// Advance one cycle: issue ready entries, then account utilization
@@ -205,11 +286,24 @@ impl VectorUnit {
     /// order, work-conserving — an idle partition's slots flow to the
     /// others. This is the paper's finding that a multiplexed VCL performs
     /// as fast as a replicated one (§3.2).
-    pub fn tick(&mut self, now: u64, mem: &mut MemSystem, arena: &AddrArena) {
+    ///
+    /// `parked_threads` is a bitmask of software threads currently parked at
+    /// a barrier and `nthreads` the software thread count — observation-only
+    /// inputs for stall-cause attribution (a partition whose feeding threads
+    /// are all parked idles as `BarrierWait`, not `NoDlp`).
+    pub fn tick(
+        &mut self,
+        now: u64,
+        mem: &mut MemSystem,
+        arena: &AddrArena,
+        parked_threads: u64,
+        nthreads: usize,
+    ) {
         if let Some(t) = self.pending_threads {
             if self.drained() {
                 self.repartition(t);
                 self.pending_threads = None;
+                self.applied_latency = Some(now.saturating_sub(self.pending_since));
             }
         }
         let t = self.cfg.threads;
@@ -222,7 +316,7 @@ impl VectorUnit {
             budget = self.issue_partition(pi, budget, now, mem, arena);
         }
 
-        self.account(now);
+        self.account(now, parked_threads, nthreads);
 
         for p in &mut self.partitions {
             p.window.retain(|e| e.state != St::Reported);
@@ -238,7 +332,7 @@ impl VectorUnit {
         mem: &mut MemSystem,
         arena: &AddrArena,
     ) -> usize {
-        let mut resolutions: Vec<(usize, u64, u64)> = Vec::new();
+        let mut resolutions: Vec<(usize, u64, u64, WaitSrc)> = Vec::new();
         {
             let prog = Arc::clone(&self.prog);
             let p = &mut self.partitions[pi];
@@ -306,26 +400,51 @@ impl VectorUnit {
                 self.issued += 1;
                 let seq = e.seq;
                 let vthread = e.vthread;
+                if self.log_issues {
+                    self.issue_log.push(VecIssue {
+                        partition: pi as u32,
+                        vthread: vthread as u32,
+                        sidx: e.sidx,
+                        vl: e.vl,
+                        class,
+                        start: now,
+                        done,
+                    });
+                }
+                let src = if matches!(class, OpClass::VLoad | OpClass::VStore) {
+                    WaitSrc::VectorMem
+                } else {
+                    WaitSrc::Vector
+                };
                 p.window[i].state = St::Done(done);
                 resolutions.push((
                     vthread,
                     seq,
                     if self.cfg.chaining { chain_ready } else { done },
+                    src,
                 ));
             }
         }
         // Wake same-partition consumers (vector-vector chaining through the
         // window happens at completion granularity).
-        for (vthread, seq, done) in resolutions {
-            self.resolve(vthread, seq, done);
+        for (vthread, seq, done, src) in resolutions {
+            self.resolve_from(vthread, seq, done, Some(src));
         }
         budget
     }
 
-    /// Per-cycle Figure-4 accounting across all arithmetic datapaths.
-    fn account(&mut self, now: u64) {
-        for p in &self.partitions {
+    /// Per-cycle Figure-4 accounting across all arithmetic datapaths, with
+    /// stall-cause attribution: each non-busy datapath group charges
+    /// `lanes` datapath-cycles both to the coarse stalled/all-idle bucket
+    /// and to this cycle's partition-level [`StallCause`].
+    fn account(&mut self, now: u64, parked_threads: u64, nthreads: usize) {
+        let pcount = self.partitions.len();
+        let draining = self.pending_threads.is_some();
+        for pi in 0..pcount {
+            let parked = Self::partition_parked(pi, pcount, parked_threads, nthreads);
+            let p = &self.partitions[pi];
             let waiting = p.window.iter().any(|e| matches!(e.state, St::Waiting));
+            let mut cause = None;
             for f in 0..3 {
                 match p.arith[f].busy_datapaths(now, p.lanes) {
                     Some(busy) => {
@@ -338,9 +457,86 @@ impl VectorUnit {
                         } else {
                             self.util.all_idle += p.lanes as u64;
                         }
+                        let c = *cause
+                            .get_or_insert_with(|| Self::partition_cause(p, now, draining, parked));
+                        self.stalls.add(c, p.lanes as u64);
                     }
                 }
             }
+        }
+    }
+
+    /// True when partition `pi` has at least one feeding software thread and
+    /// all of them are parked at a barrier. Thread `t` feeds partition
+    /// `t % pcount` (the [`VectorSink::try_dispatch`] mapping).
+    fn partition_parked(pi: usize, pcount: usize, parked_threads: u64, nthreads: usize) -> bool {
+        let mut any = false;
+        let mut t = pi;
+        while t < nthreads.min(64) {
+            any = true;
+            if parked_threads & (1u64 << t) == 0 {
+                return false;
+            }
+            t += pcount;
+        }
+        any
+    }
+
+    /// Why a partition's non-busy datapath groups are losing this cycle.
+    /// Every input is constant across a quiescent span (window membership,
+    /// deps, `ready_base`, `wait`, the pending repartition, and park state
+    /// only change inside driver steps; a dep-free entry that is ready right
+    /// now forces `Some(from)` in [`VectorUnit::next_event`]), so the
+    /// per-cycle and bulk-credit paths tag identically.
+    fn partition_cause(p: &Partition, now: u64, draining: bool, parked: bool) -> StallCause {
+        let mut ready_now = false;
+        let mut scalar_dep = false;
+        let mut any_dep = false;
+        let mut mem_wait = false;
+        let mut waiting = false;
+        for e in &p.window {
+            if !matches!(e.state, St::Waiting) {
+                continue;
+            }
+            waiting = true;
+            if e.deps.is_empty() {
+                if e.ready_base <= now && e.dispatched_at < now {
+                    ready_now = true;
+                } else {
+                    match e.wait {
+                        WaitSrc::VectorMem => mem_wait = true,
+                        WaitSrc::Scalar => scalar_dep = true,
+                        WaitSrc::Vector => {}
+                    }
+                }
+            } else {
+                any_dep = true;
+                if !e.scalar_deps.is_empty() {
+                    scalar_dep = true;
+                }
+            }
+        }
+        if waiting {
+            // Stalled: fixed priority so attribution is deterministic.
+            if ready_now {
+                StallCause::IssueWidth
+            } else if scalar_dep {
+                StallCause::ScalarDep
+            } else if mem_wait {
+                StallCause::BankConflict
+            } else if any_dep {
+                StallCause::ChainDepth
+            } else {
+                // Dep-free entries waiting out a vector producer's chain
+                // position (or their own dispatch cycle).
+                StallCause::ChainDepth
+            }
+        } else if draining {
+            StallCause::Drain
+        } else if parked {
+            StallCause::BarrierWait
+        } else {
+            StallCause::NoDlp
         }
     }
 
@@ -379,15 +575,27 @@ impl VectorUnit {
         ev
     }
 
-    /// Credit `cycles` provably-idle cycles to the utilization taxonomy,
-    /// exactly as per-cycle [`VectorUnit::tick`] accounting would have: no
-    /// datapath does element work during a skipped span
-    /// ([`VectorUnit::next_event`] refuses to skip while any arithmetic
+    /// Credit `cycles` provably-idle cycles starting at `from` to the
+    /// utilization taxonomy, exactly as per-cycle [`VectorUnit::tick`]
+    /// accounting would have: no datapath does element work during a skipped
+    /// span ([`VectorUnit::next_event`] refuses to skip while any arithmetic
     /// pipeline is occupied), so each partition's three datapath groups
     /// accrue `stalled` when work is waiting in its window and `all_idle`
-    /// otherwise.
-    pub fn account_idle_span(&mut self, cycles: u64) {
-        for p in &self.partitions {
+    /// otherwise, all under one [`StallCause`] — every attribution input is
+    /// constant over a quiescent span (see [`VectorUnit`]'s
+    /// `partition_cause`).
+    pub fn account_idle_span(
+        &mut self,
+        from: u64,
+        cycles: u64,
+        parked_threads: u64,
+        nthreads: usize,
+    ) {
+        let pcount = self.partitions.len();
+        let draining = self.pending_threads.is_some();
+        for pi in 0..pcount {
+            let parked = Self::partition_parked(pi, pcount, parked_threads, nthreads);
+            let p = &self.partitions[pi];
             let waiting = p.window.iter().any(|e| matches!(e.state, St::Waiting));
             let add = 3 * p.lanes as u64 * cycles;
             if waiting {
@@ -395,6 +603,8 @@ impl VectorUnit {
             } else {
                 self.util.all_idle += add;
             }
+            let cause = Self::partition_cause(p, from, draining, parked);
+            self.stalls.add(cause, add);
         }
     }
 
@@ -431,11 +641,40 @@ impl VectorUnit {
 
     /// Request a repartition (paper §3.3: per-phase `vltcfg`). Applied at
     /// the next cycle the unit is drained; until then dispatch is refused.
-    /// No-op when the partitioning already matches.
-    pub fn request_repartition(&mut self, threads: usize) {
+    /// No-op when the partitioning already matches. `now` stamps the request
+    /// for drain-latency attribution (observation only).
+    pub fn request_repartition(&mut self, threads: usize, now: u64) {
         assert!(matches!(threads, 1 | 2 | 4));
         if threads != self.cfg.threads {
             self.pending_threads = Some(threads);
+            self.pending_since = now;
+        }
+    }
+
+    /// Producer-completion broadcast with an attribution hint: `src` is the
+    /// producer kind when the resolver knows it (the VU's own issue loop),
+    /// `None` for scalar-unit broadcasts (classified per consumer through
+    /// its `scalar_deps` snapshot). The hint never affects timing.
+    fn resolve_from(&mut self, vthread: usize, seq: u64, done_at: u64, src: Option<WaitSrc>) {
+        let pi = vthread % self.partitions.len();
+        for e in self.partitions[pi].window.iter_mut() {
+            if e.state == St::Waiting && e.vthread == vthread {
+                if let Some(pos) = e.deps.iter().position(|d| *d == seq) {
+                    e.deps.swap_remove(pos);
+                    let kind = src.unwrap_or(if e.scalar_deps.contains(&seq) {
+                        WaitSrc::Scalar
+                    } else {
+                        WaitSrc::Vector
+                    });
+                    if let Some(pos) = e.scalar_deps.iter().position(|d| *d == seq) {
+                        e.scalar_deps.swap_remove(pos);
+                    }
+                    if done_at >= e.ready_base {
+                        e.wait = kind;
+                    }
+                    e.ready_base = e.ready_base.max(done_at);
+                }
+            }
         }
     }
 }
@@ -464,23 +703,17 @@ impl VectorSink for VectorUnit {
             vl: d.vl,
             addrs: d.addrs,
             deps: d.deps,
+            scalar_deps: d.scalar_deps,
             ready_base: d.ready_base,
             dispatched_at: now,
             state: St::Waiting,
+            wait: WaitSrc::Scalar,
         });
         Some(token)
     }
 
     fn resolve(&mut self, vthread: usize, seq: u64, done_at: u64) {
-        let pi = vthread % self.partitions.len();
-        for e in self.partitions[pi].window.iter_mut() {
-            if e.state == St::Waiting && e.vthread == vthread {
-                if let Some(pos) = e.deps.iter().position(|d| *d == seq) {
-                    e.deps.swap_remove(pos);
-                    e.ready_base = e.ready_base.max(done_at);
-                }
-            }
-        }
+        self.resolve_from(vthread, seq, done_at, None);
     }
 
     fn poll(&mut self, token: VecToken) -> Option<u64> {

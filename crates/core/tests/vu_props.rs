@@ -105,6 +105,7 @@ proptest! {
                         },
                         seq,
                         deps: vec![],
+                        scalar_deps: vec![],
                         ready_base: 0,
                     };
                     if let Some(tok) = vu.try_dispatch(d, now) {
@@ -114,7 +115,7 @@ proptest! {
                         accepted += 1;
                     }
                 }
-                vu.tick(now, &mut mem, &arena);
+                vu.tick(now, &mut mem, &arena, 0, threads);
                 let mut bad_completion = None;
                 pending.retain(|(tok, dispatched)| match vu.poll(*tok) {
                     Some(t) => {
@@ -153,6 +154,7 @@ fn window_capacity_is_partition_scoped() {
                 addrs: AddrRange::EMPTY,
                 seq: (p * 8 + i) as u64,
                 deps: vec![],
+                scalar_deps: vec![],
                 ready_base: 0,
             };
             assert!(vu.try_dispatch(d, 0).is_some(), "partition {p} entry {i}");
@@ -165,6 +167,7 @@ fn window_capacity_is_partition_scoped() {
             addrs: AddrRange::EMPTY,
             seq: 1000 + p as u64,
             deps: vec![],
+            scalar_deps: vec![],
             ready_base: 0,
         };
         assert!(vu.try_dispatch(d, 0).is_none(), "partition {p} must be full");

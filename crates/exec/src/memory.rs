@@ -20,7 +20,10 @@ pub const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// assert_eq!(m.read_u64(0x4000_0000), 42);
 /// assert_eq!(m.read_u64(0x9999_9999), 0); // unmapped reads as zero
 /// ```
-#[derive(Debug, Clone, Default)]
+/// `PartialEq` compares the mapped page sets byte-for-byte (a zero-filled
+/// mapped page is *not* equal to an unmapped one) — strict enough for the
+/// observer-equivalence tests that assert two runs left identical images.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }

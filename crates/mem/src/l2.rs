@@ -8,6 +8,25 @@
 use crate::cache::Cache;
 use crate::config::MemConfig;
 
+/// One observed L2 bank access, recorded only while event recording is
+/// enabled (see [`BankedL2::set_recording`]). Purely observational: the
+/// timeline exporter turns these into per-bank trace slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankEvent {
+    /// Bank index the access landed in.
+    pub bank: u32,
+    /// Cycle the bank began servicing the access (after any conflict wait).
+    pub start: u64,
+    /// Cycle the data was ready (hit latency or full miss path).
+    pub done: u64,
+    /// True when the access waited for a busy bank.
+    pub conflict: bool,
+    /// True for writes.
+    pub write: bool,
+    /// True when the access missed to memory.
+    pub miss: bool,
+}
+
 /// Word-interleaved, multi-banked L2 + main-memory channel timing model.
 #[derive(Debug)]
 pub struct BankedL2 {
@@ -22,10 +41,19 @@ pub struct BankedL2 {
     banks: usize,
     /// Total accesses that had to wait for a busy bank.
     pub bank_conflicts: u64,
+    /// Conflict count per bank (same events as `bank_conflicts`, split by
+    /// the bank the access waited on).
+    pub bank_conflict_counts: Vec<u64>,
     /// Total L2 accesses.
     pub accesses: u64,
     /// Accesses that missed to memory.
     pub misses: u64,
+    /// When true, every access is appended to `events` (drained by the
+    /// observer layer each cycle). Off by default: recording never affects
+    /// timing, only whether the buffer fills.
+    recording: bool,
+    /// Recorded accesses since the last [`BankedL2::drain_events`] call.
+    events: Vec<BankEvent>,
 }
 
 impl BankedL2 {
@@ -41,9 +69,32 @@ impl BankedL2 {
             mem_line_cycles: cfg.mem_line_cycles,
             banks: cfg.l2_banks,
             bank_conflicts: 0,
+            bank_conflict_counts: vec![0; cfg.l2_banks],
             accesses: 0,
             misses: 0,
+            recording: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enable or disable per-access event recording (observer support).
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Events recorded since the last drain. The caller is expected to
+    /// [`BankedL2::clear_events`] after consuming them; the buffer's
+    /// capacity is retained so steady-state recording does not allocate.
+    pub fn recorded_events(&self) -> &[BankEvent] {
+        &self.events
+    }
+
+    /// Discard consumed events, keeping the buffer capacity.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
     }
 
     /// Bank index for an address (8-byte word interleaving).
@@ -56,23 +107,31 @@ impl BankedL2 {
     ///
     /// Writes have the same bank/tag behaviour as reads (write-allocate);
     /// the caller decides whether the requester actually waits on them.
-    pub fn access(&mut self, addr: u64, _write: bool, now: u64) -> u64 {
+    pub fn access(&mut self, addr: u64, write: bool, now: u64) -> u64 {
         self.accesses += 1;
         let bank = self.bank_of(addr);
         let start = now.max(self.bank_free[bank]);
-        if start > now {
+        let conflict = start > now;
+        if conflict {
             self.bank_conflicts += 1;
+            self.bank_conflict_counts[bank] += 1;
         }
         self.bank_free[bank] = start + 1;
-        if self.tags.access(addr) {
+        let mut miss = false;
+        let done = if self.tags.access(addr) {
             start + self.hit_latency
         } else {
+            miss = true;
             self.misses += 1;
             // The fill occupies the memory channel for `mem_line_cycles`.
             let mem_start = (start + self.hit_latency).max(self.mem_free);
             self.mem_free = mem_start + self.mem_line_cycles;
             mem_start + self.miss_penalty
+        };
+        if self.recording {
+            self.events.push(BankEvent { bank: bank as u32, start, done, conflict, write, miss });
         }
+        done
     }
 
     /// Advisory earliest cycle `> from` at which a currently-busy bank or

@@ -26,5 +26,5 @@ pub mod system;
 
 pub use cache::Cache;
 pub use config::MemConfig;
-pub use l2::BankedL2;
+pub use l2::{BankEvent, BankedL2};
 pub use system::{MemStats, MemSystem};

@@ -15,6 +15,8 @@ pub struct MemStats {
     pub lane_i: Vec<(u64, u64)>,
     /// L2 (accesses, misses, bank conflicts).
     pub l2: (u64, u64, u64),
+    /// L2 bank-conflict count per bank (sums to `l2.2`).
+    pub l2_bank_conflicts: Vec<u64>,
 }
 
 /// The full memory hierarchy: per-core L1s, per-lane I-caches, shared L2.
@@ -110,6 +112,7 @@ impl MemSystem {
             l1d: self.l1d.iter().map(|c| (c.hits, c.misses)).collect(),
             lane_i: self.lane_i.iter().map(|c| (c.hits, c.misses)).collect(),
             l2: (self.l2.accesses, self.l2.misses, self.l2.bank_conflicts),
+            l2_bank_conflicts: self.l2.bank_conflict_counts.clone(),
         }
     }
 }

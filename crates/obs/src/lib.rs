@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! # vlt-obs — the observability layer
+//!
+//! Turns the [`vlt_core::SimObserver`] spine into a full observability
+//! stack without touching the timing model:
+//!
+//! * [`MetricsObserver`] — publishes counters and fixed-bucket histograms
+//!   (vector lengths per region, bank conflicts per bank, barrier-wait
+//!   distributions per thread, repartition drain latencies, per-region
+//!   stall-cause breakdowns) into a [`vlt_stats::MetricsRegistry`],
+//!   serialized as versioned JSON by `vlt-stats`;
+//! * [`PerfettoObserver`] — records a Chrome-trace / Perfetto timeline
+//!   (`trace.json`): per-thread barrier-wait slices, per-partition vector
+//!   issues, per-bank L2 activity, barrier epochs as async spans, and
+//!   repartitions as instant events;
+//! * [`Multi`] — a composite adapter that fans every hook out to several
+//!   observers so sampling, metrics, and tracing share one simulation pass.
+//!
+//! Every observer here is *passive*: none declares a `next_deadline`
+//! tighter than the events it reacts to, so the event-driven driver keeps
+//! skipping quiescent spans and results stay byte-identical to an
+//! unobserved run (enforced by `tests/equivalence.rs`).
+
+pub mod metrics;
+pub mod multi;
+pub mod perfetto;
+
+pub use metrics::MetricsObserver;
+pub use multi::Multi;
+pub use perfetto::PerfettoObserver;

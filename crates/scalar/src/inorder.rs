@@ -12,10 +12,11 @@ use vlt_mem::MemSystem;
 use crate::config::LaneCoreConfig;
 use crate::ooo::latency;
 use crate::predictor::Predictor;
+use crate::stall::{StallBreakdown, StallCause};
 use crate::traits::{FetchResult, FetchSource};
 
 /// Per-lane-core statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LaneStats {
     /// Instructions committed.
     pub committed: u64,
@@ -23,6 +24,9 @@ pub struct LaneStats {
     pub stall_cycles: u64,
     /// Branch mispredictions.
     pub mispredicts: u64,
+    /// Why each stall cycle was lost. Conservation invariant:
+    /// `stalls.total() == stall_cycles` at all times, under both drivers.
+    pub stalls: StallBreakdown,
 }
 
 const REG_SPACE: usize = 64; // 32 int + 32 fp (lane cores run scalar threads)
@@ -124,16 +128,68 @@ impl InOrderCore {
         Some(t)
     }
 
-    /// Credit a provably-idle span to the stall counter, as per-cycle ticks
-    /// would have: every persistent quiescent state of a live lane core
-    /// (stall window, operand wait, full load queue, barrier park) charges
-    /// exactly one stall cycle per cycle. Port-conflict stashes are the only
-    /// stall-free quiescent-looking states, and they cannot persist across a
-    /// cycle boundary (ports replenish every tick), so
-    /// [`InOrderCore::next_event`] never lets a span cover one.
-    pub fn credit_idle_span(&mut self, cycles: u64) {
-        if !self.halted {
-            self.stats.stall_cycles += cycles;
+    /// Credit a provably-idle span `[from, from + cycles)` to the stall
+    /// counters, as per-cycle ticks would have: every persistent quiescent
+    /// state of a live lane core (stall window, operand wait, full load
+    /// queue, barrier park) charges exactly one stall cycle per cycle.
+    /// Port-conflict stashes are the only stall-free quiescent-looking
+    /// states, and they cannot persist across a cycle boundary (ports
+    /// replenish every tick), so [`InOrderCore::next_event`] never lets a
+    /// span cover one.
+    ///
+    /// Cause attribution splits the span exactly as the per-cycle path
+    /// would: first the front-end stall window ([`StallCause::IssueWidth`]),
+    /// then — all predicates being constant over a quiescent span — either a
+    /// barrier park, an operand wait, or a full load queue. The operand-wait
+    /// phase ends at the latest unready operand's ready time, which is
+    /// exactly where [`InOrderCore::next_event`] ends the span unless a full
+    /// load queue extends it, so the three-way split reproduces the
+    /// cycle-by-cycle tags byte for byte.
+    pub fn credit_idle_span(&mut self, from: u64, cycles: u64, parked: bool) {
+        if self.halted {
+            return;
+        }
+        self.stats.stall_cycles += cycles;
+        let bubble = self.stall_until.saturating_sub(from).min(cycles);
+        self.stats.stalls.add(StallCause::IssueWidth, bubble);
+        let rem = cycles - bubble;
+        if rem == 0 {
+            return;
+        }
+        let s = from + bubble;
+        match &self.pending {
+            None => {
+                // A live, pending-less lane only persists parked at a
+                // barrier (otherwise the front end would fetch).
+                debug_assert!(parked, "quiescent span with nothing pending and not parked");
+                let cause = if parked { StallCause::BarrierWait } else { StallCause::IssueWidth };
+                self.stats.stalls.add(cause, rem);
+            }
+            Some(d) => {
+                let si = self.prog.get(d.sidx as usize);
+                // Per-cycle order: operand wait is checked before the load
+                // queue, so cycles below the latest operand-ready time tag
+                // ScalarDep and only the remainder can be queue pressure.
+                let max_ready = si
+                    .uses
+                    .iter()
+                    .filter_map(|u| reg_index(*u))
+                    .map(|i| self.ready[i])
+                    .max()
+                    .unwrap_or(0);
+                let dep = max_ready.saturating_sub(s).min(rem);
+                self.stats.stalls.add(StallCause::ScalarDep, dep);
+                let rest = rem - dep;
+                if rest > 0 {
+                    let qfull = si.class == OpClass::Load
+                        && self.outstanding.iter().filter(|done| **done > s).count()
+                            >= self.cfg.load_queue;
+                    debug_assert!(qfull, "quiescent span past operand-ready without queue stall");
+                    let cause =
+                        if qfull { StallCause::BankConflict } else { StallCause::ScalarDep };
+                    self.stats.stalls.add(cause, rest);
+                }
+            }
         }
     }
 
@@ -149,6 +205,7 @@ impl InOrderCore {
         }
         if self.stall_until > now {
             self.stats.stall_cycles += 1;
+            self.stats.stalls.add(StallCause::IssueWidth, 1);
             return Ok(());
         }
         self.outstanding.retain(|d| *d > now);
@@ -162,6 +219,7 @@ impl InOrderCore {
                     FetchResult::AtBarrier => {
                         if slot == 0 {
                             self.stats.stall_cycles += 1;
+                            self.stats.stalls.add(StallCause::BarrierWait, 1);
                         }
                         return Ok(());
                     }
@@ -196,6 +254,7 @@ impl InOrderCore {
             if !operands_ready {
                 self.pending = Some(d);
                 self.stats.stall_cycles += 1;
+                self.stats.stalls.add(StallCause::ScalarDep, 1);
                 return Ok(());
             }
 
@@ -214,6 +273,7 @@ impl InOrderCore {
                     if self.outstanding.len() >= self.cfg.load_queue || mem_ports == 0 {
                         self.pending = Some(d);
                         self.stats.stall_cycles += 1;
+                        self.stats.stalls.add(StallCause::BankConflict, 1);
                         return Ok(());
                     }
                     mem_ports -= 1;

@@ -22,12 +22,14 @@ pub mod config;
 pub mod inorder;
 pub mod ooo;
 pub mod predictor;
+pub mod stall;
 pub mod traits;
 
 pub use config::{CoreConfig, LaneCoreConfig};
 pub use inorder::InOrderCore;
 pub use ooo::{CoreStats, OooCore};
 pub use predictor::Predictor;
+pub use stall::{StallBreakdown, StallCause};
 pub use traits::{
     fold_event, FetchResult, FetchSource, NullVectorSink, VecDispatch, VecToken, VectorSink,
 };

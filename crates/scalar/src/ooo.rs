@@ -27,6 +27,7 @@ use vlt_mem::MemSystem;
 
 use crate::config::CoreConfig;
 use crate::predictor::Predictor;
+use crate::stall::{StallBreakdown, StallCause};
 use crate::traits::{fold_event, FetchResult, FetchSource, VecDispatch, VecToken, VectorSink};
 
 /// Execution latency by class (cycles from issue to result availability).
@@ -59,6 +60,10 @@ pub struct CoreStats {
     pub busy_cycles: u64,
     /// Branch mispredictions charged.
     pub mispredicts: u64,
+    /// Why each fetch-stall cycle was lost. Conservation invariant:
+    /// `stalls.total() == fetch_stall_cycles` at all times, under both
+    /// drivers.
+    pub stalls: StallBreakdown,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -289,6 +294,68 @@ impl OooCore {
         });
         if !any_eligible && self.ctxs.iter().any(|c| c.active()) {
             self.stats.fetch_stall_cycles += cycles;
+            self.stats.stalls.add(self.fetch_stall_cause(from), cycles);
+        }
+    }
+
+    /// Classify *why* no context is fetch-eligible this cycle, for
+    /// stall-cause attribution. Called from the per-cycle fetch stage and
+    /// from [`OooCore::credit_idle_span`]; every predicate it reads is
+    /// constant across a quiescent span ([`OooCore::next_event`] folds each
+    /// context's `fetch_ready`, the head entry's completion, and every
+    /// issue-candidate wake-up, and ROB membership only changes inside
+    /// `tick`), so both paths tag identically.
+    ///
+    /// Priority (fixed, so attribution is deterministic): a draining
+    /// context ([`StallCause::Drain`]), then a front-end redirect/I-cache
+    /// penalty ([`StallCause::IssueWidth`]), then a full window classified
+    /// by the oldest uncompleted entry — an in-flight vector producer
+    /// ([`StallCause::ChainDepth`]), a memory access
+    /// ([`StallCause::BankConflict`]), or a scalar dependence chain
+    /// ([`StallCause::ScalarDep`]). A full window of *completed* entries is
+    /// commit-bandwidth pressure and tags [`StallCause::IssueWidth`].
+    fn fetch_stall_cause(&self, now: u64) -> StallCause {
+        let (mut drain, mut redirect, mut chain, mut bank, mut scalar, mut commit_bw) =
+            (false, false, false, false, false, false);
+        for c in &self.ctxs {
+            if c.thread.is_none() || !c.active() {
+                continue;
+            }
+            if c.draining {
+                drain = true;
+                continue;
+            }
+            if !c.halted && c.fetch_ready > now {
+                redirect = true;
+                continue;
+            }
+            // Window full (or halted and draining through commit): classify
+            // by the oldest entry that has not completed yet.
+            match c.rob.iter().find(|e| e.done_at.is_none_or(|d| d > now)) {
+                Some(e) => match e.kind {
+                    EKind::Vector { .. } => chain = true,
+                    EKind::Mem { .. } => bank = true,
+                    _ => scalar = true,
+                },
+                None => commit_bw = true,
+            }
+        }
+        if drain {
+            StallCause::Drain
+        } else if redirect {
+            StallCause::IssueWidth
+        } else if chain {
+            StallCause::ChainDepth
+        } else if bank {
+            StallCause::BankConflict
+        } else if scalar {
+            StallCause::ScalarDep
+        } else if commit_bw {
+            StallCause::IssueWidth
+        } else {
+            // Unreachable when the caller established an active context with
+            // none fetch-eligible; keep the counters conserved regardless.
+            StallCause::ScalarDep
         }
     }
 
@@ -505,6 +572,7 @@ impl OooCore {
         if order.is_empty() {
             if self.ctxs.iter().any(|c| c.active()) {
                 self.stats.fetch_stall_cycles += 1;
+                self.stats.stalls.add(self.fetch_stall_cause(now), 1);
             }
             return Ok(());
         }
@@ -578,6 +646,7 @@ impl OooCore {
         // (completion cycle known): fold it into `ready_base` instead of
         // recording a dependence whose resolution broadcast already happened.
         let mut deps = Vec::new();
+        let mut scalar_deps = Vec::new();
         let mut ready_base = 0u64;
         for u in &si.uses {
             match self.ctxs[ci].reg_map[reg_index(*u)] {
@@ -601,6 +670,15 @@ impl OooCore {
                             );
                             if !deps.contains(&s) {
                                 deps.push(s);
+                                // Producers absent from the ROB retired early
+                                // into the VU; ROB-resident vector entries are
+                                // vector producers too. Everything else is a
+                                // scalar producer (attribution metadata only).
+                                let vector_producer = rob_entry
+                                    .is_none_or(|e| matches!(e.kind, EKind::Vector { .. }));
+                                if !vector_producer {
+                                    scalar_deps.push(s);
+                                }
                             }
                         }
                     }
@@ -634,6 +712,7 @@ impl OooCore {
                     addrs,
                     seq,
                     deps: deps.clone(),
+                    scalar_deps: scalar_deps.clone(),
                     ready_base,
                 };
                 match vu.try_dispatch(disp, now) {

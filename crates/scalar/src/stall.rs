@@ -1,0 +1,174 @@
+//! The stall-cause attribution taxonomy.
+//!
+//! The paper's Figure 4 decomposes datapath utilization into busy /
+//! partly-idle / stalled / all-idle, but says nothing about *why* a cycle
+//! was lost. Every timed unit in the simulator (scalar units, lane cores,
+//! vector-unit partitions) tags each stalled or idle cycle it accounts with
+//! one [`StallCause`], under a conservation invariant checked in tests:
+//! the per-cause totals sum exactly to the unit's untagged stall/idle
+//! counters, under both the cycle-by-cycle and the event-driven driver.
+
+/// Why a unit lost a cycle (or a datapath-cycle, for the vector unit).
+///
+/// One fixed, closed taxonomy shared by every unit; not every cause can
+/// occur on every unit (e.g. only the vector unit attributes [`NoDlp`]).
+///
+/// [`NoDlp`]: StallCause::NoDlp
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum StallCause {
+    /// No data-level parallelism available: the unit had nothing queued at
+    /// all (vector unit only — the all-idle half of Figure 4's taxonomy
+    /// when no barrier or repartition explains the emptiness).
+    NoDlp,
+    /// Lost to memory-system backpressure: a full load queue or exhausted
+    /// memory ports on a lane core, an L2-bank-bound wait in the vector
+    /// unit, or a scalar unit's window full behind a memory access.
+    BankConflict,
+    /// Waiting on an in-flight *vector* producer (chaining position or
+    /// full completion, depending on the chaining configuration).
+    ChainDepth,
+    /// Parked at a barrier waiting for other threads to arrive.
+    BarrierWait,
+    /// Waiting on a *scalar* producer (operand not yet computed, or a
+    /// scalar unit's window full behind a scalar dependence chain).
+    ScalarDep,
+    /// Draining toward a serialize point: a pending `vltcfg` repartition.
+    Drain,
+    /// Work was ready but issue/fetch bandwidth (or a busy functional
+    /// unit, or a front-end redirect penalty) did not admit it this cycle.
+    IssueWidth,
+}
+
+impl StallCause {
+    /// Every cause, in declaration order (the [`StallBreakdown`] index
+    /// order).
+    pub const ALL: [StallCause; 7] = [
+        StallCause::NoDlp,
+        StallCause::BankConflict,
+        StallCause::ChainDepth,
+        StallCause::BarrierWait,
+        StallCause::ScalarDep,
+        StallCause::Drain,
+        StallCause::IssueWidth,
+    ];
+
+    /// Stable machine-readable name (used as JSON keys and trace labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::NoDlp => "no-dlp",
+            StallCause::BankConflict => "bank-conflict",
+            StallCause::ChainDepth => "chain-depth",
+            StallCause::BarrierWait => "barrier-wait",
+            StallCause::ScalarDep => "scalar-dep",
+            StallCause::Drain => "drain",
+            StallCause::IssueWidth => "issue-width",
+        }
+    }
+}
+
+/// Per-cause cycle counts: a tiny fixed-size accumulator indexed by
+/// [`StallCause`]. Units are whatever the owning counter uses — core
+/// cycles for the scalar units and lane cores, datapath-cycles for the
+/// vector unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    counts: [u64; StallCause::ALL.len()],
+}
+
+impl StallBreakdown {
+    /// Credit `cycles` to `cause`.
+    #[inline]
+    pub fn add(&mut self, cause: StallCause, cycles: u64) {
+        self.counts[cause as usize] += cycles;
+    }
+
+    /// Cycles attributed to `cause` so far.
+    #[inline]
+    pub fn get(&self, cause: StallCause) -> u64 {
+        self.counts[cause as usize]
+    }
+
+    /// Total attributed cycles across all causes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Per-cause difference `self - earlier` (saturating; both snapshots
+    /// of one monotone accumulator, so saturation never fires in practice).
+    pub fn since(&self, earlier: &StallBreakdown) -> StallBreakdown {
+        let mut out = StallBreakdown::default();
+        for (i, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[i] = a.saturating_sub(*b);
+        }
+        out
+    }
+
+    /// `(cause, cycles)` pairs in declaration order, including zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        StallCause::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// Causes sorted by descending cycle count, zeros omitted.
+    pub fn ranked(&self) -> Vec<(StallCause, u64)> {
+        let mut v: Vec<(StallCause, u64)> = self.iter().filter(|(_, n)| *n > 0).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut b = StallBreakdown::default();
+        b.add(StallCause::NoDlp, 3);
+        b.add(StallCause::IssueWidth, 5);
+        b.add(StallCause::NoDlp, 2);
+        assert_eq!(b.get(StallCause::NoDlp), 5);
+        assert_eq!(b.get(StallCause::IssueWidth), 5);
+        assert_eq!(b.get(StallCause::Drain), 0);
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses() {
+        let mut a = StallBreakdown::default();
+        a.add(StallCause::ChainDepth, 7);
+        let mut b = a;
+        b.add(StallCause::ScalarDep, 4);
+        b.add(StallCause::ChainDepth, 1);
+        let delta = b.since(&a);
+        assert_eq!(delta.get(StallCause::ChainDepth), 1);
+        assert_eq!(delta.get(StallCause::ScalarDep), 4);
+        let mut back = a;
+        back.merge(&delta);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn ranked_sorts_descending_without_zeros() {
+        let mut b = StallBreakdown::default();
+        b.add(StallCause::BarrierWait, 2);
+        b.add(StallCause::BankConflict, 9);
+        let r = b.ranked();
+        assert_eq!(r, vec![(StallCause::BankConflict, 9), (StallCause::BarrierWait, 2)]);
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: std::collections::BTreeSet<&str> =
+            StallCause::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), StallCause::ALL.len());
+        assert!(names.contains("no-dlp") && names.contains("issue-width"));
+    }
+}

@@ -71,6 +71,11 @@ pub struct VecDispatch {
     pub seq: u64,
     /// Sequence numbers of in-flight producers this instruction reads.
     pub deps: Vec<u64>,
+    /// The subset of `deps` produced by *scalar* instructions (the rest are
+    /// in-flight vector producers). Purely observational — used by the
+    /// vector unit's stall-cause attribution to distinguish
+    /// scalar-dependence waits from chaining waits; timing reads `deps`.
+    pub scalar_deps: Vec<u64>,
     /// Earliest issue cycle from producers that had already completed at
     /// dispatch time.
     pub ready_base: u64,
@@ -126,6 +131,7 @@ mod tests {
                 addrs: AddrRange::EMPTY,
                 seq: 0,
                 deps: vec![],
+                scalar_deps: vec![],
                 ready_base: 0,
             },
             0,

@@ -10,9 +10,11 @@
 //!   diffed.
 
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod speedup;
 pub mod table;
 
+pub use metrics::{Histogram, MetricsRegistry, METRICS_SCHEMA_VERSION};
 pub use report::{Experiment, Series};
 pub use table::Table;
