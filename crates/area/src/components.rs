@@ -23,6 +23,11 @@ pub struct AreaModel {
     pub smt2_penalty: f64,
     /// Area penalty for 4-way multithreading within a scalar core.
     pub smt4_penalty: f64,
+    /// Per-cluster network interface + link slice for the multi-cluster
+    /// extension (DESIGN.md §11). Not a Table 1 number — an estimate in the
+    /// spirit of the model (about a quarter of a lane); single-cluster
+    /// designs pay nothing, so every paper figure is untouched.
+    pub router: f64,
 }
 
 impl Default for AreaModel {
@@ -36,6 +41,7 @@ impl Default for AreaModel {
             l2: 98.4,
             smt2_penalty: 0.06,
             smt4_penalty: 0.10,
+            router: 1.6,
         }
     }
 }
@@ -61,6 +67,22 @@ impl AreaModel {
     /// the L2 (Table 1's 170.2 mm² for 8 lanes).
     pub fn base_processor(&self, lanes: usize) -> f64 {
         self.su4 + self.vcl2 + lanes as f64 * self.lane + self.l2
+    }
+
+    /// One replicated lane cluster of the multi-cluster extension: a full
+    /// VCL, `lanes` lanes, and (when the machine actually has a network,
+    /// i.e. `clusters > 1`) a router port. Replication is priced openly —
+    /// nothing about the cluster comes for free.
+    pub fn cluster(&self, lanes: usize, clusters: usize) -> f64 {
+        let router = if clusters > 1 { self.router } else { 0.0 };
+        self.vcl2 + lanes as f64 * self.lane + router
+    }
+
+    /// The ultra-wide clustered processor (DESIGN.md §11): one 4-way SU,
+    /// `clusters` replicated clusters of `lanes` lanes each, and the L2.
+    /// With `clusters == 1` this is exactly [`AreaModel::base_processor`].
+    pub fn clustered_processor(&self, lanes: usize, clusters: usize) -> f64 {
+        self.su4 + clusters as f64 * self.cluster(lanes, clusters) + self.l2
     }
 }
 

@@ -106,6 +106,14 @@ pub fn cmt_baseline_area(model: &AreaModel) -> f64 {
     2.0 * model.scalar_unit(4, 2) + model.l2
 }
 
+/// Area of the ultra-wide `V8-CMT-{clusters}x{lanes}` design point
+/// (DESIGN.md §11): four 2-way-threaded 4-way scalar units, `clusters`
+/// replicated lane clusters (each a full VCL + lanes + router port), and
+/// the shared L2.
+pub fn v8_clustered_area(model: &AreaModel, lanes: usize, clusters: usize) -> f64 {
+    4.0 * model.scalar_unit(4, 2) + clusters as f64 * model.cluster(lanes, clusters) + model.l2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +171,31 @@ mod tests {
         // are possible at an area overhead of less than 5%".
         let under: Vec<_> = VltDesign::ALL.iter().filter(|d| pct(**d) < 5.0).collect();
         assert!(under.len() >= 3, "{under:?}");
+    }
+
+    #[test]
+    fn single_cluster_pricing_is_the_base_processor() {
+        // The cluster extension must not perturb any paper figure: one
+        // cluster prices no router and reproduces Table 1 exactly.
+        let m = AreaModel::default();
+        assert_eq!(m.clustered_processor(8, 1), m.base_processor(8));
+    }
+
+    #[test]
+    fn cluster_replication_is_priced_openly() {
+        let m = AreaModel::default();
+        let a2 = v8_clustered_area(&m, 8, 2);
+        let a4 = v8_clustered_area(&m, 8, 4);
+        let a8 = v8_clustered_area(&m, 8, 8);
+        assert!(a2 < a4 && a4 < a8);
+        // Each doubling adds exactly the replicated clusters (VCL + lanes
+        // + router each); the SUs and L2 are shared.
+        let cl = m.cluster(8, 2);
+        assert!((a4 - a2 - 2.0 * cl).abs() < 1e-9);
+        assert!((a8 - a4 - 4.0 * cl).abs() < 1e-9);
+        // Wide datapaths dominate: 64 total lanes put the vector engine
+        // well past the (shared) L2.
+        assert!(8.0 * cl > m.l2);
     }
 
     #[test]

@@ -13,4 +13,4 @@ pub mod components;
 pub mod configs;
 
 pub use components::AreaModel;
-pub use configs::{ConfigArea, VltDesign};
+pub use configs::{v8_clustered_area, ConfigArea, VltDesign};

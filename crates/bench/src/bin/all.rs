@@ -24,6 +24,7 @@ fn main() {
         ex::fig6::run(scale),
         ex::ext_lanes::run(scale),
         ex::ext_chaining::run(scale),
+        ex::ext_cluster::run(scale),
     ] {
         ex::emit_result(e);
     }

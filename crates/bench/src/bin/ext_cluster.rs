@@ -1,0 +1,7 @@
+//! Extension study: multi-cluster ultra-wide VLT. See
+//! `vlt_bench::experiments::ext_cluster`.
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    vlt_bench::experiments::emit_result(vlt_bench::experiments::ext_cluster::run(scale));
+}

@@ -32,8 +32,11 @@ usage: vlprof <workload|file.s> [options]
 
 options:
   --config NAME   design point: base, v2-smt, v2-cmp, v2-cmp-h, v4-smt,
-                  v4-cmt, v4-cmp, v4-cmp-h, cmt, v4-cmt-lanes
-                  (default: v4-cmt)
+                  v4-cmt, v4-cmp, v4-cmp-h, cmt, v4-cmt-lanes, or the
+                  ultra-wide v8-2x8 / v8-4x8 / v8-8x8 (default: v4-cmt)
+  --clusters N    replicate the config's vector unit over N lane clusters
+                  (vector configs only; the trace gains per-cluster
+                  partition tracks)
   --threads N     software threads (default: 4, the examples' shape)
   --scale S       workload problem size: test | small | full
                   (default: small; ignored for .s files)
@@ -44,6 +47,7 @@ options:
 struct Args {
     target: String,
     config: String,
+    clusters: usize,
     threads: usize,
     scale: Scale,
     out: PathBuf,
@@ -53,6 +57,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     argv.next(); // program name
     let mut target = None;
     let mut config = "v4-cmt".to_string();
+    let mut clusters = 1usize;
     let mut threads = 4usize;
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("vlprof-out");
@@ -63,6 +68,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         match a.as_str() {
             "-h" | "--help" => return Err(USAGE.to_string()),
             "--config" => config = next(&mut argv, "--config")?,
+            "--clusters" => {
+                clusters = next(&mut argv, "--clusters")?
+                    .parse()
+                    .ok()
+                    .filter(|c: &usize| c.is_power_of_two())
+                    .ok_or_else(|| "--clusters needs a power-of-two count".to_string())?;
+            }
             "--threads" => {
                 threads = next(&mut argv, "--threads")?
                     .parse()
@@ -89,7 +101,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     if threads == 0 {
         return Err("--threads needs a positive integer".to_string());
     }
-    Ok(Args { target, config, threads, scale, out })
+    Ok(Args { target, config, clusters, threads, scale, out })
 }
 
 /// Resolve a design-point name (case- and `-`/`_`-insensitive).
@@ -105,13 +117,22 @@ fn config_by_name(name: &str) -> Option<SystemConfig> {
         "v4-cmp-h" => Some(SystemConfig::v4_cmp_h()),
         "cmt" => Some(SystemConfig::cmt()),
         "v4-cmt-lanes" | "lane-threads" => Some(SystemConfig::v4_cmt_lane_threads()),
+        "v8-2x8" => Some(SystemConfig::v8_clustered(2)),
+        "v8-4x8" => Some(SystemConfig::v8_clustered(4)),
+        "v8-8x8" => Some(SystemConfig::v8_clustered(8)),
         _ => None,
     }
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let cfg = config_by_name(&args.config)
+    let mut cfg = config_by_name(&args.config)
         .ok_or_else(|| format!("unknown config {:?}\n\n{USAGE}", args.config))?;
+    if args.clusters > 1 {
+        if !cfg.has_vu || cfg.lane_threads {
+            return Err(format!("{} has no vector unit to replicate over clusters", cfg.name));
+        }
+        cfg = cfg.with_clusters(args.clusters);
+    }
     if args.threads > cfg.max_threads() {
         return Err(format!(
             "{} supports at most {} threads, got {}",
@@ -133,7 +154,9 @@ fn run(args: &Args) -> Result<(), String> {
         let w = workload(&args.target).ok_or_else(|| {
             format!("{:?} is neither a workload name nor a .s file\n\n{USAGE}", args.target)
         })?;
-        let built = w.build(args.threads, args.scale);
+        // Spread the program's vltcfg over the machine's clusters so an
+        // ultra-wide profile actually exercises every cluster.
+        let built = w.build_spread(args.threads, cfg.clusters, args.scale);
         (w.name().to_string(), built.program.clone(), Some(built))
     };
 

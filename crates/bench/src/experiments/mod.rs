@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ext_chaining;
+pub mod ext_cluster;
 pub mod ext_lanes;
 pub mod fig1;
 pub mod fig3;

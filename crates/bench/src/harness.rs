@@ -27,7 +27,7 @@ pub fn results_dir() -> PathBuf {
 /// The `all` runner checks this set after writing and exits nonzero when
 /// one is absent — a silently-skipped experiment would otherwise look like
 /// a passing suite.
-pub const EXPECTED_RESULTS: [&str; 11] = [
+pub const EXPECTED_RESULTS: [&str; 12] = [
     "table1",
     "table2",
     "table3",
@@ -39,6 +39,7 @@ pub const EXPECTED_RESULTS: [&str; 11] = [
     "fig6",
     "ext_lanes",
     "ext_chaining",
+    "ext_cluster",
 ];
 
 /// The expected result records missing from `dir`, as `<id>.json` names
@@ -231,7 +232,12 @@ mod tests {
                     description: "build-counting test double",
                 }
             }
-            fn build(&self, threads: usize, scale: Scale) -> vlt_workloads::Built {
+            fn build_spread(
+                &self,
+                threads: usize,
+                _clusters: usize,
+                scale: Scale,
+            ) -> vlt_workloads::Built {
                 BUILDS.fetch_add(1, Ordering::Relaxed);
                 workload("radix").unwrap().build(threads, scale)
             }

@@ -1,0 +1,241 @@
+//! The component abstraction the timing driver iterates over.
+//!
+//! Every timed unit in the machine — out-of-order scalar units, in-order
+//! lane cores, the per-cluster vector units, the inter-cluster network, and
+//! the banked memory system — implements one [`Component`] trait. The
+//! driver in `system.rs` walks a registered component list for *every*
+//! per-unit concern:
+//!
+//! * **ticking** (advance one cycle),
+//! * **quiescence** (`next_event` for the event-driven skip horizon —
+//!   registering a component automatically includes it in the poll, so a
+//!   new unit type cannot be silently skipped over),
+//! * **progress fingerprinting** (the cheap has-anything-happened gate),
+//! * **bulk idle-span crediting** (byte-identical accounting for skipped
+//!   spans), and
+//! * **observer event hooks** (opt-in logging + per-cycle drains).
+//!
+//! Components differ wildly in what they need each cycle (a core needs the
+//! fetch source and a vector sink; a vector unit needs the memory system,
+//! the network, and park state; the network needs nothing at all), so the
+//! driver hands every call a [`TickCtx`] and each implementation takes the
+//! capabilities it uses. The driver constructs the context per component
+//! class — a capability a component expects but the driver did not provide
+//! is a wiring bug and panics loudly rather than silently mistiming.
+
+use vlt_exec::{AddrArena, ExecError};
+use vlt_mem::{ClusterNet, MemSystem};
+use vlt_scalar::{FetchSource, InOrderCore, OooCore, VectorSink};
+
+use crate::system::SimObserver;
+use crate::vu::VectorUnit;
+
+/// Identity of a registered component — an index into the [`crate::System`]
+/// unit storage, used by the driver to borrow the unit and build its
+/// [`TickCtx`] without holding the whole machine mutably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompId {
+    /// Out-of-order scalar unit `i`.
+    Core(usize),
+    /// In-order lane core `i` (VLT scalar-thread mode).
+    Lane(usize),
+    /// Vector unit of lane cluster `i`.
+    Vu(usize),
+    /// The inter-cluster network (multi-cluster machines only).
+    Net,
+    /// The memory hierarchy (passive; participates in the skip horizon).
+    Mem,
+}
+
+/// Per-call capabilities handed to a [`Component`]. Fields a component does
+/// not use are `None`/default; a component unwraps what it requires.
+pub struct TickCtx<'a> {
+    /// The shared memory hierarchy.
+    pub mem: Option<&'a mut MemSystem>,
+    /// The inter-cluster network (multi-cluster machines only).
+    pub net: Option<&'a mut ClusterNet>,
+    /// The instruction stream (front-end components only).
+    pub fetch: Option<&'a mut dyn FetchSource>,
+    /// Where vector work is dispatched (scalar units only).
+    pub sink: Option<&'a mut dyn VectorSink>,
+    /// Resolved vector element addresses (vector units only).
+    pub arena: Option<&'a AddrArena>,
+    /// Bitmask of software threads parked at a barrier.
+    pub parked: u64,
+    /// Software thread count.
+    pub nthreads: usize,
+    /// A repartition is pending machine-wide (vector dispatch is refused
+    /// and vector-unit idling attributes as `Drain`).
+    pub draining: bool,
+}
+
+impl<'a> TickCtx<'a> {
+    /// A context carrying only the cheap scalar state; the driver fills in
+    /// the borrowed capabilities each component class needs.
+    pub fn new(parked: u64, nthreads: usize, draining: bool) -> Self {
+        TickCtx {
+            mem: None,
+            net: None,
+            fetch: None,
+            sink: None,
+            arena: None,
+            parked,
+            nthreads,
+            draining,
+        }
+    }
+}
+
+/// One timed unit under the system driver. Defaults make a passive,
+/// always-done component (the memory system and network override only
+/// `next_event` and, for the L2, the event hooks), so adding a unit type
+/// means implementing exactly the concerns it has.
+pub trait Component {
+    /// Advance one cycle. Passive components (whose state only changes
+    /// inside other components' accesses) keep the no-op default.
+    fn tick(&mut self, _now: u64, _ctx: &mut TickCtx<'_>) -> Result<(), ExecError> {
+        Ok(())
+    }
+
+    /// Earliest cycle `>= from` at which this component can change state;
+    /// `None` when it is fully blocked on another component. `Some(t)` with
+    /// `t <= from` means "cannot skip at all". Passive components answer
+    /// advisorily (always `> from`): their answer can only shorten a skip,
+    /// never veto one.
+    fn next_event(&self, from: u64, src: &dyn FetchSource) -> Option<u64>;
+
+    /// Monotone progress digest contribution; the driver sums these (plus
+    /// the functional simulator's counters) into the cheap did-anything-
+    /// happen gate for the horizon scan.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// Bulk-credit a skipped `[from, from + span)` quiescent window to this
+    /// component's per-cycle counters, exactly as `span` ticks would have.
+    fn credit_idle_span(&mut self, _from: u64, _span: u64, _ctx: &mut TickCtx<'_>) {}
+
+    /// This component has drained (run-termination vote). Components with
+    /// no notion of pending work stay `true`.
+    fn done(&self) -> bool {
+        true
+    }
+
+    /// Enable/disable observer event recording for this run (`vec` =
+    /// vector-issue events, `mem` = L2 bank events). Off by default so the
+    /// plain run path pays nothing.
+    fn set_event_logging(&mut self, _vec: bool, _mem: bool) {}
+
+    /// Deliver and clear events recorded since the last drain. Only the
+    /// `on_vec_issue` / `on_mem_access` observer hooks may be invoked here
+    /// (the driver wraps the caller's observer in a shim forwarding exactly
+    /// those two).
+    fn drain_events(&mut self, _now: u64, _obs: &mut dyn SimObserver) {}
+}
+
+impl Component for OooCore {
+    fn tick(&mut self, now: u64, ctx: &mut TickCtx<'_>) -> Result<(), ExecError> {
+        let mem = ctx.mem.as_deref_mut().expect("scalar unit tick needs the memory system");
+        let fetch = ctx.fetch.as_deref_mut().expect("scalar unit tick needs the fetch source");
+        let sink = ctx.sink.as_deref_mut().expect("scalar unit tick needs a vector sink");
+        self.tick(now, mem, fetch, sink)
+    }
+
+    fn next_event(&self, from: u64, src: &dyn FetchSource) -> Option<u64> {
+        self.next_event(from, src)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.stats.committed + self.stats.issued + self.stats.vec_dispatched
+    }
+
+    fn credit_idle_span(&mut self, from: u64, span: u64, _ctx: &mut TickCtx<'_>) {
+        self.credit_idle_span(from, span);
+    }
+
+    fn done(&self) -> bool {
+        self.done()
+    }
+}
+
+impl Component for InOrderCore {
+    fn tick(&mut self, now: u64, ctx: &mut TickCtx<'_>) -> Result<(), ExecError> {
+        let mem = ctx.mem.as_deref_mut().expect("lane core tick needs the memory system");
+        let fetch = ctx.fetch.as_deref_mut().expect("lane core tick needs the fetch source");
+        self.tick(now, mem, fetch)
+    }
+
+    fn next_event(&self, from: u64, src: &dyn FetchSource) -> Option<u64> {
+        self.next_event(from, src)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.stats.committed
+    }
+
+    fn credit_idle_span(&mut self, from: u64, span: u64, ctx: &mut TickCtx<'_>) {
+        let parked = ctx.fetch.as_deref().is_some_and(|f| f.parked(self.thread()));
+        self.credit_idle_span(from, span, parked);
+    }
+
+    fn done(&self) -> bool {
+        self.done()
+    }
+}
+
+impl Component for VectorUnit {
+    fn tick(&mut self, now: u64, ctx: &mut TickCtx<'_>) -> Result<(), ExecError> {
+        let mem = ctx.mem.as_deref_mut().expect("vector unit tick needs the memory system");
+        let arena = ctx.arena.expect("vector unit tick needs the address arena");
+        self.tick(now, mem, ctx.net.as_deref_mut(), arena, ctx.parked, ctx.nthreads, ctx.draining);
+        Ok(())
+    }
+
+    fn next_event(&self, from: u64, _src: &dyn FetchSource) -> Option<u64> {
+        self.next_event(from)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.issued
+    }
+
+    fn credit_idle_span(&mut self, from: u64, span: u64, ctx: &mut TickCtx<'_>) {
+        self.account_idle_span(from, span, ctx.parked, ctx.nthreads, ctx.draining);
+    }
+
+    fn set_event_logging(&mut self, vec: bool, _mem: bool) {
+        self.set_issue_logging(vec);
+    }
+
+    fn drain_events(&mut self, now: u64, obs: &mut dyn SimObserver) {
+        for i in 0..self.issue_log().len() {
+            let e = self.issue_log()[i];
+            obs.on_vec_issue(now, &e);
+        }
+        self.clear_issue_log();
+    }
+}
+
+impl Component for MemSystem {
+    fn next_event(&self, from: u64, _src: &dyn FetchSource) -> Option<u64> {
+        self.next_event(from) // advisory: always > from
+    }
+
+    fn set_event_logging(&mut self, _vec: bool, mem: bool) {
+        self.l2.set_recording(mem);
+    }
+
+    fn drain_events(&mut self, now: u64, obs: &mut dyn SimObserver) {
+        for i in 0..self.l2.recorded_events().len() {
+            let e = self.l2.recorded_events()[i];
+            obs.on_mem_access(now, &e);
+        }
+        self.l2.clear_events();
+    }
+}
+
+impl Component for ClusterNet {
+    fn next_event(&self, from: u64, _src: &dyn FetchSource) -> Option<u64> {
+        self.next_event(from) // advisory: always > from
+    }
+}

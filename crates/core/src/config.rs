@@ -7,7 +7,7 @@
 //! `CMT` alone is the scalar baseline: the V4-CMT scalar units *without*
 //! the vector unit.
 
-use vlt_mem::MemConfig;
+use vlt_mem::{MemConfig, NetConfig};
 use vlt_scalar::CoreConfig;
 
 /// Vector-control-logic sizing (kept separate from lane count so the VCL
@@ -33,10 +33,14 @@ impl Default for VclConfig {
 pub struct SystemConfig {
     /// Configuration name as used in the paper's figures.
     pub name: String,
-    /// Vector lanes.
+    /// Vector lanes *per cluster*.
     pub lanes: usize,
-    /// VLT vector-thread partitions (1 = base single-thread operation).
+    /// VLT vector-thread partitions machine-wide (1 = base single-thread
+    /// operation). Spread over clusters at run time (DESIGN.md §11).
     pub vlt_threads: usize,
+    /// Lane clusters, each a full vector unit (1 = the paper's machines;
+    /// >1 is the ultra-wide extension study, DESIGN.md §11).
+    pub clusters: usize,
     /// Scalar units, in order; SMT contexts are configured per core.
     pub cores: Vec<CoreConfig>,
     /// Run scalar threads directly on the lanes (paper §5, Figure 6).
@@ -47,6 +51,8 @@ pub struct SystemConfig {
     pub vcl: VclConfig,
     /// Memory hierarchy parameters.
     pub mem: MemConfig,
+    /// Inter-cluster network parameters (unused when `clusters == 1`).
+    pub net: NetConfig,
 }
 
 impl SystemConfig {
@@ -56,10 +62,12 @@ impl SystemConfig {
             lanes,
             vlt_threads,
             cores,
+            clusters: 1,
             lane_threads: false,
             has_vu: true,
             vcl: VclConfig::default(),
             mem: MemConfig::default(),
+            net: NetConfig::default(),
         }
     }
 
@@ -157,6 +165,41 @@ impl SystemConfig {
         self
     }
 
+    /// Replicate the vector unit across `clusters` lane clusters (the
+    /// multi-cluster ultra-wide extension, DESIGN.md §11). `lanes` stays
+    /// per-cluster, so total datapath width is `lanes * clusters`.
+    pub fn with_clusters(mut self, clusters: usize) -> Self {
+        assert!(clusters.is_power_of_two(), "cluster count must be a power of two");
+        assert!(self.has_vu, "multi-cluster machines require a vector unit");
+        assert!(!self.lane_threads, "lane-thread mode is single-cluster only");
+        self.clusters = clusters;
+        if clusters > 1 {
+            self.name = format!("{}-{}x{}", self.name, clusters, self.lanes);
+        }
+        self
+    }
+
+    /// The ultra-wide VLT design point: `clusters` × 8-lane clusters with 8
+    /// machine-wide VLT threads over four 2-way-threaded 4-way scalar units
+    /// (the V4-CMT recipe scaled up; 16/32/64 total lanes at 2/4/8
+    /// clusters).
+    pub fn v8_clustered(clusters: usize) -> Self {
+        assert!(matches!(clusters, 2 | 4 | 8), "ultra-wide points use 2, 4, or 8 clusters");
+        let mut c = Self::mk(
+            &format!("V8-CMT-{}x8", clusters),
+            8,
+            8,
+            vec![CoreConfig::four_way().with_smt(2); 4],
+        );
+        c.clusters = clusters;
+        c
+    }
+
+    /// Total vector lanes across all clusters.
+    pub fn total_lanes(&self) -> usize {
+        self.lanes * self.clusters
+    }
+
     /// All design points evaluated in Figure 5, in presentation order.
     pub fn figure5_points() -> Vec<SystemConfig> {
         vec![
@@ -210,6 +253,30 @@ mod tests {
     fn cmt_has_no_vector_unit() {
         assert!(!SystemConfig::cmt().has_vu);
         assert_eq!(SystemConfig::cmt().max_threads(), 4);
+    }
+
+    #[test]
+    fn clustered_points_shape() {
+        for (clusters, total) in [(2, 16), (4, 32), (8, 64)] {
+            let c = SystemConfig::v8_clustered(clusters);
+            assert_eq!(c.clusters, clusters);
+            assert_eq!(c.lanes, 8);
+            assert_eq!(c.total_lanes(), total);
+            assert_eq!(c.vlt_threads, 8);
+            assert_eq!(c.contexts(), 8);
+            assert!(c.has_vu);
+            assert_eq!(c.name, format!("V8-CMT-{clusters}x8"));
+        }
+    }
+
+    #[test]
+    fn with_clusters_renames() {
+        let c = SystemConfig::v4_cmt().with_clusters(2);
+        assert_eq!(c.clusters, 2);
+        assert_eq!(c.name, "V4-CMT-2x8");
+        // clusters == 1 keeps the paper's name untouched.
+        assert_eq!(SystemConfig::v4_cmt().with_clusters(1).name, "V4-CMT");
+        assert_eq!(SystemConfig::base(8).clusters, 1);
     }
 
     #[test]

@@ -26,16 +26,19 @@
 //! println!("{} cycles", result.cycles);
 //! ```
 
+pub mod component;
 pub mod config;
 pub mod result;
 pub mod system;
 pub mod vu;
 
+pub use component::{CompId, Component, TickCtx};
 pub use config::{SystemConfig, VclConfig};
 pub use result::{SimError, SimResult, Utilization};
 pub use system::{
     CycleView, DriverMode, NullObserver, ProgressObserver, RepartitionEvent, Sample,
     SamplingObserver, SimObserver, System,
 };
+pub use vlt_mem::{NetConfig, NetStats};
 pub use vlt_scalar::{StallBreakdown, StallCause};
 pub use vu::{VecIssue, VectorUnit, VuConfig};

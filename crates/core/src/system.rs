@@ -18,11 +18,13 @@ use std::sync::Arc;
 
 use vlt_exec::{DecodedProgram, DynKind, ExecError, FuncSim, Step};
 use vlt_isa::{Op, Program};
-use vlt_mem::{BankEvent, MemSystem};
+use vlt_mem::{BankEvent, ClusterNet, MemSystem};
 use vlt_scalar::{
     FetchResult, FetchSource, InOrderCore, LaneCoreConfig, NullVectorSink, OooCore, StallBreakdown,
+    VecDispatch, VecToken, VectorSink,
 };
 
+use crate::component::{CompId, Component, TickCtx};
 use crate::config::SystemConfig;
 use crate::result::{SimError, SimResult, Utilization};
 use crate::vu::{VecIssue, VectorUnit, VuConfig};
@@ -34,16 +36,17 @@ struct TrackedSource {
     sim: FuncSim,
     prog: Arc<DecodedProgram>,
     cur_region: u32,
-    /// A `vltcfg` observed this cycle: requested lane-partition count.
-    vlt_request: Option<u8>,
+    /// A `vltcfg` observed this cycle: requested `(threads, clusters)`
+    /// hierarchy (clusters `0` = unspecified).
+    vlt_request: Option<(u8, u8)>,
 }
 
 impl FetchSource for TrackedSource {
     fn fetch(&mut self, thread: usize) -> Result<FetchResult, ExecError> {
         Ok(match self.sim.step_thread(thread)? {
             Step::Inst(d) => {
-                if let DynKind::VltCfg { threads } = d.kind {
-                    self.vlt_request = Some(threads);
+                if let DynKind::VltCfg { threads, clusters } = d.kind {
+                    self.vlt_request = Some((threads, clusters));
                 }
                 if thread == 0 {
                     let si = self.prog.get(d.sidx as usize);
@@ -81,10 +84,16 @@ pub enum DriverMode {
 /// the machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RepartitionEvent {
-    /// Lane-partition count the instruction asked for.
+    /// VLT thread count the instruction asked for.
     pub requested: u8,
-    /// Partition count actually handed to the vector unit.
+    /// Cluster spread the instruction asked for (`0` = unspecified — the
+    /// machine picks; see [`vlt_isa::vltcfg`]).
+    pub requested_clusters: u8,
+    /// Total VLT thread count actually handed to the vector unit(s).
     pub applied: usize,
+    /// Active cluster count actually applied (1 on single-cluster
+    /// machines).
+    pub applied_clusters: usize,
     /// Whether the request was invalid for this machine and got clamped.
     pub clamped: bool,
 }
@@ -115,9 +124,10 @@ impl CycleView<'_> {
             + self.sys.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>()
     }
 
-    /// Cumulative datapath utilization (zeros without a vector unit).
+    /// Cumulative datapath utilization, summed across lane clusters (zeros
+    /// without a vector unit).
     pub fn utilization(&self) -> Utilization {
-        self.sys.vu.as_ref().map(|v| v.util).unwrap_or_default()
+        self.sys.vu_utilization()
     }
 
     /// Region marker active on thread 0.
@@ -131,7 +141,7 @@ impl CycleView<'_> {
     /// core cycles), so treat this as a composition profile, not a single
     /// count; per-unit breakdowns are on the final [`SimResult`].
     pub fn stalls(&self) -> StallBreakdown {
-        let mut b = self.sys.vu.as_ref().map(|v| v.stalls).unwrap_or_default();
+        let mut b = self.sys.vu_stalls();
         for c in &self.sys.cores {
             b.merge(&c.stats.stalls);
         }
@@ -314,8 +324,9 @@ impl SimObserver for ProgressObserver {
     fn on_repartition(&mut self, now: u64, ev: &RepartitionEvent) {
         if ev.clamped {
             eprintln!(
-                "[vlt] cycle {now}: vltcfg {} invalid for this machine, clamped to {}",
-                ev.requested, ev.applied,
+                "[vlt] cycle {now}: vltcfg {} threads x {} clusters invalid for this machine, \
+                 clamped to {} x {}",
+                ev.requested, ev.requested_clusters, ev.applied, ev.applied_clusters,
             );
         }
     }
@@ -328,14 +339,95 @@ impl SimObserver for ProgressObserver {
     }
 }
 
+/// A repartition accepted by the driver, waiting for every vector unit to
+/// drain before it takes effect machine-wide.
+#[derive(Debug, Clone, Copy)]
+struct PendingRepartition {
+    /// Total VLT thread count to apply.
+    threads: usize,
+    /// Active cluster count to apply.
+    clusters: usize,
+    /// Cycle the request was accepted (drain-latency attribution).
+    since: u64,
+}
+
+/// Routes scalar-unit vector traffic to the per-cluster vector units:
+/// thread `t` lives in cluster `t % active` under local id `t / active`
+/// (injective per cluster). Tokens carry the cluster in their top byte, so
+/// on a single-cluster machine (`active == 1`) every field — local ids and
+/// tokens alike — is bit-identical to the pre-cluster driver.
+struct VecRouter<'a> {
+    vus: &'a mut [VectorUnit],
+    active: usize,
+    /// A repartition is draining: refuse dispatch machine-wide (the natural
+    /// backpressure on the scalar units).
+    pending: bool,
+}
+
+/// Bits of a [`VecToken`] holding the within-cluster token.
+const TOKEN_MASK: u64 = (1u64 << 56) - 1;
+
+impl VectorSink for VecRouter<'_> {
+    fn try_dispatch(&mut self, mut d: VecDispatch, now: u64) -> Option<VecToken> {
+        if self.pending {
+            return None; // draining toward a repartition
+        }
+        let c = d.vthread % self.active;
+        d.vthread /= self.active;
+        let t = self.vus[c].try_dispatch(d, now)?;
+        debug_assert!(t.0 <= TOKEN_MASK);
+        Some(VecToken(((c as u64) << 56) | t.0))
+    }
+
+    fn resolve(&mut self, vthread: usize, seq: u64, done_at: u64) {
+        let c = vthread % self.active;
+        self.vus[c].resolve(vthread / self.active, seq, done_at);
+    }
+
+    fn poll(&mut self, token: VecToken) -> Option<u64> {
+        let c = (token.0 >> 56) as usize;
+        self.vus[c].poll(VecToken(token.0 & TOKEN_MASK))
+    }
+}
+
+/// Forwards exactly the event-delivery hooks ([`SimObserver::on_vec_issue`],
+/// [`SimObserver::on_mem_access`]) to a possibly-unsized observer, so
+/// [`Component::drain_events`] can take a `&mut dyn SimObserver` without
+/// requiring `O: Sized` in the driver.
+struct ObsRef<'a, O: SimObserver + ?Sized>(&'a mut O);
+
+impl<O: SimObserver + ?Sized> SimObserver for ObsRef<'_, O> {
+    fn on_vec_issue(&mut self, now: u64, ev: &VecIssue) {
+        self.0.on_vec_issue(now, ev);
+    }
+
+    fn on_mem_access(&mut self, now: u64, ev: &BankEvent) {
+        self.0.on_mem_access(now, ev);
+    }
+}
+
 /// A configured machine ready to run one program.
 pub struct System {
     cfg: SystemConfig,
     src: TrackedSource,
     cores: Vec<OooCore>,
     lane_cores: Vec<InOrderCore>,
-    vu: Option<VectorUnit>,
+    /// One vector unit per lane cluster (empty without a vector unit).
+    vus: Vec<VectorUnit>,
+    /// Inter-cluster network (multi-cluster machines only).
+    net: Option<ClusterNet>,
     mem: MemSystem,
+    /// Every timed unit, in tick order: scalar units, lane cores, vector
+    /// units, network, memory. The driver iterates this list for ticking,
+    /// the skip horizon, fingerprinting, idle-span crediting, and event
+    /// drains — registering here is all a new unit type needs.
+    components: Vec<CompId>,
+    /// Clusters currently holding VLT threads (`vus[..active_clusters]`).
+    active_clusters: usize,
+    /// An accepted repartition draining toward application.
+    vu_pending: Option<PendingRepartition>,
+    /// Drain latency of a repartition applied this cycle (observer pickup).
+    applied_latency: Option<u64>,
     /// Software threads loaded into the functional simulator.
     nthreads: usize,
     /// Barrier releases already flushed, against the funcsim's exact count.
@@ -364,6 +456,12 @@ impl System {
                 nthreads,
                 cfg.vlt_threads
             );
+        }
+        assert!(cfg.clusters >= 1, "at least one lane cluster is required");
+        if cfg.clusters > 1 {
+            assert!(cfg.clusters.is_power_of_two(), "cluster count must be a power of two");
+            assert!(cfg.has_vu, "multi-cluster machines require a vector unit");
+            assert!(!cfg.lane_threads, "lane-thread mode is single-cluster only");
         }
 
         let sim = FuncSim::new(prog, nthreads);
@@ -404,30 +502,110 @@ impl System {
             }
         }
 
-        let vu = if cfg.has_vu {
-            let vcfg = VuConfig {
-                lanes: cfg.lanes,
-                threads: cfg.vlt_threads,
-                issue_width: cfg.vcl.issue_width,
-                window: cfg.vcl.window,
-                chaining: cfg.vcl.chaining,
-            };
-            Some(VectorUnit::new(vcfg, Arc::clone(&decoded)))
-        } else {
-            None
-        };
+        let mut vus = Vec::new();
+        let mut net = None;
+        let mut active_clusters = 1;
+        if cfg.has_vu {
+            // Initial partitioning: spread the configured VLT threads over
+            // as many clusters as can hold them, local thread counts equal
+            // across active clusters. Clusters beyond the active set start
+            // undivided (and idle until a `vltcfg` pulls them in).
+            active_clusters = cfg.clusters.min(cfg.vlt_threads).max(1);
+            assert!(
+                cfg.vlt_threads.is_multiple_of(active_clusters)
+                    && matches!(cfg.vlt_threads / active_clusters, 1 | 2 | 4),
+                "{} VLT threads do not partition evenly over {} clusters",
+                cfg.vlt_threads,
+                cfg.clusters
+            );
+            let t0 = cfg.vlt_threads / active_clusters;
+            for c in 0..cfg.clusters {
+                // Each cluster replicates the full VCL (per-cluster window
+                // and issue bandwidth) — replication is priced by the area
+                // model, not hidden.
+                let vcfg = VuConfig {
+                    lanes: cfg.lanes,
+                    threads: if c < active_clusters { t0 } else { 1 },
+                    issue_width: cfg.vcl.issue_width,
+                    window: cfg.vcl.window,
+                    chaining: cfg.vcl.chaining,
+                };
+                let mut v = VectorUnit::new(vcfg, Arc::clone(&decoded));
+                v.set_thread_map(active_clusters, c);
+                vus.push(v);
+            }
+            if cfg.clusters > 1 {
+                net = Some(ClusterNet::new(&cfg.net, cfg.clusters));
+            }
+        }
+
+        let mut components: Vec<CompId> = (0..cores.len()).map(CompId::Core).collect();
+        components.extend((0..lane_cores.len()).map(CompId::Lane));
+        components.extend((0..vus.len()).map(CompId::Vu));
+        if net.is_some() {
+            components.push(CompId::Net);
+        }
+        components.push(CompId::Mem);
 
         System {
             cfg,
             src: TrackedSource { sim, prog: decoded, cur_region: 0, vlt_request: None },
             cores,
             lane_cores,
-            vu,
+            vus,
+            net,
             mem,
+            components,
+            active_clusters,
+            vu_pending: None,
+            applied_latency: None,
             nthreads,
             flushed_releases: 0,
             driver: DriverMode::default(),
         }
+    }
+
+    /// Borrow a registered component read-only.
+    fn component(&self, id: CompId) -> &dyn Component {
+        match id {
+            CompId::Core(i) => &self.cores[i],
+            CompId::Lane(i) => &self.lane_cores[i],
+            CompId::Vu(i) => &self.vus[i],
+            CompId::Net => self.net.as_ref().expect("network registered but absent"),
+            CompId::Mem => &self.mem,
+        }
+    }
+
+    /// Borrow a registered component mutably.
+    fn component_mut(&mut self, id: CompId) -> &mut dyn Component {
+        match id {
+            CompId::Core(i) => &mut self.cores[i],
+            CompId::Lane(i) => &mut self.lane_cores[i],
+            CompId::Vu(i) => &mut self.vus[i],
+            CompId::Net => self.net.as_mut().expect("network registered but absent"),
+            CompId::Mem => &mut self.mem,
+        }
+    }
+
+    /// Datapath utilization summed across lane clusters.
+    fn vu_utilization(&self) -> Utilization {
+        let mut u = Utilization::default();
+        for v in &self.vus {
+            u.busy += v.util.busy;
+            u.partly_idle += v.util.partly_idle;
+            u.stalled += v.util.stalled;
+            u.all_idle += v.util.all_idle;
+        }
+        u
+    }
+
+    /// Vector stall-cause breakdown merged across lane clusters.
+    fn vu_stalls(&self) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for v in &self.vus {
+            b.merge(&v.stalls);
+        }
+        b
     }
 
     /// Bitmask of software threads currently parked at a barrier.
@@ -470,9 +648,10 @@ impl System {
         &self.src.sim
     }
 
-    /// Every hardware context has drained.
+    /// Every hardware context has drained (components with no notion of
+    /// pending work vote `true`).
     fn done(&self) -> bool {
-        self.cores.iter().all(|c| c.done()) && self.lane_cores.iter().all(|c| c.done())
+        self.components.iter().all(|&id| self.component(id).done())
     }
 
     /// Run to completion (all threads halted and pipelines drained).
@@ -522,11 +701,11 @@ impl System {
         // Event delivery is opt-in per run: the producing units record
         // nothing unless this observer asked, so `run` pays nothing.
         let vec_events = obs.wants_vec_events();
-        if let Some(v) = &mut self.vu {
-            v.set_issue_logging(vec_events);
-        }
         let mem_events = obs.wants_mem_events();
-        self.mem.l2.set_recording(mem_events);
+        for i in 0..self.components.len() {
+            let id = self.components[i];
+            self.component_mut(id).set_event_logging(vec_events, mem_events);
+        }
         // Park transitions are reported by diffing against the previous
         // cycle's mask (threads start running, so the baseline is empty).
         let mut parked_prev = 0u64;
@@ -548,10 +727,8 @@ impl System {
                 }
                 obs.on_repartition(now, rp);
             }
-            if let Some(v) = &mut self.vu {
-                if let Some(latency) = v.take_applied_repartition() {
-                    obs.on_repartition_applied(now, latency);
-                }
+            if let Some(latency) = self.applied_latency.take() {
+                obs.on_repartition_applied(now, latency);
             }
             if ev.parked != parked_prev {
                 let diff = ev.parked ^ parked_prev;
@@ -562,23 +739,15 @@ impl System {
                 }
                 parked_prev = ev.parked;
             }
-            if vec_events {
-                if let Some(v) = &self.vu {
-                    for i in 0..v.issue_log().len() {
-                        let e = v.issue_log()[i];
-                        obs.on_vec_issue(now, &e);
-                    }
+            if vec_events || mem_events {
+                // Component order delivers vector issues before L2 bank
+                // events, matching the historical drain order; units whose
+                // logging is off hold empty logs, so the combined gate is
+                // free for them.
+                for i in 0..self.components.len() {
+                    let id = self.components[i];
+                    self.component_mut(id).drain_events(now, &mut ObsRef(&mut *obs));
                 }
-                if let Some(v) = &mut self.vu {
-                    v.clear_issue_log();
-                }
-            }
-            if mem_events {
-                for i in 0..self.mem.l2.recorded_events().len() {
-                    let e = self.mem.l2.recorded_events()[i];
-                    obs.on_mem_access(now, &e);
-                }
-                self.mem.l2.clear_events();
             }
             if self.src.cur_region != acc_region {
                 if acc_cycles > 0 {
@@ -631,29 +800,22 @@ impl System {
             Some(d) => d.min(max_cycles),
             None => max_cycles,
         };
-        for c in &self.cores {
-            match c.next_event(from, &self.src) {
+        // A pending repartition over fully-drained vector units applies at
+        // the very next step — driver-owned state the per-unit polls cannot
+        // see, so it is guarded here.
+        if self.vu_pending.is_some() && self.vus.iter().all(|v| v.drained()) {
+            return None;
+        }
+        // One uniform poll over the registered component list: a new unit
+        // type registers once and is automatically part of the horizon (it
+        // cannot be silently skipped over). Passive components answer
+        // advisorily (always > `from`), so they only ever shorten a skip.
+        for &id in &self.components {
+            match self.component(id).next_event(from, &self.src) {
                 Some(t) if t <= from => return None,
                 Some(t) => horizon = horizon.min(t),
                 None => {}
             }
-        }
-        for l in &self.lane_cores {
-            match l.next_event(from, &self.src) {
-                Some(t) if t <= from => return None,
-                Some(t) => horizon = horizon.min(t),
-                None => {}
-            }
-        }
-        if let Some(v) = &self.vu {
-            match v.next_event(from) {
-                Some(t) if t <= from => return None,
-                Some(t) => horizon = horizon.min(t),
-                None => {}
-            }
-        }
-        if let Some(t) = self.mem.next_event(from) {
-            horizon = horizon.min(t); // advisory, always > from
         }
         (horizon > from).then_some(horizon)
     }
@@ -664,17 +826,20 @@ impl System {
     /// are front-end activity), so one mask covers the whole window.
     fn credit_idle_span(&mut self, from: u64, span: u64) {
         let parked = self.parked_mask();
-        for c in &mut self.cores {
-            c.credit_idle_span(from, span);
-        }
-        {
-            let System { lane_cores, src, .. } = self;
-            for l in lane_cores.iter_mut() {
-                l.credit_idle_span(from, span, src.sim.thread_parked(l.thread()));
+        let draining = self.vu_pending.is_some();
+        let System { cores, lane_cores, vus, src, components, nthreads, .. } = self;
+        for &id in components.iter() {
+            let mut ctx = TickCtx::new(parked, *nthreads, draining);
+            match id {
+                CompId::Core(i) => Component::credit_idle_span(&mut cores[i], from, span, &mut ctx),
+                CompId::Lane(i) => {
+                    ctx.fetch = Some(src);
+                    Component::credit_idle_span(&mut lane_cores[i], from, span, &mut ctx);
+                }
+                CompId::Vu(i) => Component::credit_idle_span(&mut vus[i], from, span, &mut ctx),
+                // Passive components hold no per-cycle counters.
+                CompId::Net | CompId::Mem => {}
             }
-        }
-        if let Some(v) = &mut self.vu {
-            v.account_idle_span(from, span, parked, self.nthreads);
         }
     }
 
@@ -683,52 +848,28 @@ impl System {
     /// for the horizon scan — correctness rests on `quiescent_horizon`.
     fn progress_fingerprint(&self) -> u64 {
         let mut fp = self.src.sim.executed + self.src.sim.barrier_releases();
-        for c in &self.cores {
-            fp += c.stats.committed + c.stats.issued + c.stats.vec_dispatched;
-        }
-        for l in &self.lane_cores {
-            fp += l.stats.committed;
-        }
-        if let Some(v) = &self.vu {
-            fp += v.issued;
+        for &id in &self.components {
+            fp += self.component(id).fingerprint();
         }
         fp
     }
 
-    /// Advance the whole machine by one cycle.
+    /// Advance the whole machine by one cycle: tick every registered
+    /// component in order. The front-end components (scalar units, lane
+    /// cores) run first; at the boundary to the back-end components the
+    /// driver snapshots park state and processes `vltcfg` requests
+    /// ([`System::pre_backend`]), preserving the historical intra-cycle
+    /// ordering exactly.
     fn step(&mut self, now: u64) -> Result<CycleEvents, SimError> {
         let mut ev = CycleEvents::default();
-        for i in 0..self.cores.len() {
-            let System { cores, mem, src, vu, .. } = self;
-            match vu {
-                Some(v) => cores[i].tick(now, mem, src, v)?,
-                None => {
-                    let mut null = NullVectorSink;
-                    cores[i].tick(now, mem, src, &mut null)?;
-                }
+        let mut backend = false;
+        for i in 0..self.components.len() {
+            let id = self.components[i];
+            if !backend && !matches!(id, CompId::Core(_) | CompId::Lane(_)) {
+                backend = true;
+                self.pre_backend(now, &mut ev);
             }
-        }
-        for i in 0..self.lane_cores.len() {
-            let System { lane_cores, mem, src, .. } = self;
-            lane_cores[i].tick(now, mem, src)?;
-        }
-        // Park state after the front ends ran (observation inputs: VU
-        // stall-cause attribution and the on_park transition hook).
-        let parked = self.parked_mask();
-        ev.parked = parked;
-        if let Some(v) = &mut self.vu {
-            // Per-phase lane repartitioning (paper §3.3): a fetched
-            // `vltcfg` requests it; the VU applies it once drained and
-            // refuses new dispatches meanwhile.
-            if let Some(t) = self.src.vlt_request.take() {
-                let clamped = !matches!(t, 1 | 2 | 4) || t as usize > self.cfg.vlt_threads;
-                // Lane-partition counts beyond the configured maximum
-                // (e.g. a scalar-thread build's vltcfg 8) are clamped.
-                let applied = if clamped { self.cfg.vlt_threads } else { t as usize };
-                v.request_repartition(applied, now);
-                ev.repartition = Some(RepartitionEvent { requested: t, applied, clamped });
-            }
-            v.tick(now, &mut self.mem, self.src.sim.arena(), parked, self.nthreads);
+            self.tick_component(id, now, &ev)?;
         }
 
         // Barrier rendezvous completed: flush L1 data caches so post-barrier
@@ -746,6 +887,128 @@ impl System {
         Ok(ev)
     }
 
+    /// Front-end/back-end boundary work, once per cycle: snapshot park
+    /// state (observation inputs: VU stall-cause attribution and the
+    /// `on_park` transition hook) and process per-phase lane repartitioning
+    /// (paper §3.3, hierarchical per DESIGN.md §11): a fetched `vltcfg`
+    /// requests it; the machine applies it once every vector unit has
+    /// drained and refuses new dispatches meanwhile.
+    fn pre_backend(&mut self, now: u64, ev: &mut CycleEvents) {
+        ev.parked = self.parked_mask();
+        if self.vus.is_empty() {
+            return; // scalar machines never consume vltcfg requests
+        }
+        if let Some((t_req, c_req)) = self.src.vlt_request.take() {
+            let rp = self.validate_request(t_req, c_req);
+            let current = (self.active_clusters * self.vus[0].threads(), self.active_clusters);
+            if (rp.applied, rp.applied_clusters) != current {
+                self.vu_pending = Some(PendingRepartition {
+                    threads: rp.applied,
+                    clusters: rp.applied_clusters,
+                    since: now,
+                });
+            }
+            ev.repartition = Some(rp);
+        }
+        if let Some(p) = self.vu_pending {
+            if self.vus.iter().all(|v| v.drained()) {
+                self.apply_partition(p.threads, p.clusters);
+                self.applied_latency = Some(now.saturating_sub(p.since));
+                self.vu_pending = None;
+            }
+        }
+    }
+
+    /// Validate a fetched `vltcfg` request against the machine shape.
+    /// `c_req == 0` (a flat, pre-hierarchical operand) lets the machine
+    /// pick: threads spread over as many clusters as can hold them.
+    /// Invalid requests clamp to the machine's full configuration.
+    fn validate_request(&self, t_req: u8, c_req: u8) -> RepartitionEvent {
+        let t = t_req as usize;
+        let c_active = if c_req == 0 { self.cfg.clusters.min(t.max(1)) } else { c_req as usize };
+        let ok = c_active >= 1
+            && c_active <= self.cfg.clusters
+            && t <= self.cfg.vlt_threads
+            && c_active <= t
+            && t.is_multiple_of(c_active)
+            && matches!(t / c_active, 1 | 2 | 4)
+            && self.cfg.lanes.is_multiple_of(t / c_active);
+        let (applied, applied_clusters) = if ok {
+            (t, c_active)
+        } else {
+            // Thread counts or spreads beyond the configured machine (e.g.
+            // a scalar-thread build's vltcfg 8) clamp to the machine's full
+            // initial shape.
+            (self.cfg.vlt_threads, self.cfg.clusters.min(self.cfg.vlt_threads).max(1))
+        };
+        RepartitionEvent {
+            requested: t_req,
+            requested_clusters: c_req,
+            applied,
+            applied_clusters,
+            clamped: !ok,
+        }
+    }
+
+    /// Apply a drained repartition machine-wide: `t_total` VLT threads over
+    /// `c_active` clusters, local thread counts equal across active
+    /// clusters; clusters outside the active set revert to one undivided
+    /// (idle) partition. Callers gate on every unit being drained.
+    fn apply_partition(&mut self, t_total: usize, c_active: usize) {
+        let t_local = t_total / c_active;
+        for (c, v) in self.vus.iter_mut().enumerate() {
+            v.repartition(if c < c_active { t_local } else { 1 });
+            v.set_thread_map(c_active, c);
+        }
+        self.active_clusters = c_active;
+    }
+
+    /// Tick one component, assembling the [`TickCtx`] capabilities its
+    /// class needs from disjoint borrows of the machine.
+    fn tick_component(&mut self, id: CompId, now: u64, ev: &CycleEvents) -> Result<(), SimError> {
+        let System { cores, lane_cores, vus, net, mem, src, nthreads, active_clusters, .. } = self;
+        let draining = self.vu_pending.is_some();
+        let mut ctx = TickCtx::new(ev.parked, *nthreads, draining);
+        match id {
+            CompId::Core(i) => {
+                let mut null = NullVectorSink;
+                let mut router;
+                let sink: &mut dyn VectorSink = if vus.is_empty() {
+                    &mut null
+                } else {
+                    router = VecRouter { vus, active: *active_clusters, pending: draining };
+                    &mut router
+                };
+                ctx.mem = Some(mem);
+                ctx.fetch = Some(src);
+                ctx.sink = Some(sink);
+                Component::tick(&mut cores[i], now, &mut ctx)?;
+            }
+            CompId::Lane(i) => {
+                ctx.mem = Some(mem);
+                ctx.fetch = Some(src);
+                Component::tick(&mut lane_cores[i], now, &mut ctx)?;
+            }
+            CompId::Vu(i) => {
+                ctx.mem = Some(mem);
+                ctx.net = net.as_mut();
+                ctx.arena = Some(src.sim.arena());
+                Component::tick(&mut vus[i], now, &mut ctx)?;
+            }
+            CompId::Net => {
+                Component::tick(
+                    net.as_mut().expect("network registered but absent"),
+                    now,
+                    &mut ctx,
+                )?;
+            }
+            CompId::Mem => {
+                Component::tick(mem, now, &mut ctx)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Assemble the final result after the machine drains.
     fn finish(
         &self,
@@ -755,14 +1018,16 @@ impl System {
     ) -> SimResult {
         let committed = self.cores.iter().map(|c| c.stats.committed).sum::<u64>()
             + self.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>();
+        let mut mem = self.mem.stats();
+        mem.net = self.net.as_ref().map(|n| n.stats.clone());
         SimResult {
             cycles,
             committed,
-            utilization: self.vu.as_ref().map(|v| v.util).unwrap_or_default(),
+            utilization: self.vu_utilization(),
             cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
             lanes: self.lane_cores.iter().map(|c| c.stats.clone()).collect(),
-            vu_stalls: self.vu.as_ref().map(|v| v.stalls).unwrap_or_default(),
-            mem: self.mem.stats(),
+            vu_stalls: self.vu_stalls(),
+            mem,
             region_cycles,
             clamped_repartitions,
         }

@@ -18,12 +18,44 @@ fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
     daxpy_passes(npt, vl, threads, scalar_work, 3)
 }
 
+/// Hierarchical daxpy: same kernel, but the `vltcfg` operand carries an
+/// explicit thread × cluster spread (DESIGN.md §11).
+fn daxpy_hier(
+    npt: usize,
+    vl: usize,
+    threads: usize,
+    clusters: usize,
+    scalar_work: usize,
+) -> Program {
+    daxpy_operand(
+        npt,
+        vl,
+        threads,
+        vlt_isa::vltcfg::operand(threads as u8, clusters as u8) as usize,
+        scalar_work,
+        3,
+    )
+}
+
 /// `passes` repetitions of the measured loop (apps iterate over resident
 /// data, so steady-state behaviour dominates the one-time cold fill).
 fn daxpy_passes(
     npt: usize,
     vl: usize,
     threads: usize,
+    scalar_work: usize,
+    passes: usize,
+) -> Program {
+    daxpy_operand(npt, vl, threads, threads, scalar_work, passes)
+}
+
+/// The daxpy kernel with an explicit `vltcfg` operand (flat thread counts
+/// or packed hierarchical encodings alike).
+fn daxpy_operand(
+    npt: usize,
+    vl: usize,
+    threads: usize,
+    cfg_operand: usize,
     scalar_work: usize,
     passes: usize,
 ) -> Program {
@@ -40,7 +72,7 @@ fn daxpy_passes(
     ys:
         .zero {bytes}
         .text
-        li      x9, {threads}
+        li      x9, {cfg_operand}
         vltcfg  x9
         tid     x10
         li      x12, NPT
@@ -454,49 +486,44 @@ fn sampled_run_matches_plain_run() {
     assert!(last.cycle < sampled.cycles);
 }
 
-/// The VU refuses dispatch while a repartition is pending and applies it
-/// once drained (unit-level check through the public trait).
+/// A `vltcfg` fetched while vector work is in flight must drain the
+/// machine before applying: the driver refuses new dispatches meanwhile and
+/// reports the drain latency through `on_repartition_applied`.
 #[test]
 fn repartition_backpressure() {
-    use crate::{VectorUnit, VuConfig};
-    use std::sync::Arc;
-    use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
-    use vlt_mem::{MemConfig, MemSystem};
-    use vlt_scalar::{VecDispatch, VectorSink};
-
-    let prog: Arc<DecodedProgram> =
-        DecodedProgram::new(&assemble("vfadd.vv v1, v2, v3\nhalt\n").unwrap());
-    let mut vu = VectorUnit::new(VuConfig::base(8), prog);
-    let mut mem = MemSystem::new(MemConfig::default(), 1, 8);
-    let arena = AddrArena::new(1);
-    let d = |seq| VecDispatch {
-        vthread: 0,
-        sidx: 0,
-        vl: 32,
-        class: vlt_isa::OpClass::VAdd,
-        addrs: AddrRange::EMPTY,
-        seq,
-        deps: vec![],
-        scalar_deps: vec![],
-        ready_base: 0,
-    };
-    let tok = vu.try_dispatch(d(0), 0).unwrap();
-    vu.request_repartition(2, 0);
-    // Pending repartition: dispatch refused even though the window has room.
-    assert!(vu.try_dispatch(d(1), 0).is_none());
-    assert_eq!(vu.threads(), 1, "not yet drained");
-    // Drain and observe the repartition.
-    let mut now = 0;
-    while vu.poll(tok).is_none() {
-        vu.tick(now, &mut mem, &arena, 0, 1);
-        now += 1;
-        assert!(now < 1000);
+    // Long dependent divides keep the VU busy when `vltcfg 1` is fetched,
+    // so the repartition provably waits for the drain.
+    let src = "
+        li      x9, 2
+        vltcfg  x9
+        li      x1, 32
+        setvl   x2, x1
+        vfdiv.vv v1, v2, v3
+        vfdiv.vv v4, v1, v3
+        li      x9, 1
+        vltcfg  x9
+        tid     x10
+        bnez    x10, skip
+        vfadd.vv v5, v2, v3
+    skip:
+        barrier
+        halt
+    ";
+    let prog = assemble(src).unwrap();
+    let mut rec = Recorder::default();
+    System::new(SystemConfig::v2_cmp(), &prog, 2).run_observed(MAX, &mut rec).unwrap();
+    // The vltcfg 2 matches the running shape (no drain); the vltcfg 1
+    // shrinks it and must wait for the in-flight divides.
+    assert!(!rec.applies.is_empty(), "the vltcfg 1 never took effect");
+    assert!(
+        rec.applies.iter().any(|&(_, latency)| latency > 0),
+        "shrinking amid in-flight work must report a non-zero drain: {:?}",
+        rec.applies
+    );
+    for ev in &rec.reparts {
+        assert!(!ev.clamped, "all requests are valid here: {ev:?}");
+        assert_eq!(ev.applied, ev.requested as usize);
     }
-    vu.tick(now, &mut mem, &arena, 0, 1); // retire + apply
-    vu.tick(now + 1, &mut mem, &arena, 0, 1);
-    assert_eq!(vu.threads(), 2);
-    // Dispatch flows again, into the new partitioning.
-    assert!(vu.try_dispatch(d(2), now + 2).is_some());
 }
 
 /// Records every observer callback, for driver-spine tests.
@@ -504,6 +531,7 @@ fn repartition_backpressure() {
 struct Recorder {
     cycles_seen: u64,
     reparts: Vec<RepartitionEvent>,
+    applies: Vec<(u64, u64)>,
     barrier_releases: u64,
     barrier_events: u64,
     finishes: u32,
@@ -521,6 +549,10 @@ impl SimObserver for Recorder {
 
     fn on_repartition(&mut self, _now: u64, ev: &RepartitionEvent) {
         self.reparts.push(*ev);
+    }
+
+    fn on_repartition_applied(&mut self, now: u64, drain_latency: u64) {
+        self.applies.push((now, drain_latency));
     }
 
     fn on_finish(&mut self, _result: &SimResult) {
@@ -617,6 +649,7 @@ fn event_driver_matches_naive_all_config_families() {
         (SystemConfig::v2_smt(), daxpy(128, 8, 2, 4), 2),
         (SystemConfig::cmt(), scalar_sum_kernel(2000, 4), 4),
         (SystemConfig::v4_cmt_lane_threads(), scalar_sum_kernel(1000, 8), 8),
+        (SystemConfig::v8_clustered(2), daxpy_hier(64, 16, 8, 2, 4), 8),
     ];
     for (cfg, prog, threads) in checks {
         let name = cfg.name.clone();
@@ -697,6 +730,90 @@ fn valid_vltcfg_is_not_counted_as_clamped() {
         assert_eq!(ev.requested, 2);
         assert_eq!(ev.applied, 2);
     }
+}
+
+/// The ultra-wide machine (DESIGN.md §11): 8 VLT threads spread over two
+/// 8-lane clusters run daxpy correctly, classify every datapath-cycle in
+/// every cluster, route vector memory traffic through the inter-cluster
+/// network, and keep stall-cause conservation exact.
+#[test]
+fn two_cluster_machine_runs_daxpy_correctly() {
+    let prog = daxpy_hier(256, 16, 8, 2, 0); // effective MVL = 64*2/8 = 16
+    let mut sys = System::new(SystemConfig::v8_clustered(2), &prog, 8);
+    let r = sys.run(MAX).unwrap();
+    verify_daxpy(&sys, 2048);
+    // Figure-4 invariant across clusters: 3 datapaths x 16 total lanes.
+    assert_eq!(r.utilization.total(), 3 * 16 * r.cycles);
+    let net = r.mem.net.as_ref().expect("multi-cluster runs carry network stats");
+    assert!(net.transfers > 0, "vector memory traffic crosses the network");
+    r.check_stall_conservation().unwrap();
+}
+
+/// Every ultra-wide design point (16/32/64 total lanes) runs the kernel
+/// correctly with conservation intact.
+#[test]
+fn cluster_sweep_runs_correctly() {
+    for clusters in [2usize, 4, 8] {
+        let mvl = 8 * clusters; // 64 * clusters / 8 threads
+        let prog = daxpy_hier(8 * mvl, mvl, 8, clusters, 2);
+        let mut sys = System::new(SystemConfig::v8_clustered(clusters), &prog, 8);
+        let r = sys.run(MAX).unwrap();
+        verify_daxpy(&sys, 8 * 8 * mvl);
+        assert_eq!(
+            r.utilization.total(),
+            3 * 8 * clusters as u64 * r.cycles,
+            "{clusters} clusters"
+        );
+        r.check_stall_conservation().unwrap_or_else(|e| panic!("{clusters} clusters: {e}"));
+    }
+}
+
+/// A repartition that crosses cluster boundaries — 8 threads × 2 clusters
+/// down to 4 threads × 1 cluster — drains the whole machine first, applies
+/// exactly once, and stays byte-identical across drivers.
+#[test]
+fn cross_cluster_repartition_drains_and_applies() {
+    let op82 = vlt_isa::vltcfg::operand(8, 2);
+    let op41 = vlt_isa::vltcfg::operand(4, 1);
+    let src = format!(
+        "
+        li      x9, {op82}
+        vltcfg  x9
+        li      x1, 16
+        setvl   x2, x1
+        vfdiv.vv v1, v2, v3
+        barrier
+        li      x9, {op41}
+        vltcfg  x9
+        tid     x10
+        li      x11, 4
+        blt     x10, x11, dovec
+        j       join
+    dovec:
+        setvl   x2, x1
+        vfadd.vv v4, v2, v3
+    join:
+        barrier
+        halt
+    "
+    );
+    let prog = assemble(&src).unwrap();
+    let mut rec = Recorder::default();
+    let r =
+        System::new(SystemConfig::v8_clustered(2), &prog, 8).run_observed(MAX, &mut rec).unwrap();
+    // The opening (8,2) matches the machine's initial shape (no drain);
+    // only the cross-cluster shrink to (4,1) applies.
+    assert!(!rec.applies.is_empty(), "the (4,1) repartition never took effect");
+    for ev in &rec.reparts {
+        assert!(!ev.clamped, "all requests are valid on this machine: {ev:?}");
+    }
+    assert!(rec.reparts.iter().any(|ev| ev.applied == 4 && ev.applied_clusters == 1));
+    r.check_stall_conservation().unwrap();
+    let naive = System::new(SystemConfig::v8_clustered(2), &prog, 8)
+        .with_driver(DriverMode::CycleByCycle)
+        .run(MAX)
+        .unwrap();
+    assert_eq!(r, naive, "driver divergence across a cross-cluster repartition");
 }
 
 /// Barrier-release accounting stays exact when a thread halts before the

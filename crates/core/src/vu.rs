@@ -10,6 +10,15 @@
 //! entries, and a share of the 2-per-cycle issue bandwidth — the
 //! "multiplexed VCL" the paper finds performs as well as a replicated one.
 //!
+//! On a multi-cluster machine (DESIGN.md §11) one `VectorUnit` models one
+//! lane *cluster*: the system instantiates several and routes each VLT
+//! thread to `cluster = thread % active_clusters`. The unit then works in
+//! *local* thread indices (`thread / active_clusters`); the mapping is set
+//! with [`VectorUnit::set_thread_map`] and global observation inputs (the
+//! parked mask, the thread count) are translated internally. Vector memory
+//! traffic of a clustered unit crosses the inter-cluster network
+//! ([`ClusterNet`]) on its way to the shared L2.
+//!
 //! Per-cycle utilization of every arithmetic datapath is classified as
 //! busy / partly-idle (short VL) / stalled / all-idle, reproducing the
 //! taxonomy of Figure 4.
@@ -18,7 +27,7 @@ use std::sync::Arc;
 
 use vlt_exec::{AddrArena, AddrRange, DecodedProgram};
 use vlt_isa::{Op, OpClass};
-use vlt_mem::MemSystem;
+use vlt_mem::{ClusterNet, MemSystem};
 use vlt_scalar::{fold_event, StallBreakdown, StallCause, VecDispatch, VecToken, VectorSink};
 
 use crate::result::Utilization;
@@ -116,6 +125,9 @@ enum WaitSrc {
     Vector,
     /// An in-flight vector memory producer (bank-bound wait).
     VectorMem,
+    /// An in-flight vector memory producer whose access waited for a busy
+    /// inter-cluster link (network-bound wait).
+    VectorNet,
 }
 
 #[derive(Debug)]
@@ -176,9 +188,12 @@ struct Partition {
 /// the timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VecIssue {
-    /// Lane partition the instruction issued in.
+    /// Lane cluster the instruction issued in (0 on single-cluster
+    /// machines).
+    pub cluster: u32,
+    /// Lane partition (within the cluster) the instruction issued in.
     pub partition: u32,
-    /// Originating VLT thread.
+    /// Originating VLT thread (global software thread id).
     pub vthread: u32,
     /// Static instruction index.
     pub sidx: u32,
@@ -197,14 +212,13 @@ pub struct VecIssue {
 pub struct VectorUnit {
     cfg: VuConfig,
     partitions: Vec<Partition>,
-    /// A requested repartition waiting for the unit to drain; while set,
-    /// dispatch is refused (natural backpressure on the scalar units).
-    pending_threads: Option<usize>,
-    /// Cycle the pending repartition was requested (latency attribution).
-    pending_since: u64,
-    /// Drain latency of the repartition applied this tick, if any; drained
-    /// by the system driver for observer notification.
-    applied_latency: Option<u64>,
+    /// Global VLT threads with `thread % stride == offset` feed this unit;
+    /// `(1, 0)` (the default) is the single-cluster identity mapping.
+    /// `offset >= stride` marks a cluster outside the active set (its lanes
+    /// idle). See [`VectorUnit::set_thread_map`].
+    stride: usize,
+    /// This unit's cluster id in the thread mapping.
+    offset: usize,
     next_token: u64,
     /// Aggregate datapath utilization (Figure 4 categories).
     pub util: Utilization,
@@ -236,9 +250,8 @@ impl VectorUnit {
         VectorUnit {
             cfg,
             partitions,
-            pending_threads: None,
-            pending_since: 0,
-            applied_latency: None,
+            stride: 1,
+            offset: 0,
             next_token: 0,
             util: Utilization::default(),
             stalls: StallBreakdown::default(),
@@ -272,10 +285,42 @@ impl VectorUnit {
         self.issue_log.clear();
     }
 
-    /// The drain latency of a repartition applied this tick, if one was;
-    /// consumes the record (driver-side observer notification).
-    pub fn take_applied_repartition(&mut self) -> Option<u64> {
-        self.applied_latency.take()
+    /// Map global VLT threads onto this unit: threads with
+    /// `thread % stride == offset` feed it, renumbered locally as
+    /// `thread / stride`. The system driver keeps this in sync with the
+    /// active cluster count; `offset >= stride` parks the whole cluster
+    /// outside the active set.
+    pub fn set_thread_map(&mut self, stride: usize, offset: usize) {
+        assert!(stride >= 1, "thread-map stride must be at least 1");
+        self.stride = stride;
+        self.offset = offset;
+    }
+
+    /// This unit's cluster id in the thread mapping.
+    pub fn cluster(&self) -> usize {
+        self.offset
+    }
+
+    /// Translate the global parked mask and thread count into this unit's
+    /// local thread space (identity on single-cluster machines; empty for a
+    /// cluster outside the active set).
+    fn localize(&self, parked_threads: u64, nthreads: usize) -> (u64, usize) {
+        if self.stride == 1 {
+            return (parked_threads, nthreads);
+        }
+        if self.offset >= self.stride {
+            return (0, 0);
+        }
+        let ln =
+            if nthreads > self.offset { (nthreads - self.offset).div_ceil(self.stride) } else { 0 };
+        let mut lp = 0u64;
+        for j in 0..ln.min(64) {
+            let g = j * self.stride + self.offset;
+            if g < 64 && parked_threads & (1u64 << g) != 0 {
+                lp |= 1u64 << j;
+            }
+        }
+        (lp, ln)
     }
 
     /// Advance one cycle: issue ready entries, then account utilization
@@ -287,25 +332,26 @@ impl VectorUnit {
     /// others. This is the paper's finding that a multiplexed VCL performs
     /// as fast as a replicated one (§3.2).
     ///
-    /// `parked_threads` is a bitmask of software threads currently parked at
-    /// a barrier and `nthreads` the software thread count — observation-only
-    /// inputs for stall-cause attribution (a partition whose feeding threads
-    /// are all parked idles as `BarrierWait`, not `NoDlp`).
+    /// `net` is the inter-cluster network on multi-cluster machines (`None`
+    /// routes vector memory traffic straight into the L2, the classic
+    /// single-cluster path). `parked_threads` is a bitmask of software
+    /// threads currently parked at a barrier and `nthreads` the software
+    /// thread count — observation-only inputs for stall-cause attribution
+    /// (a partition whose feeding threads are all parked idles as
+    /// `BarrierWait`, not `NoDlp`). `draining` marks a machine-wide pending
+    /// repartition (idling attributes as `Drain`); the repartition itself
+    /// is applied by the system driver via [`VectorUnit::repartition`].
+    #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
         now: u64,
         mem: &mut MemSystem,
+        mut net: Option<&mut ClusterNet>,
         arena: &AddrArena,
         parked_threads: u64,
         nthreads: usize,
+        draining: bool,
     ) {
-        if let Some(t) = self.pending_threads {
-            if self.drained() {
-                self.repartition(t);
-                self.pending_threads = None;
-                self.applied_latency = Some(now.saturating_sub(self.pending_since));
-            }
-        }
         let t = self.cfg.threads;
         let mut budget = self.cfg.issue_width;
         for k in 0..t {
@@ -313,10 +359,11 @@ impl VectorUnit {
                 break;
             }
             let pi = (now as usize + k) % t;
-            budget = self.issue_partition(pi, budget, now, mem, arena);
+            budget = self.issue_partition(pi, budget, now, mem, net.as_deref_mut(), arena);
         }
 
-        self.account(now, parked_threads, nthreads);
+        let (parked_local, local_threads) = self.localize(parked_threads, nthreads);
+        self.account(now, parked_local, local_threads, draining);
 
         for p in &mut self.partitions {
             p.window.retain(|e| e.state != St::Reported);
@@ -330,6 +377,7 @@ impl VectorUnit {
         mut budget: usize,
         now: u64,
         mem: &mut MemSystem,
+        mut net: Option<&mut ClusterNet>,
         arena: &AddrArena,
     ) -> usize {
         let mut resolutions: Vec<(usize, u64, u64, WaitSrc)> = Vec::new();
@@ -351,6 +399,7 @@ impl VectorUnit {
                 }
                 let class = e.class;
                 let op = prog.get(e.sidx as usize).inst.op;
+                let mut net_contended = false;
                 // `done` is full completion (what the SU polls and what the
                 // ROB retires on); `chain_ready` is when the first element
                 // group is available — dependent vector instructions in the
@@ -382,7 +431,14 @@ impl VectorUnit {
                         let mut first_group = now + 1;
                         for (i, a) in addrs.iter().enumerate() {
                             let at = now + (i / lanes) as u64;
-                            let t = mem.l2_access(*a, write, at);
+                            let t = match net.as_deref_mut() {
+                                Some(n) => {
+                                    let (t, contended) = n.access(mem, self.offset, *a, write, at);
+                                    net_contended |= contended;
+                                    t
+                                }
+                                None => mem.l2_access(*a, write, at),
+                            };
                             if !write {
                                 last = last.max(t);
                                 if i < lanes {
@@ -402,8 +458,10 @@ impl VectorUnit {
                 let vthread = e.vthread;
                 if self.log_issues {
                     self.issue_log.push(VecIssue {
+                        cluster: self.offset as u32,
                         partition: pi as u32,
-                        vthread: vthread as u32,
+                        // Entries hold local thread ids; log the global one.
+                        vthread: (vthread * self.stride + self.offset) as u32,
                         sidx: e.sidx,
                         vl: e.vl,
                         class,
@@ -412,7 +470,11 @@ impl VectorUnit {
                     });
                 }
                 let src = if matches!(class, OpClass::VLoad | OpClass::VStore) {
-                    WaitSrc::VectorMem
+                    if net_contended {
+                        WaitSrc::VectorNet
+                    } else {
+                        WaitSrc::VectorMem
+                    }
                 } else {
                     WaitSrc::Vector
                 };
@@ -437,9 +499,8 @@ impl VectorUnit {
     /// stall-cause attribution: each non-busy datapath group charges
     /// `lanes` datapath-cycles both to the coarse stalled/all-idle bucket
     /// and to this cycle's partition-level [`StallCause`].
-    fn account(&mut self, now: u64, parked_threads: u64, nthreads: usize) {
+    fn account(&mut self, now: u64, parked_threads: u64, nthreads: usize, draining: bool) {
         let pcount = self.partitions.len();
-        let draining = self.pending_threads.is_some();
         for pi in 0..pcount {
             let parked = Self::partition_parked(pi, pcount, parked_threads, nthreads);
             let p = &self.partitions[pi];
@@ -493,6 +554,7 @@ impl VectorUnit {
         let mut scalar_dep = false;
         let mut any_dep = false;
         let mut mem_wait = false;
+        let mut net_wait = false;
         let mut waiting = false;
         for e in &p.window {
             if !matches!(e.state, St::Waiting) {
@@ -505,6 +567,7 @@ impl VectorUnit {
                 } else {
                     match e.wait {
                         WaitSrc::VectorMem => mem_wait = true,
+                        WaitSrc::VectorNet => net_wait = true,
                         WaitSrc::Scalar => scalar_dep = true,
                         WaitSrc::Vector => {}
                     }
@@ -522,6 +585,8 @@ impl VectorUnit {
                 StallCause::IssueWidth
             } else if scalar_dep {
                 StallCause::ScalarDep
+            } else if net_wait {
+                StallCause::NetworkContention
             } else if mem_wait {
                 StallCause::BankConflict
             } else if any_dep {
@@ -541,17 +606,15 @@ impl VectorUnit {
     }
 
     /// Earliest cycle `>= from` at which the vector unit can change state:
-    /// a drained repartition can apply, an in-flight arithmetic op's
-    /// per-cycle datapath occupancy is still evolving (no skip — the
-    /// utilization taxonomy varies cycle to cycle), a completed entry
-    /// awaits the scalar unit's poll, or a dep-free entry can issue.
-    /// `None` when every window entry is blocked on an unresolved producer
-    /// — the wake then comes from the producing unit's own event. Never
-    /// later than the true next change; `Some(from)` means "cannot skip".
+    /// an in-flight arithmetic op's per-cycle datapath occupancy is still
+    /// evolving (no skip — the utilization taxonomy varies cycle to
+    /// cycle), a completed entry awaits the scalar unit's poll, or a
+    /// dep-free entry can issue. `None` when every window entry is blocked
+    /// on an unresolved producer — the wake then comes from the producing
+    /// unit's own event. Never later than the true next change; `Some(from)`
+    /// means "cannot skip". (A pending repartition over a drained unit is
+    /// the system driver's event, guarded in its horizon scan.)
     pub fn next_event(&self, from: u64) -> Option<u64> {
-        if self.pending_threads.is_some() && self.drained() {
-            return Some(from); // repartition applies at the next tick
-        }
         let mut ev: Option<u64> = None;
         for p in &self.partitions {
             for f in &p.arith {
@@ -590,9 +653,10 @@ impl VectorUnit {
         cycles: u64,
         parked_threads: u64,
         nthreads: usize,
+        draining: bool,
     ) {
+        let (parked_threads, nthreads) = self.localize(parked_threads, nthreads);
         let pcount = self.partitions.len();
-        let draining = self.pending_threads.is_some();
         for pi in 0..pcount {
             let parked = Self::partition_parked(pi, pcount, parked_threads, nthreads);
             let p = &self.partitions[pi];
@@ -639,18 +703,6 @@ impl VectorUnit {
         self.cfg.threads
     }
 
-    /// Request a repartition (paper §3.3: per-phase `vltcfg`). Applied at
-    /// the next cycle the unit is drained; until then dispatch is refused.
-    /// No-op when the partitioning already matches. `now` stamps the request
-    /// for drain-latency attribution (observation only).
-    pub fn request_repartition(&mut self, threads: usize, now: u64) {
-        assert!(matches!(threads, 1 | 2 | 4));
-        if threads != self.cfg.threads {
-            self.pending_threads = Some(threads);
-            self.pending_since = now;
-        }
-    }
-
     /// Producer-completion broadcast with an attribution hint: `src` is the
     /// producer kind when the resolver knows it (the VU's own issue loop),
     /// `None` for scalar-unit broadcasts (classified per consumer through
@@ -681,9 +733,8 @@ impl VectorUnit {
 
 impl VectorSink for VectorUnit {
     fn try_dispatch(&mut self, d: VecDispatch, now: u64) -> Option<VecToken> {
-        if self.pending_threads.is_some() {
-            return None; // draining toward a repartition
-        }
+        // NOTE: dispatch backpressure while a repartition drains is enforced
+        // by the system driver's router (it spans all clusters), not here.
         let cap = self.cfg.window_per_thread();
         // Under a narrower partitioning than the thread count (a wide-DLP
         // phase after `vltcfg 1`), thread groups share a partition.

@@ -70,7 +70,7 @@ fn run_until_done(
     start: u64,
 ) -> u64 {
     for now in start..start + 10_000 {
-        vu.tick(now, mem, arena, 0, 1);
+        vu.tick(now, mem, None, arena, 0, 1, false);
         if let Some(t) = vu.poll(token) {
             return t;
         }
@@ -127,7 +127,7 @@ fn independent_ops_use_different_fus_in_parallel() {
     let t_mul = vu.try_dispatch(disp(0, 1, OpClass::VMul, 64), 0).unwrap();
     // Both issue at cycle 1 (2-way issue, different FUs).
     for now in 0..100 {
-        vu.tick(now, &mut m, &ar, 0, 1);
+        vu.tick(now, &mut m, None, &ar, 0, 1, false);
     }
     let a = vu.poll(t_add).unwrap();
     let b = vu.poll(t_mul).unwrap();
@@ -143,7 +143,7 @@ fn same_fu_ops_serialize() {
     let t1 = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 64), 0).unwrap();
     let t2 = vu.try_dispatch(disp(0, 1, OpClass::VAdd, 64), 0).unwrap();
     for now in 0..100 {
-        vu.tick(now, &mut m, &ar, 0, 1);
+        vu.tick(now, &mut m, None, &ar, 0, 1, false);
     }
     let a = vu.poll(t1).unwrap();
     let b = vu.poll(t2).unwrap();
@@ -161,7 +161,7 @@ fn dependences_block_issue_until_resolved() {
     d.deps = vec![0]; // producer seq 0, not yet resolved
     let tok = vu.try_dispatch(d, 0).unwrap();
     for now in 0..50 {
-        vu.tick(now, &mut m, &ar, 0, 1);
+        vu.tick(now, &mut m, None, &ar, 0, 1, false);
     }
     assert_eq!(vu.poll(tok), None, "must wait for the producer");
     vu.resolve(0, 0, 60);
@@ -199,7 +199,7 @@ fn two_partitions_execute_concurrently() {
     let t0 = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 32), 0).unwrap();
     let t1 = vu.try_dispatch(disp(1, 0, OpClass::VAdd, 32), 0).unwrap();
     for now in 0..100 {
-        vu.tick(now, &mut m, &ar, 0, 1);
+        vu.tick(now, &mut m, None, &ar, 0, 1, false);
     }
     let a = vu.poll(t0).unwrap();
     let b = vu.poll(t1).unwrap();
@@ -251,7 +251,7 @@ fn utilization_invariant_holds() {
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 20), 0).unwrap();
     let cycles = 50u64;
     for now in 0..cycles {
-        vu.tick(now, &mut m, &ar, 0, 1);
+        vu.tick(now, &mut m, None, &ar, 0, 1, false);
     }
     assert!(vu.poll(tok).is_some());
     let u = vu.util;
@@ -271,7 +271,7 @@ fn issue_bandwidth_is_partitioned_for_four_threads() {
     let toks: Vec<_> =
         (0..4).map(|t| vu.try_dispatch(disp(t, 0, OpClass::VMask, 4), 0).unwrap()).collect();
     for now in 0..10 {
-        vu.tick(now, &mut m, &ar, 0, 1);
+        vu.tick(now, &mut m, None, &ar, 0, 1, false);
     }
     let dones: Vec<u64> = toks.into_iter().map(|t| vu.poll(t).unwrap()).collect();
     let earliest = *dones.iter().min().unwrap();
@@ -288,6 +288,6 @@ fn drained_reports_empty_windows() {
     let tok = vu.try_dispatch(disp(0, 0, OpClass::VAdd, 8), 0).unwrap();
     assert!(!vu.drained());
     run_until_done(&mut vu, &mut m, &ar, tok, 0);
-    vu.tick(10_001, &mut m, &ar, 0, 1); // retire the reported entry
+    vu.tick(10_001, &mut m, None, &ar, 0, 1, false); // retire the reported entry
     assert!(vu.drained());
 }

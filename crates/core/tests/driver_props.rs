@@ -18,6 +18,18 @@ const MAX: u64 = 20_000_000;
 /// A small vectorized SPMD daxpy, parameterized over elements-per-thread,
 /// vector length, thread count, and interleaved scalar work.
 fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
+    daxpy_with_operand(npt, vl, threads, scalar_work, threads as u64)
+}
+
+/// `daxpy` with an explicit `vltcfg` operand — the hierarchical packed
+/// encoding spreads the partitions over lane clusters.
+fn daxpy_with_operand(
+    npt: usize,
+    vl: usize,
+    threads: usize,
+    scalar_work: usize,
+    operand: u64,
+) -> Program {
     let total = npt * threads;
     let sw: String = vec!["add x25, x25, x26"; scalar_work].join("\n        ");
     let xs_data: Vec<String> = (0..total).map(|i| format!("{}.0", i)).collect();
@@ -29,7 +41,7 @@ fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
     ys:
         .zero {bytes}
         .text
-        li      x9, {threads}
+        li      x9, {operand}
         vltcfg  x9
         tid     x10
         li      x12, {npt}
@@ -72,8 +84,84 @@ fn daxpy(npt: usize, vl: usize, threads: usize, scalar_work: usize) -> Program {
         bytes = 8 * total,
         npt = npt,
         vl = vl,
-        threads = threads,
+        operand = operand,
         sw = sw,
+    );
+    assemble(&src).unwrap()
+}
+
+/// An 8-thread two-phase kernel for the 2-cluster machine: phase A runs
+/// all 8 threads spread over both clusters (`vltcfg` operand `(8,2)`,
+/// per-thread MVL 16); phase B repartitions across the cluster boundary
+/// to `op_b` with only the low `threads_b` threads doing vector work (the
+/// multi-cluster software contract after a shrink). Exercises drain-gated
+/// cross-cluster repartitions and barrier flushes under both drivers.
+fn cross_cluster_two_phase(npt_a: usize, npt_b: usize, op_b: u64, threads_b: usize) -> Program {
+    let total = 8 * npt_a.max(npt_b);
+    let op_a = vlt_isa::vltcfg::operand(8, 2);
+    let src = format!(
+        r#"
+        .data
+    xs:
+        .zero {bytes}
+    ys:
+        .zero {bytes}
+        .text
+        tid     x10
+        li      x9, {op_a}
+        vltcfg  x9
+        li      x12, {npt_a}
+        mul     x13, x10, x12
+        slli    x14, x13, 3
+        la      x15, xs
+        add     x15, x15, x14
+        li      x17, 0
+    loopa:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vid     v1
+        vadd.vs v1, v1, x13
+        vst     v1, x15
+        slli    x7, x2, 3
+        add     x15, x15, x7
+        add     x17, x17, x2
+        blt     x17, x12, loopa
+        barrier
+        li      x9, {op_b}
+        vltcfg  x9
+        li      x11, {threads_b}
+        blt     x10, x11, dovec
+        j       join
+    dovec:
+        li      x12, {npt_b}
+        mul     x13, x10, x12
+        slli    x14, x13, 3
+        la      x15, xs
+        add     x15, x15, x14
+        la      x16, ys
+        add     x16, x16, x14
+        li      x17, 0
+    loopb:
+        sub     x3, x12, x17
+        setvl   x2, x3
+        vld     v1, x15
+        vadd.vv v2, v1, v1
+        vst     v2, x16
+        slli    x7, x2, 3
+        add     x16, x16, x7
+        add     x15, x15, x7
+        add     x17, x17, x2
+        blt     x17, x12, loopb
+    join:
+        barrier
+        halt
+    "#,
+        bytes = 8 * total,
+        op_a = op_a,
+        op_b = op_b,
+        npt_a = npt_a,
+        npt_b = npt_b,
+        threads_b = threads_b,
     );
     assemble(&src).unwrap()
 }
@@ -261,6 +349,60 @@ proptest! {
         assert_drivers_agree(|| System::new(SystemConfig::v2_cmp(), &prog, 2), MAX, interval);
     }
 
+    /// Hierarchical `vltcfg` on the 2-cluster ultra-wide machine: flat and
+    /// packed operands at 2/4/8 threads must drive both drivers to byte
+    /// identical results, samples included.
+    #[test]
+    fn event_driver_matches_naive_on_clustered_machines(
+        npt in 16usize..64,
+        threads_pick in 0usize..3,
+        clusters_pick in 0usize..2,
+        scalar_work in 0usize..4,
+        interval_pick in 0usize..3,
+    ) {
+        let threads = [2usize, 4, 8][threads_pick];
+        let clusters = [1usize, 2][clusters_pick];
+        let interval = [None, Some(1u64), Some(61)][interval_pick];
+        // Flat operands keep the legacy MVL = 64/t; packed ones spread to
+        // both clusters for MVL = 128/t.
+        let (op, mvl) = if clusters > 1 {
+            (vlt_isa::vltcfg::operand(threads as u8, clusters as u8), 128 / threads)
+        } else {
+            (threads as u64, 64 / threads)
+        };
+        let vl = mvl.min(16);
+        let prog = daxpy_with_operand(npt, vl, threads, scalar_work, op);
+        assert_drivers_agree(
+            || System::new(SystemConfig::v8_clustered(2), &prog, threads),
+            MAX,
+            interval,
+        );
+    }
+
+    /// Mid-run repartitions that cross the cluster boundary: from 8
+    /// threads over 2 clusters down to a flat split, an explicit
+    /// single-cluster collapse, or one thread per cluster at full MVL.
+    #[test]
+    fn event_driver_survives_cross_cluster_repartitions(
+        npt_a in 16usize..64,
+        npt_b in 8usize..48,
+        op_pick in 0usize..3,
+        interval_pick in 0usize..3,
+    ) {
+        let interval = [None, Some(1u64), Some(97)][interval_pick];
+        let (op_b, threads_b) = [
+            (4u64, 4usize),                      // flat: the machine keeps both clusters
+            (vlt_isa::vltcfg::operand(4, 1), 4), // explicit collapse to one cluster
+            (vlt_isa::vltcfg::operand(2, 2), 2), // one thread per cluster, MVL 64
+        ][op_pick];
+        let prog = cross_cluster_two_phase(npt_a, npt_b, op_b, threads_b);
+        assert_drivers_agree(
+            || System::new(SystemConfig::v8_clustered(2), &prog, 8),
+            MAX,
+            interval,
+        );
+    }
+
     /// Scalar machines: the CMT baseline (in-order scalar cores, no VU) and
     /// VLT lane-thread mode (scalar threads on the lane cores).
     #[test]
@@ -293,4 +435,12 @@ fn event_driver_matches_naive_at_scale() {
 
     let prog = scalar_sum(4096, 8);
     assert_drivers_agree(|| System::new(SystemConfig::v4_cmt_lane_threads(), &prog, 8), MAX, None);
+
+    // Multi-cluster at scale: 8 threads spread over 2 clusters, then a
+    // long run with a mid-run collapse across the cluster boundary.
+    let prog = daxpy_with_operand(2048, 16, 8, 6, vlt_isa::vltcfg::operand(8, 2));
+    assert_drivers_agree(|| System::new(SystemConfig::v8_clustered(2), &prog, 8), MAX, Some(513));
+
+    let prog = cross_cluster_two_phase(1024, 256, vlt_isa::vltcfg::operand(4, 1), 4);
+    assert_drivers_agree(|| System::new(SystemConfig::v8_clustered(2), &prog, 8), MAX, None);
 }

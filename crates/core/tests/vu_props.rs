@@ -115,7 +115,7 @@ proptest! {
                         accepted += 1;
                     }
                 }
-                vu.tick(now, &mut mem, &arena, 0, threads);
+                vu.tick(now, &mut mem, None, &arena, 0, threads, false);
                 let mut bad_completion = None;
                 pending.retain(|(tok, dispatched)| match vu.poll(*tok) {
                     Some(t) => {

@@ -22,11 +22,14 @@ pub enum ExecError {
         /// Instructions executed when the budget ran out.
         executed: u64,
     },
-    /// `vltcfg` with a thread count that is not 1, 2, 4, or 8.
+    /// `vltcfg` with an operand that is not a valid threads × clusters
+    /// encoding (see `vlt_isa::vltcfg`): thread count not 1, 2, 4, or 8,
+    /// cluster count not 0, 1, 2, 4, or 8, more clusters than threads, or
+    /// reserved bits set.
     BadVltCfg {
         /// Faulting thread.
         tid: usize,
-        /// The rejected thread count.
+        /// The rejected raw register value.
         threads: u64,
     },
     /// `setvl` request of zero (would make vector ops no-ops silently).
@@ -48,7 +51,7 @@ impl fmt::Display for ExecError {
                 write!(f, "instruction budget exhausted after {executed} instructions")
             }
             ExecError::BadVltCfg { tid, threads } => {
-                write!(f, "thread {tid}: vltcfg with invalid thread count {threads}")
+                write!(f, "thread {tid}: vltcfg with invalid operand {threads:#x}")
             }
             ExecError::ZeroVl { tid, pc } => {
                 write!(f, "thread {tid}: setvl of 0 at {pc:#x}")

@@ -112,13 +112,13 @@ pub fn step(
         Op::Tid => st.set_x(rd, st.tid as u64),
         Op::Nthr => st.set_x(rd, st.nthr as u64),
         Op::VltCfg => {
-            let t = st.get_x(rs1);
-            if !matches!(t, 1 | 2 | 4 | 8) {
-                return Err(ExecError::BadVltCfg { tid: st.tid, threads: t });
-            }
-            st.mvl = MAX_VL / t as usize;
+            let v = st.get_x(rs1);
+            let Some(h) = vlt_isa::vltcfg::unpack(v) else {
+                return Err(ExecError::BadVltCfg { tid: st.tid, threads: v });
+            };
+            st.mvl = vlt_isa::vltcfg::effective_mvl(MAX_VL, h);
             st.vl = st.vl.min(st.mvl);
-            kind = DynKind::VltCfg { threads: t as u8 };
+            kind = DynKind::VltCfg { threads: h.threads, clusters: h.clusters };
         }
         Op::SetVl => {
             let req = st.get_x(rs1);

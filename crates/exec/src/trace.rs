@@ -43,6 +43,10 @@ pub enum DynKind {
     VltCfg {
         /// The new number of VLT threads (1, 2, 4, or 8).
         threads: u8,
+        /// Requested lane-cluster spread (`0` = unspecified: the machine
+        /// picks its default). See [`vlt_isa::vltcfg`] for the packed
+        /// register encoding.
+        clusters: u8,
     },
     /// Thread finished.
     Halt,

@@ -38,6 +38,7 @@ pub mod inst;
 pub mod opcode;
 pub mod program;
 pub mod reg;
+pub mod vltcfg;
 
 pub use disasm::disasm;
 pub use encode::{decode, encode};

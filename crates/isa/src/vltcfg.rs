@@ -1,0 +1,127 @@
+//! Hierarchical `vltcfg` operand encoding (threads × clusters).
+//!
+//! `vltcfg` reads its configuration from a scalar register, so the
+//! hierarchy is packed into the register *value*, not the instruction
+//! word:
+//!
+//! ```text
+//! bits  0..8   threads   — VLT vector threads (1, 2, 4, or 8)
+//! bits  8..16  clusters  — lane clusters the threads spread over
+//!                          (0 = unspecified, or 1, 2, 4, 8)
+//! bits 16..64  reserved  — must be zero
+//! ```
+//!
+//! A plain thread count (`vltcfg x; li x, 4`) is the degenerate encoding
+//! with `clusters == 0`: programs written for the single-cluster machine
+//! keep their exact historical semantics (`mvl = MAX_VL / threads`). A
+//! nonzero cluster count must not exceed the thread count — each vector
+//! thread lives in exactly one cluster, so `threads / clusters` threads
+//! share each cluster's register file and the per-thread maximum vector
+//! length grows to `MAX_VL * clusters / threads`.
+//!
+//! ```
+//! use vlt_isa::vltcfg::{operand, unpack, effective_mvl, Hierarchy};
+//! use vlt_isa::MAX_VL;
+//!
+//! // 8 threads across 4 clusters: 2 threads per cluster, mvl = 32.
+//! let v = operand(8, 4);
+//! let h = unpack(v).unwrap();
+//! assert_eq!(h, Hierarchy { threads: 8, clusters: 4 });
+//! assert_eq!(effective_mvl(MAX_VL, h), 32);
+//!
+//! // The legacy flat encoding is the identity on small thread counts.
+//! assert_eq!(operand(4, 0), 4);
+//! assert_eq!(effective_mvl(MAX_VL, unpack(4).unwrap()), 16);
+//! ```
+
+/// A decoded `vltcfg` operand: the requested partition hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hierarchy {
+    /// VLT vector threads (1, 2, 4, or 8).
+    pub threads: u8,
+    /// Lane clusters the threads spread over; `0` means "unspecified" —
+    /// the machine picks its default (all clusters it can use).
+    pub clusters: u8,
+}
+
+/// Pack a `(threads, clusters)` hierarchy into the `vltcfg` register
+/// operand. `clusters == 0` produces the legacy flat encoding (the raw
+/// thread count). Panics on a hierarchy [`unpack`] would reject, so
+/// generators fail at build time instead of faulting mid-simulation.
+pub fn operand(threads: u8, clusters: u8) -> u64 {
+    let v = threads as u64 | ((clusters as u64) << 8);
+    assert!(
+        unpack(v).is_some(),
+        "invalid vltcfg hierarchy: {threads} threads x {clusters} clusters"
+    );
+    v
+}
+
+/// Decode and validate a `vltcfg` register operand. `None` is a dynamic
+/// fault (`ExecError::BadVltCfg` in the functional simulator): a thread
+/// count outside {1, 2, 4, 8}, a cluster count outside {0, 1, 2, 4, 8},
+/// more clusters than threads, or set reserved bits.
+pub fn unpack(v: u64) -> Option<Hierarchy> {
+    if v >> 16 != 0 {
+        return None;
+    }
+    let threads = (v & 0xff) as u8;
+    let clusters = ((v >> 8) & 0xff) as u8;
+    if !matches!(threads, 1 | 2 | 4 | 8) {
+        return None;
+    }
+    if !matches!(clusters, 0 | 1 | 2 | 4 | 8) || clusters > threads {
+        return None;
+    }
+    Some(Hierarchy { threads, clusters })
+}
+
+/// The per-thread maximum vector length a hierarchy grants, for a machine
+/// with `max_vl`-element architectural vector registers. Each cluster
+/// holds a full register file, shared by the `threads / clusters` threads
+/// it hosts; the unspecified (`clusters == 0`) encoding is the
+/// conservative single-cluster split `max_vl / threads`.
+pub fn effective_mvl(max_vl: usize, h: Hierarchy) -> usize {
+    let c = h.clusters.max(1) as usize;
+    (max_vl * c / h.threads as usize).min(max_vl).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MAX_VL;
+
+    #[test]
+    fn flat_encoding_round_trips() {
+        for t in [1u8, 2, 4, 8] {
+            assert_eq!(operand(t, 0), t as u64);
+            let h = unpack(t as u64).unwrap();
+            assert_eq!(h, Hierarchy { threads: t, clusters: 0 });
+            assert_eq!(effective_mvl(MAX_VL, h), MAX_VL / t as usize);
+        }
+    }
+
+    #[test]
+    fn hierarchical_mvl_scales_with_clusters() {
+        assert_eq!(effective_mvl(MAX_VL, unpack(operand(8, 8)).unwrap()), 64);
+        assert_eq!(effective_mvl(MAX_VL, unpack(operand(8, 2)).unwrap()), 16);
+        assert_eq!(effective_mvl(MAX_VL, unpack(operand(4, 4)).unwrap()), 64);
+        assert_eq!(effective_mvl(MAX_VL, unpack(operand(2, 1)).unwrap()), 32);
+    }
+
+    #[test]
+    fn invalid_operands_are_rejected() {
+        assert!(unpack(0).is_none()); // zero threads
+        assert!(unpack(3).is_none()); // non-power-of-two threads
+        assert!(unpack(16).is_none()); // threads > 8
+        assert!(unpack(1 | (2 << 8)).is_none()); // clusters > threads
+        assert!(unpack(2 | (3 << 8)).is_none()); // non-power-of-two clusters
+        assert!(unpack(4 | (1 << 16)).is_none()); // reserved bits set
+    }
+
+    #[test]
+    #[should_panic]
+    fn operand_panics_on_invalid_hierarchy() {
+        operand(2, 4);
+    }
+}

@@ -22,9 +22,11 @@
 pub mod cache;
 pub mod config;
 pub mod l2;
+pub mod net;
 pub mod system;
 
 pub use cache::Cache;
 pub use config::MemConfig;
 pub use l2::{BankEvent, BankedL2};
+pub use net::{ClusterNet, NetConfig, NetStats};
 pub use system::{MemStats, MemSystem};

@@ -17,6 +17,10 @@ pub struct MemStats {
     pub l2: (u64, u64, u64),
     /// L2 bank-conflict count per bank (sums to `l2.2`).
     pub l2_bank_conflicts: Vec<u64>,
+    /// Inter-cluster network statistics; `None` on single-cluster machines
+    /// (which have no network). Filled in by the system driver — the
+    /// [`ClusterNet`](crate::net::ClusterNet) is owned there, not here.
+    pub net: Option<crate::net::NetStats>,
 }
 
 /// The full memory hierarchy: per-core L1s, per-lane I-caches, shared L2.
@@ -113,6 +117,7 @@ impl MemSystem {
             lane_i: self.lane_i.iter().map(|c| (c.hits, c.misses)).collect(),
             l2: (self.l2.accesses, self.l2.misses, self.l2.bank_conflicts),
             l2_bank_conflicts: self.l2.bank_conflict_counts.clone(),
+            net: None,
         }
     }
 }

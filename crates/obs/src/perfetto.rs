@@ -90,10 +90,18 @@ pub struct PerfettoObserver {
     park_open: Vec<bool>,
     /// Highest lane-partition and bank tids seen, for metadata naming.
     partitions_seen: u64,
+    /// Highest lane cluster seen (+1); 1 on single-cluster machines, whose
+    /// track naming stays exactly as before clusters existed.
+    clusters_seen: u64,
     banks_seen: u64,
     threads_seen: u64,
     finished: bool,
 }
+
+/// Vector-unit tracks are grouped per cluster:
+/// `tid = cluster * CLUSTER_TID + partition`. On single-cluster machines
+/// every cluster is 0, so tids (and golden traces) are unchanged.
+const CLUSTER_TID: u64 = 256;
 
 impl Default for PerfettoObserver {
     fn default() -> Self {
@@ -116,6 +124,7 @@ impl PerfettoObserver {
             epoch: 0,
             park_open: Vec::new(),
             partitions_seen: 0,
+            clusters_seen: 1,
             banks_seen: 0,
             threads_seen: 0,
             finished: false,
@@ -200,8 +209,22 @@ impl PerfettoObserver {
         for t in 0..self.threads_seen {
             meta.push(thread(format!("thread {t}"), THREADS_PID, t));
         }
-        for p in 0..self.partitions_seen {
-            meta.push(thread(format!("partition {p}"), VU_PID, p));
+        if self.clusters_seen <= 1 {
+            for p in 0..self.partitions_seen {
+                meta.push(thread(format!("partition {p}"), VU_PID, p));
+            }
+        } else {
+            // Per-cluster trace slices: each cluster's partitions group
+            // under its own named tracks.
+            for c in 0..self.clusters_seen {
+                for p in 0..self.partitions_seen {
+                    meta.push(thread(
+                        format!("cluster {c} partition {p}"),
+                        VU_PID,
+                        c * CLUSTER_TID + p,
+                    ));
+                }
+            }
         }
         for b in 0..self.banks_seen {
             meta.push(thread(format!("bank {b}"), L2_PID, b));
@@ -282,9 +305,19 @@ impl SimObserver for PerfettoObserver {
 
     fn on_repartition(&mut self, now: u64, ev: &RepartitionEvent) {
         let clamp = if ev.clamped { " (clamped)" } else { "" };
+        // Hierarchical requests (or multi-cluster outcomes) spell out the
+        // spread; flat single-cluster ones keep the historical name.
+        let name = if ev.requested_clusters > 1 || ev.applied_clusters > 1 {
+            format!(
+                "vltcfg {}x{} -> {}x{}{}",
+                ev.requested, ev.requested_clusters, ev.applied, ev.applied_clusters, clamp
+            )
+        } else {
+            format!("vltcfg {} -> {}{}", ev.requested, ev.applied, clamp)
+        };
         self.push_structural(Ev {
             ph: 'i',
-            name: format!("vltcfg {} -> {}{}", ev.requested, ev.applied, clamp),
+            name,
             cat: "repartition",
             ts: now,
             dur: None,
@@ -335,6 +368,7 @@ impl SimObserver for PerfettoObserver {
 
     fn on_vec_issue(&mut self, _now: u64, ev: &VecIssue) {
         self.partitions_seen = self.partitions_seen.max(ev.partition as u64 + 1);
+        self.clusters_seen = self.clusters_seen.max(ev.cluster as u64 + 1);
         self.push_capped(Ev {
             ph: 'X',
             name: format!("{:?}", ev.class),
@@ -342,7 +376,7 @@ impl SimObserver for PerfettoObserver {
             ts: ev.start,
             dur: Some(ev.done.saturating_sub(ev.start).max(1)),
             pid: VU_PID,
-            tid: ev.partition as u64,
+            tid: ev.cluster as u64 * CLUSTER_TID + ev.partition as u64,
             id: None,
             args: vec![("vl", ev.vl as f64), ("vthread", ev.vthread as f64)],
         });

@@ -12,7 +12,16 @@ const MAX: u64 = 2_000_000_000;
 
 fn configs(w: &dyn Workload) -> Vec<(SystemConfig, usize)> {
     if w.vectorizable() {
-        vec![(SystemConfig::base(8), 1), (SystemConfig::v2_cmp(), 2), (SystemConfig::v4_cmp(), 4)]
+        vec![
+            (SystemConfig::base(8), 1),
+            (SystemConfig::v2_cmp(), 2),
+            (SystemConfig::v4_cmp(), 4),
+            // Multi-cluster: the flat `vltcfg t` in every workload spreads
+            // over both clusters, so NetworkContention cycles appear in the
+            // breakdown and must conserve like every other cause.
+            (SystemConfig::v8_clustered(2), 2),
+            (SystemConfig::v8_clustered(2), 4),
+        ]
     } else {
         vec![
             // Single-thread builds may still vectorize their serial phases
@@ -21,6 +30,9 @@ fn configs(w: &dyn Workload) -> Vec<(SystemConfig, usize)> {
             (SystemConfig::cmt(), 2),
             (SystemConfig::cmt(), 4),
             (SystemConfig::v4_cmt_lane_threads(), 8),
+            // Multi-cluster machines run scalar-heavy codes too (one busy
+            // cluster, one idle) — conservation must hold regardless.
+            (SystemConfig::v8_clustered(2), 1),
         ]
     }
 }

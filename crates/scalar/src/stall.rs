@@ -38,12 +38,19 @@ pub enum StallCause {
     /// Work was ready but issue/fetch bandwidth (or a busy functional
     /// unit, or a front-end redirect penalty) did not admit it this cycle.
     IssueWidth,
+    /// Waiting on an in-flight vector memory producer whose latency came
+    /// from inter-cluster network contention (a busy cluster link), not an
+    /// L2 bank. Only occurs on multi-cluster machines; single-cluster runs
+    /// keep attributing memory waits to [`BankConflict`].
+    ///
+    /// [`BankConflict`]: StallCause::BankConflict
+    NetworkContention,
 }
 
 impl StallCause {
     /// Every cause, in declaration order (the [`StallBreakdown`] index
     /// order).
-    pub const ALL: [StallCause; 7] = [
+    pub const ALL: [StallCause; 8] = [
         StallCause::NoDlp,
         StallCause::BankConflict,
         StallCause::ChainDepth,
@@ -51,6 +58,7 @@ impl StallCause {
         StallCause::ScalarDep,
         StallCause::Drain,
         StallCause::IssueWidth,
+        StallCause::NetworkContention,
     ];
 
     /// Stable machine-readable name (used as JSON keys and trace labels).
@@ -63,6 +71,7 @@ impl StallCause {
             StallCause::ScalarDep => "scalar-dep",
             StallCause::Drain => "drain",
             StallCause::IssueWidth => "issue-width",
+            StallCause::NetworkContention => "network-contention",
         }
     }
 }

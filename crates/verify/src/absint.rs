@@ -298,15 +298,9 @@ fn transfer(
         Op::VltCfg => {
             let t = st.x[rs1 as usize];
             if let Some(tv) = t.known() {
-                if !matches!(tv, 1 | 2 | 4 | 8) {
-                    emit(
-                        Code::BadVltCfg,
-                        format!("thread count {tv} is not 1, 2, 4, or 8 — dynamic fault"),
-                    );
-                    // Keep analyzing with an unknown partition.
-                    st.mvl = Cv::Top;
-                } else {
-                    let new_mvl = MAX_VL as i64 / tv;
+                let h = u64::try_from(tv).ok().and_then(vlt_isa::vltcfg::unpack);
+                if let Some(h) = h {
+                    let new_mvl = vlt_isa::vltcfg::effective_mvl(MAX_VL, h) as i64;
                     // Only meaningful when a `setvl` actually ran: the
                     // reset vl is the full MVL and clamping it is the
                     // normal effect of partitioning.
@@ -322,6 +316,16 @@ fn transfer(
                         }
                     }
                     st.mvl = Cv::K(new_mvl);
+                } else {
+                    emit(
+                        Code::BadVltCfg,
+                        format!(
+                            "operand {tv} is not a valid threads x clusters \
+                             encoding — dynamic fault"
+                        ),
+                    );
+                    // Keep analyzing with an unknown partition.
+                    st.mvl = Cv::Top;
                 }
             } else {
                 st.mvl = Cv::Top;

@@ -51,7 +51,7 @@ define_codes! {
     (UndefRead,        "undef-read",        Error, "register read but never written on any path from entry"),
     (MaybeUndefRead,   "maybe-undef-read",  Warn,  "register read but written on only some paths from entry"),
     (ZeroVl,           "zero-vl",           Error, "`setvl` with a request statically known to be zero (dynamic `ZeroVl` fault)"),
-    (BadVltCfg,        "bad-vltcfg",        Error, "`vltcfg` with a thread count statically known to not be 1, 2, 4, or 8"),
+    (BadVltCfg,        "bad-vltcfg",        Error, "`vltcfg` with an operand statically known to be an invalid threads x clusters encoding"),
     (VlReset,          "vl-reset",          Warn,  "vector instruction reachable with `vl` never set by `setvl` (executes at the reset MVL)"),
     (VltcfgClampsVl,   "vltcfg-clamps-vl",  Warn,  "`vltcfg` shrinks MVL below the current `vl` (stale `vl` is silently clamped)"),
     (SetvlDiscardsClamp, "setvl-discards-clamp", Warn, "`setvl` requests more than the partition MVL and discards the clamped result (`rd = x0`)"),

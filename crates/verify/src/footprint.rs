@@ -1497,8 +1497,8 @@ impl Runner<'_> {
             Op::Nthr => set(st, rd, Val::konst(self.nthr as i64)),
             Op::VltCfg => {
                 if let Some(t) = v1.is_const() {
-                    if matches!(t, 1 | 2 | 4 | 8) {
-                        let mvl = MAX_VL as i64 / t;
+                    if let Some(h) = u64::try_from(t).ok().and_then(vlt_isa::vltcfg::unpack) {
+                        let mvl = vlt_isa::vltcfg::effective_mvl(MAX_VL, h) as i64;
                         st.mvl = Some(mvl);
                         st.vl = match st.vl.is_const() {
                             Some(c) => Val::konst(c.min(mvl)),

@@ -122,7 +122,7 @@ impl Workload for Barnes {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, _clusters: usize, scale: Scale) -> Built {
         let nb: usize = scale.pick(64, 1024, 2048);
         assert!(nb.is_multiple_of(threads));
         let (blob, _) = lists(nb);

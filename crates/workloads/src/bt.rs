@@ -102,7 +102,8 @@ impl Workload for Bt {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built {
+        let vltcfg = crate::common::vltcfg_operand(threads, clusters);
         let cells: usize = scale.pick(32, 512, 1024);
         assert!(cells.is_multiple_of(4 * threads));
         let strips = cells / 4;
@@ -129,7 +130,7 @@ impl Workload for Bt {
         # The reads stay inside bsrc (the dynamic epoch checker proves it);
         # this is analysis imprecision, not sharing.
         .eq vlint.allow.race_rw, 1
-        li      x9, {threads}
+        li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
         la      x20, a

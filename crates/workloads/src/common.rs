@@ -48,6 +48,19 @@ impl Built {
     }
 }
 
+/// The `vltcfg` operand for `threads` VLT threads spread over `clusters`
+/// lane clusters. `clusters <= 1` keeps the legacy flat encoding, so
+/// single-cluster builds stay bit-identical to what they always were;
+/// `clusters > 1` packs the hierarchical encoding, which raises the
+/// per-thread MVL to `64 * clusters / threads` on a clustered machine.
+pub fn vltcfg_operand(threads: usize, clusters: usize) -> u64 {
+    if clusters <= 1 {
+        threads as u64
+    } else {
+        vlt_isa::vltcfg::operand(threads as u8, clusters as u8)
+    }
+}
+
 /// Render a `.double` data block.
 pub fn data_doubles(label: &str, values: &[f64]) -> String {
     let vals: Vec<String> = values.iter().map(|v| format!("{v:?}")).collect();

@@ -96,7 +96,8 @@ impl Workload for Mpenc {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built {
+        let vltcfg = crate::common::vltcfg_operand(threads, clusters);
         let nb: usize = scale.pick(8, 64, 128); // 8x8 blocks
         assert!(nb.is_multiple_of(threads));
         let cur = cur_plane(nb);
@@ -127,7 +128,7 @@ impl Workload for Mpenc {
         # never leave cur/refp (the dynamic epoch checker proves it); this
         # is analysis imprecision, not sharing.
         .eq vlint.allow.race_rw, 1
-        li      x9, {threads}
+        li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
         la      x20, cur

@@ -93,7 +93,8 @@ impl Workload for Multprec {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built {
+        let vltcfg = crate::common::vltcfg_operand(threads, clusters);
         let nums: usize = scale.pick(16, 256, 512);
         assert!(nums.is_multiple_of(2 * threads));
         let total = nums * SLOT;
@@ -117,7 +118,7 @@ impl Workload for Multprec {
         # this is analysis imprecision, not sharing.
         .eq vlint.allow.race_rw, 1
         .eq vlint.allow.race_ww, 1
-        li      x9, {threads}
+        li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
         la      x20, a

@@ -55,7 +55,8 @@ impl Workload for Mxm {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built {
+        let vltcfg = crate::common::vltcfg_operand(threads, clusters);
         let n: usize = scale.pick(64, 192, 256);
         assert!(n.is_multiple_of(threads), "n must divide across threads");
         let a: Vec<f64> = (0..n * n).map(|x| a_val(x / n, x % n)).collect();
@@ -69,7 +70,7 @@ impl Workload for Mxm {
     c:
         .zero {cbytes}
         .text
-        li      x9, {threads}
+        li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
         li      x11, {rows_per_thread}

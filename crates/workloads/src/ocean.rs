@@ -69,7 +69,7 @@ impl Workload for Ocean {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, _clusters: usize, scale: Scale) -> Built {
         let n: usize = scale.pick(18, 130, 194); // grid edge
         let steps: usize = scale.pick(2, 3, 4);
         let interior = n - 2;

@@ -176,7 +176,7 @@ impl Workload for Radix {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, _clusters: usize, scale: Scale) -> Built {
         assert!(threads.is_power_of_two(), "transposed histograms need 2^k threads");
         let n: usize = scale.pick(512, 16384, 32768);
         assert!(n.is_multiple_of(threads));

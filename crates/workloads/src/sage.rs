@@ -52,7 +52,8 @@ impl Workload for Sage {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built {
+        let vltcfg = crate::common::vltcfg_operand(threads, clusters);
         let n: usize = scale.pick(258, 8194, 16386);
         let steps: usize = scale.pick(2, 5, 5);
         let interior = n - 2;
@@ -73,7 +74,7 @@ impl Workload for Sage {
         # not sharing.
         .eq vlint.allow.race_rw, 1
         .eq vlint.allow.race_ww, 1
-        li      x9, {threads}
+        li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
         li      x11, {per_thread}

@@ -28,11 +28,25 @@ pub trait Workload: Sync {
     /// The paper's reference characteristics.
     fn paper_row(&self) -> PaperRow;
 
-    /// Build the SPMD program for `threads` threads at `scale`.
+    /// Build the SPMD program for `threads` threads at `scale` using the
+    /// legacy flat `vltcfg` encoding (equivalent to
+    /// [`build_spread`](Workload::build_spread) with one cluster).
     ///
     /// Vector workloads accept 1, 2, or 4 threads (the VLT partitions);
     /// scalar workloads accept 1..=8.
-    fn build(&self, threads: usize, scale: Scale) -> Built;
+    fn build(&self, threads: usize, scale: Scale) -> Built {
+        self.build_spread(threads, 1, scale)
+    }
+
+    /// Build the SPMD program with its `vltcfg` spread over `clusters`
+    /// lane clusters (the hierarchical packed encoding). `clusters <= 1`
+    /// emits the flat legacy operand — bit-identical to
+    /// [`build`](Workload::build). Spreading over `clusters >= 2` raises
+    /// the per-thread MVL to `64 * clusters / threads`, which is what lets
+    /// vector workloads run at 8 VLT threads on an ultra-wide machine
+    /// (fixed-VL phases up to 16 elements need MVL >= 16). Scalar
+    /// workloads ignore the spread — they configure no vector state.
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built;
 
     /// Maximum thread count this workload parallelizes to.
     fn max_threads(&self) -> usize {
@@ -110,6 +124,35 @@ mod tests {
         assert_eq!(get("radix").pct_vect, Some(6.0));
         assert_eq!(get("ocean").pct_vect, None);
         assert_eq!(get("barnes").opportunity, Some(98.0));
+    }
+
+    /// A single-cluster spread is the same program as the flat build, byte
+    /// for byte — the hierarchical path cannot perturb legacy binaries.
+    #[test]
+    fn single_cluster_spread_is_bit_identical() {
+        for w in suite() {
+            for threads in [1, w.max_threads()] {
+                let flat = w.build(threads, Scale::Test).program;
+                let spread = w.build_spread(threads, 1, Scale::Test).program;
+                assert_eq!(flat.text, spread.text, "{} x{threads} text", w.name());
+                assert_eq!(flat.data, spread.data, "{} x{threads} data", w.name());
+            }
+        }
+    }
+
+    /// The hierarchical spread restores enough MVL for ultra-wide VLT:
+    /// every vector workload verifies functionally at 8 threads spread
+    /// over 2 and 8 clusters (per-thread MVL 16 and 64).
+    #[test]
+    fn vector_workloads_verify_spread_at_eight_threads() {
+        for w in suite().into_iter().filter(|w| w.vectorizable()) {
+            for clusters in [2usize, 8] {
+                let built = w.build_spread(8, clusters, Scale::Test);
+                built
+                    .run_functional(8, 80_000_000)
+                    .unwrap_or_else(|e| panic!("{} x8 over {clusters}: {e}", w.name()));
+            }
+        }
     }
 
     /// Every workload runs functionally and verifies at Test scale, single

@@ -104,7 +104,8 @@ impl Workload for Trfd {
         }
     }
 
-    fn build(&self, threads: usize, scale: Scale) -> Built {
+    fn build_spread(&self, threads: usize, clusters: usize, scale: Scale) -> Built {
+        let vltcfg = crate::common::vltcfg_operand(threads, clusters);
         let rows: usize = scale.pick(32, 512, 1024);
         assert!(rows.is_multiple_of(threads.max(ROW_LENGTHS.len())));
         let offs = offsets(rows);
@@ -128,7 +129,7 @@ impl Workload for Trfd {
         # their footprints; the per-thread row ranges are disjoint by
         # construction and the dynamic epoch checker verifies it
         .eq vlint.allow.race_unknown, 1
-        li      x9, {threads}
+        li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
         li      x11, {rows_per_thread}

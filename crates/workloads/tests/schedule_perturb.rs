@@ -56,9 +56,10 @@ fn digest(sim: &FuncSim, d: &vlt_exec::DynInst, h: &mut u64) {
             }
         }
         DynKind::Barrier => fnv(h, 6),
-        DynKind::VltCfg { threads } => {
+        DynKind::VltCfg { threads, clusters } => {
             fnv(h, 7);
             fnv(h, u64::from(threads));
+            fnv(h, u64::from(clusters));
         }
         DynKind::Halt => fnv(h, 8),
     }
