@@ -1,0 +1,56 @@
+//! Functional replay: the block engine vs the single-step interpreter.
+//!
+//! The paper's methodology runs every workload through the functional
+//! simulator first (functional-first, timing-replay), so `FuncSim`
+//! throughput bounds how fast any experiment can go. The block engine
+//! pre-compiles hot basic blocks into threaded-code µop sequences with
+//! direct successor links; this bench measures the resulting replay
+//! speedup over the nine paper kernels at the suite's 4-thread shape.
+//!
+//! Both engines produce identical `RunSummary`s and final memory images
+//! (asserted here before timing; exhaustively tested in
+//! `vlt-workloads/tests/engine_suite.rs`), so any delta is pure engine
+//! overhead. Results are recorded in `results/func_replay.md`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use vlt_exec::{EngineMode, FuncSim};
+use vlt_workloads::{suite, Scale};
+
+const BUDGET: u64 = 2_000_000_000;
+
+/// The nine kernels all run vectorized where possible at 4 threads —
+/// the `V4-*` design points' shape, and the suite's most common run.
+const THREADS: usize = 4;
+
+fn bench_func_replay(c: &mut Criterion) {
+    for w in suite() {
+        let built = w.build(THREADS, Scale::Small);
+
+        // Sanity: the engines must agree before we time them.
+        let mut oracle = FuncSim::new(&built.program, THREADS).with_engine(EngineMode::Interp);
+        let expect = oracle.run_to_completion(BUDGET).unwrap();
+        let mut blocks = FuncSim::new(&built.program, THREADS).with_engine(EngineMode::Block);
+        let got = blocks.run_to_completion(BUDGET).unwrap();
+        assert_eq!(expect, got, "engines diverged on {}", w.name());
+        assert_eq!(oracle.mem, blocks.mem, "final memory diverged on {}", w.name());
+        (built.verifier)(&blocks).unwrap_or_else(|m| panic!("{} verify: {m}", w.name()));
+
+        let mut g = c.benchmark_group(format!("func_replay_{}", w.name()));
+        g.throughput(Throughput::Elements(expect.insts));
+        for (name, engine) in [("block", EngineMode::Block), ("interp", EngineMode::Interp)] {
+            g.bench_function(name, |b| {
+                b.iter_batched(
+                    || FuncSim::new(&built.program, THREADS).with_engine(engine),
+                    |mut sim| black_box(sim.run_to_completion(BUDGET).unwrap().insts),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_func_replay);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vlt_core::{SimResult, System, SystemConfig};
+use vlt_core::{EngineMode, SimResult, System, SystemConfig};
 use vlt_obs::perfetto::validate_chrome_trace;
 use vlt_obs::{MetricsObserver, Multi, PerfettoObserver};
 use vlt_stats::metrics::validate_metrics_json;
@@ -40,6 +40,8 @@ options:
   --threads N     software threads (default: 4, the examples' shape)
   --scale S       workload problem size: test | small | full
                   (default: small; ignored for .s files)
+  --engine E      functional engine: block (threaded-code blocks, the
+                  default) | interp (the single-step oracle)
   --out DIR       output directory for trace.json + metrics.json
                   (default: vlprof-out)
   -h, --help      this text";
@@ -50,6 +52,7 @@ struct Args {
     clusters: usize,
     threads: usize,
     scale: Scale,
+    engine: EngineMode,
     out: PathBuf,
 }
 
@@ -60,6 +63,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     let mut clusters = 1usize;
     let mut threads = 4usize;
     let mut scale = Scale::Small;
+    let mut engine = EngineMode::default();
     let mut out = PathBuf::from("vlprof-out");
     let next = |argv: &mut std::env::Args, flag: &str| {
         argv.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -88,6 +92,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     s => return Err(format!("unknown scale {s:?} (test | small | full)")),
                 };
             }
+            "--engine" => {
+                engine = match next(&mut argv, "--engine")?.as_str() {
+                    "block" => EngineMode::Block,
+                    "interp" => EngineMode::Interp,
+                    s => return Err(format!("unknown engine {s:?} (block | interp)")),
+                };
+            }
             "--out" => out = PathBuf::from(next(&mut argv, "--out")?),
             s if s.starts_with('-') => return Err(format!("unknown option {s}\n\n{USAGE}")),
             _ => {
@@ -101,7 +112,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     if threads == 0 {
         return Err("--threads needs a positive integer".to_string());
     }
-    Ok(Args { target, config, clusters, threads, scale, out })
+    Ok(Args { target, config, clusters, threads, scale, engine, out })
 }
 
 /// Resolve a design-point name (case- and `-`/`_`-insensitive).
@@ -161,7 +172,7 @@ fn run(args: &Args) -> Result<(), String> {
     };
 
     eprintln!("vlprof: {label} on {} x{} ...", cfg.name, args.threads);
-    let mut sys = System::new(cfg.clone(), &program, args.threads);
+    let mut sys = System::new(cfg.clone(), &program, args.threads).with_engine(args.engine);
     let mut metrics = MetricsObserver::new();
     let mut trace = PerfettoObserver::new();
     let result = {

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use vlt_core::{SimError, SimResult, System, SystemConfig};
+use vlt_core::{EngineMode, SimError, SimResult, System, SystemConfig};
 use vlt_workloads::{Built, Scale, Workload};
 
 /// Default cycle budget per simulation.
@@ -85,15 +85,29 @@ impl std::fmt::Display for SuiteError {
 impl std::error::Error for SuiteError {}
 
 /// Run one built workload on a configuration, verifying the result.
-/// `label` names the workload in error messages.
+/// `label` names the workload in error messages. Uses the default
+/// functional engine; see [`run_built_on`] to pin one.
 pub fn run_built(
     cfg: SystemConfig,
     built: &Built,
     threads: usize,
     label: &str,
 ) -> Result<SimResult, SuiteError> {
+    run_built_on(cfg, built, threads, label, EngineMode::default())
+}
+
+/// [`run_built`] with an explicit functional engine — the equivalence
+/// suites run every workload under both [`EngineMode::Block`] and the
+/// [`EngineMode::Interp`] oracle and compare results byte-for-byte.
+pub fn run_built_on(
+    cfg: SystemConfig,
+    built: &Built,
+    threads: usize,
+    label: &str,
+    engine: EngineMode,
+) -> Result<SimResult, SuiteError> {
     let run = format!("{label} on {} x{threads}", cfg.name);
-    let mut system = System::new(cfg, &built.program, threads);
+    let mut system = System::new(cfg, &built.program, threads).with_engine(engine);
     let result =
         system.run(MAX_CYCLES).map_err(|source| SuiteError::Sim { run: run.clone(), source })?;
     (built.verifier)(system.funcsim()).map_err(|message| SuiteError::Verify { run, message })?;

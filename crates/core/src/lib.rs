@@ -39,6 +39,7 @@ pub use system::{
     CycleView, DriverMode, NullObserver, ProgressObserver, RepartitionEvent, Sample,
     SamplingObserver, SimObserver, System,
 };
+pub use vlt_exec::EngineMode;
 pub use vlt_mem::{NetConfig, NetStats};
 pub use vlt_scalar::{StallBreakdown, StallCause};
 pub use vu::{VecIssue, VectorUnit, VuConfig};

@@ -642,6 +642,20 @@ impl System {
         self.driver
     }
 
+    /// Select the functional execution engine (default:
+    /// [`vlt_exec::EngineMode::Block`]). [`vlt_exec::EngineMode::Interp`]
+    /// is the cross-validation oracle, mirroring
+    /// [`DriverMode::CycleByCycle`] on the timing side.
+    pub fn set_engine(&mut self, engine: vlt_exec::EngineMode) {
+        self.src.sim.set_engine(engine);
+    }
+
+    /// Builder-style [`System::set_engine`].
+    pub fn with_engine(mut self, engine: vlt_exec::EngineMode) -> Self {
+        self.set_engine(engine);
+        self
+    }
+
     /// The functional simulator (memory image and architectural state) —
     /// for result verification after a run.
     pub fn funcsim(&self) -> &FuncSim {

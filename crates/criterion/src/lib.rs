@@ -14,7 +14,9 @@
 //! fixed number of timed samples, then prints min / median / mean
 //! wall-clock time per iteration (plus throughput when configured).
 //! `--bench`-style CLI flags passed by `cargo bench` are accepted and
-//! ignored; a bare positional argument filters benchmarks by substring.
+//! ignored; a bare positional argument filters benchmarks by substring,
+//! and `--sample-size N` overrides every group's sample count (CI smoke
+//! steps pass 2 to exercise benches without paying for full runs).
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -47,14 +49,25 @@ pub enum BatchSize {
 /// Top-level benchmark driver.
 pub struct Criterion {
     filter: Option<String>,
+    sample_override: Option<usize>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // cargo bench passes flags like `--bench`; accept and ignore
-        // anything starting with '-'. A bare argument is a name filter.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion { filter }
+        // anything starting with '-', consuming `--sample-size`'s value.
+        // A bare argument is a name filter.
+        let mut filter = None;
+        let mut sample_override = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--sample-size" {
+                sample_override = args.next().and_then(|v| v.parse().ok());
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Criterion { filter, sample_override }
     }
 }
 
@@ -66,7 +79,8 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 30, throughput: None }
+        let sample_size = self.sample_override.unwrap_or(30).max(2);
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size, throughput: None }
     }
 
     /// Benchmark outside any group.
@@ -96,9 +110,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark (a `--sample-size` CLI
+    /// override wins, so smoke runs stay short).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = self._parent.sample_override.unwrap_or(n).max(2);
         self
     }
 
@@ -248,7 +263,7 @@ mod tests {
 
     #[test]
     fn group_runs_and_reports() {
-        let mut c = Criterion { filter: None };
+        let mut c = Criterion { filter: None, sample_override: None };
         let mut hits = 0u32;
         {
             let mut g = c.benchmark_group("t");
@@ -267,7 +282,7 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { filter: Some("yes".into()) };
+        let mut c = Criterion { filter: Some("yes".into()), sample_override: None };
         let mut ran = false;
         c.benchmark_group("g").bench_function("no_match", |b| {
             b.iter(|| ran = true);

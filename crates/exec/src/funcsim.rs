@@ -8,11 +8,13 @@
 //! streams between barriers is architecturally equivalent — this is what
 //! lets the timing models pull instructions on their own schedule.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use vlt_isa::Program;
 
 use crate::arena::{AddrArena, AddrRange};
+use crate::block::BlockCache;
 use crate::checker::{CheckConfig, Checker};
 use crate::error::ExecError;
 use crate::interp;
@@ -21,6 +23,30 @@ use crate::program::DecodedProgram;
 use crate::race::{RaceChecker, RaceConfig};
 use crate::state::ArchState;
 use crate::trace::{DynInst, DynKind};
+
+/// Which execution engine drives the functional simulation.
+///
+/// Both engines produce byte-identical [`DynInst`] streams, final memory
+/// images, and run summaries; [`EngineMode::Interp`] is retained as the
+/// cross-validation oracle for the block engine, exactly as the timing
+/// side keeps `DriverMode::CycleByCycle` as the oracle for event-driven
+/// skipping.
+///
+/// The block engine executes ahead of the per-instruction hand-off by up
+/// to one compiled block per thread (bounded by
+/// [`crate::block::MAX_UOPS`]). For barrier-disciplined programs — the
+/// memory model every workload is verified against (`vlint --races`) —
+/// this is architecturally invisible. The dynamic checkers observe
+/// pre-execution state per instruction, so enabling either one routes
+/// execution through the interpreter regardless of the configured mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Single-step the instruction interpreter (the oracle).
+    Interp,
+    /// Threaded-code block engine with interpreter fallback (default).
+    #[default]
+    Block,
+}
 
 /// Result of stepping one thread.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +60,7 @@ pub enum Step {
 }
 
 /// Aggregate statistics from a functional run (Table 4 inputs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
     /// Total dynamic instructions across all threads.
     pub insts: u64,
@@ -99,6 +125,10 @@ pub struct FuncSim {
     releases: u64,
     checker: Option<Checker>,
     race: Option<RaceChecker>,
+    engine: EngineMode,
+    cache: BlockCache,
+    /// Per-thread queue of block-executed instructions not yet handed out.
+    pending: Vec<VecDeque<DynInst>>,
     /// Total instructions executed so far.
     pub executed: u64,
 }
@@ -110,6 +140,7 @@ impl FuncSim {
         let decoded = DecodedProgram::new(prog);
         let mem = Memory::load(prog);
         let threads = (0..nthr).map(|t| ArchState::new(prog.entry, t, nthr)).collect();
+        let cache = BlockCache::new(decoded.len());
         FuncSim {
             prog: decoded,
             mem,
@@ -119,8 +150,36 @@ impl FuncSim {
             releases: 0,
             checker: None,
             race: None,
+            engine: EngineMode::default(),
+            cache,
+            pending: vec![VecDeque::new(); nthr],
             executed: 0,
         }
+    }
+
+    /// Select the execution engine. Switch before running; switching to
+    /// [`EngineMode::Interp`] mid-run still drains instructions the block
+    /// engine already executed.
+    pub fn set_engine(&mut self, engine: EngineMode) {
+        self.engine = engine;
+    }
+
+    /// Builder-style [`FuncSim::set_engine`].
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.set_engine(engine);
+        self
+    }
+
+    /// The configured execution engine.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// True when the block engine actually drives execution: configured,
+    /// and no per-instruction observer (checker/race checker) needs to see
+    /// pre-execution state.
+    fn block_ok(&self) -> bool {
+        self.engine == EngineMode::Block && self.checker.is_none() && self.race.is_none()
     }
 
     /// Turn on checked mode: every subsequently executed instruction is
@@ -208,17 +267,31 @@ impl FuncSim {
         if self.threads[t].halted {
             return Ok(Step::Halted);
         }
-        if self.waiting[t] {
-            if self.barrier_released() {
-                for w in self.waiting.iter_mut() {
-                    *w = false;
-                }
-                // Exactly one rendezvous completed: the flags clear once
-                // per barrier, however many threads participate.
-                self.releases += 1;
-            } else {
-                return Ok(Step::AtBarrier);
+        // Hand out block-executed instructions first. `executed` counts at
+        // hand-out, not at block-execution time, so the timing driver's
+        // progress fingerprint advances exactly as under the interpreter.
+        if let Some(d) = self.pending[t].pop_front() {
+            self.executed += 1;
+            return Ok(Step::Inst(d));
+        }
+        if !self.unpark(t) {
+            return Ok(Step::AtBarrier);
+        }
+        if self.block_ok() {
+            let Self { threads, mem, prog, arena, cache, pending, .. } = self;
+            let st = &mut threads[t];
+            let q = &mut pending[t];
+            let ran = cache.run(st, mem, prog, arena, false, &mut |d| {
+                q.push_back(d);
+                Ok(())
+            })?;
+            if ran {
+                let d = self.pending[t].pop_front().expect("a block always emits");
+                self.executed += 1;
+                return Ok(Step::Inst(d));
             }
+            // No block at this PC (barrier/halt/vltcfg or a wild jump):
+            // fall through to one interpreter step.
         }
         if let Some(ck) = self.checker.as_mut() {
             if let Some(sidx) = self.prog.index_of(self.threads[t].pc) {
@@ -241,6 +314,23 @@ impl FuncSim {
         self.threads.iter().zip(&self.waiting).all(|(st, w)| st.halted || *w)
     }
 
+    /// Clear thread `t`'s barrier wait if its rendezvous has completed.
+    /// Returns `false` while the thread stays parked.
+    fn unpark(&mut self, t: usize) -> bool {
+        if self.waiting[t] {
+            if !self.barrier_released() {
+                return false;
+            }
+            for w in self.waiting.iter_mut() {
+                *w = false;
+            }
+            // Exactly one rendezvous completed: the flags clear once
+            // per barrier, however many threads participate.
+            self.releases += 1;
+        }
+        true
+    }
+
     /// Round-robin all threads to completion, collecting summary statistics.
     ///
     /// `budget` bounds total instructions to catch runaway kernels.
@@ -256,6 +346,10 @@ impl FuncSim {
         while !self.all_halted() {
             let mut progressed = false;
             for t in 0..n {
+                if self.block_ok() {
+                    progressed |= self.run_thread_block(t, budget, &mut summary)?;
+                    continue;
+                }
                 while let Step::Inst(d) = self.step_thread(t)? {
                     progressed = true;
                     summary.insts += 1;
@@ -278,18 +372,90 @@ impl FuncSim {
         Ok(summary)
     }
 
-    fn record(&self, d: &DynInst, s: &mut RunSummary) {
-        let class = self.prog.get(d.sidx as usize).class;
-        if class.is_vector() {
-            s.vector_insts += 1;
-            let elems = d.elems();
-            s.elem_ops += elems as u64;
-            if d.vl > 0 {
-                s.vl_histogram[(d.vl as usize).min(64)] += 1;
+    /// Block-engine inner loop of [`FuncSim::run_to_completion`]: chain
+    /// compiled blocks (accounting instructions straight into `summary`,
+    /// with no hand-off queue) until this thread parks at a barrier or
+    /// halts. Scheduling points are identical to the interpreter loop —
+    /// threads batch between barriers either way. Returns whether the
+    /// thread made progress.
+    fn run_thread_block(
+        &mut self,
+        t: usize,
+        budget: u64,
+        summary: &mut RunSummary,
+    ) -> Result<bool, ExecError> {
+        let mut progressed = false;
+        // Drain anything a prior single-step phase left queued.
+        while let Some(d) = self.pending[t].pop_front() {
+            self.executed += 1;
+            progressed = true;
+            summary.insts += 1;
+            summary.per_thread[t] += 1;
+            self.record(&d, summary);
+            if summary.insts > budget {
+                return Err(ExecError::Budget { executed: summary.insts });
             }
-        } else if !matches!(d.kind, DynKind::Barrier | DynKind::Halt | DynKind::VltCfg { .. }) {
-            s.scalar_ops += 1;
         }
+        loop {
+            if self.threads[t].halted {
+                return Ok(progressed);
+            }
+            if !self.unpark(t) {
+                return Ok(progressed);
+            }
+            let Self { threads, mem, prog, arena, cache, executed, .. } = self;
+            let prog: &DecodedProgram = prog;
+            let st = &mut threads[t];
+            let ran = cache.run(st, mem, prog, arena, true, &mut |d| {
+                *executed += 1;
+                summary.insts += 1;
+                summary.per_thread[t] += 1;
+                record_into(prog, &d, summary);
+                if summary.insts > budget {
+                    return Err(ExecError::Budget { executed: summary.insts });
+                }
+                Ok(())
+            })?;
+            progressed |= ran;
+            // The next instruction has no block: barrier, halt, vltcfg, or
+            // a wild PC. One interpreter step handles it (and its driver
+            // state), then blocks resume.
+            match self.step_thread(t)? {
+                Step::Inst(d) => {
+                    progressed = true;
+                    summary.insts += 1;
+                    summary.per_thread[t] += 1;
+                    self.record(&d, summary);
+                    if summary.insts > budget {
+                        return Err(ExecError::Budget { executed: summary.insts });
+                    }
+                    if matches!(d.kind, DynKind::Barrier | DynKind::Halt) {
+                        return Ok(true);
+                    }
+                }
+                Step::AtBarrier | Step::Halted => return Ok(progressed),
+            }
+        }
+    }
+
+    fn record(&self, d: &DynInst, s: &mut RunSummary) {
+        record_into(&self.prog, d, s);
+    }
+}
+
+/// Fold one executed instruction into the run summary (free function so
+/// the block engine's sink can record while `FuncSim` is split-borrowed).
+fn record_into(prog: &DecodedProgram, d: &DynInst, s: &mut RunSummary) {
+    let class = prog.get(d.sidx as usize).class;
+    if class.is_vector() {
+        s.vector_insts += 1;
+        let elems = d.elems();
+        s.elem_ops += elems as u64;
+        if d.vl > 0 {
+            s.vl_histogram[(d.vl as usize).min(64)] += 1;
+        }
+    } else if !matches!(d.kind, DynKind::Barrier | DynKind::Halt | DynKind::VltCfg { .. }) {
+        s.scalar_ops += 1;
     }
 }
 

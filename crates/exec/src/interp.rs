@@ -527,7 +527,7 @@ pub fn step(
 
 /// All-ones mask over the low `vl` bits.
 #[inline]
-fn vl_mask(vl: usize) -> u64 {
+pub(crate) fn vl_mask(vl: usize) -> u64 {
     if vl >= 64 {
         u64::MAX
     } else {

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod arena;
+pub mod block;
 pub mod checker;
 pub mod error;
 pub mod funcsim;
@@ -40,11 +41,13 @@ pub mod program;
 pub mod race;
 pub mod state;
 pub mod trace;
+pub mod uop;
 
 pub use arena::{AddrArena, AddrRange};
+pub use block::BlockCache;
 pub use checker::{CheckConfig, Checker, DynFault, FaultRecord};
 pub use error::ExecError;
-pub use funcsim::{FuncSim, RunSummary, Step};
+pub use funcsim::{EngineMode, FuncSim, RunSummary, Step};
 pub use memory::Memory;
 pub use program::{DecodedProgram, StaticInst};
 pub use race::{RaceChecker, RaceConfig, RaceRecord, RaceSite};

@@ -51,9 +51,24 @@ impl DecodedProgram {
     }
 
     /// Look up the static index for a byte PC, if it is inside the text.
+    ///
+    /// O(1) arithmetic against the dense text layout (`TEXT_BASE + 4*i`),
+    /// self-contained so the per-step hot path of both engines never
+    /// touches the original [`Program`].
     #[inline]
     pub fn index_of(&self, pc: u64) -> Option<usize> {
-        self.program.index_of(pc)
+        let off = pc.wrapping_sub(TEXT_BASE);
+        if !off.is_multiple_of(4) {
+            return None;
+        }
+        let idx = (off / 4) as usize;
+        // Out-of-text PCs below TEXT_BASE wrap to huge offsets and fail
+        // the same bound.
+        if idx < self.insts.len() {
+            Some(idx)
+        } else {
+            None
+        }
     }
 
     /// Static instruction by index.
