@@ -16,6 +16,20 @@ fn main() {
     println!("{}", ex::table4::render_full(scale));
     let t4 = ex::table4::run(scale);
     t4.write_to(&results).ok();
+    let stat = ex::table4_static::run(scale);
+    let ts = ex::table4_static::static_table(&stat);
+    println!("{ts}");
+    match ts.write_to(&results, "table4_static") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => eprintln!("could not write results JSON: {err}"),
+    }
+    let dyn_rows = ex::table4_static::dynamic_rows(scale);
+    let td = ex::table4_static::dynamic_table(&dyn_rows);
+    println!("{td}");
+    match td.write_to(&results, "table4_dynamic") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => eprintln!("could not write results JSON: {err}"),
+    }
     for e in [
         ex::fig1::run(scale),
         ex::fig3::run(scale),

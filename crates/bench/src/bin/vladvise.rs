@@ -1,0 +1,94 @@
+//! `vladvise` — static VLTCFG partition advisor over the workload suite.
+//!
+//! ```text
+//! vladvise [--validate]
+//! ```
+//!
+//! Runs the static DLP analyzer on every suite kernel (single-threaded
+//! build, matching how `table4` characterizes them), prints the predicted
+//! Table-4 profile with the advisor's recommended partition per workload
+//! and per region, and writes `results/table4_static.json` (vlt-table v1).
+//!
+//! With `--validate`, also measures the dynamic characterization, writes
+//! `results/table4_dynamic.json`, and cross-checks static against dynamic
+//! (avg VL within 10%, % vectorization within 5 points, top common VL
+//! exact, instruction count exact for exact walks) — exiting 1 on any
+//! mismatch, so CI can gate releases on the analyzer staying honest.
+//!
+//! Scale comes from `VLT_SCALE` (`test` | `small` | `full`), like every
+//! other experiment binary.
+
+use vlt_bench::experiments::{scale_from_env, table4_static as ex};
+
+fn main() {
+    let mut validate = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--validate" => validate = true,
+            "-h" | "--help" => {
+                println!("usage: vladvise [--validate]");
+                return;
+            }
+            other => {
+                eprintln!("vladvise: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = scale_from_env();
+    let results = vlt_bench::results_dir();
+
+    let rows = ex::run(scale);
+    let t = ex::static_table(&rows);
+    println!("{t}");
+    for r in &rows {
+        let a = &r.advice;
+        for reg in &a.regions {
+            if reg.region == 0 {
+                continue;
+            }
+            println!(
+                "{}: region {}: {:?}, {:.1}% vectorized, avg VL {:.1}, best {} thread(s)",
+                r.name,
+                reg.region,
+                reg.opportunity,
+                reg.pct_vectorization,
+                reg.avg_vl,
+                reg.best_threads,
+            );
+        }
+        let ranked: Vec<String> = a
+            .ranking
+            .iter()
+            .map(|s| format!("{}x{} ({:.2}x)", s.threads, s.mvl, s.speedup))
+            .collect();
+        println!("{}: ranking: {}", r.name, ranked.join(" > "));
+    }
+    match t.write_to(&results, "table4_static") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => eprintln!("could not write results JSON: {err}"),
+    }
+
+    if !validate {
+        return;
+    }
+
+    println!("\nvalidating against the dynamic characterization...");
+    let dyn_rows = ex::dynamic_rows(scale);
+    let dt = ex::dynamic_table(&dyn_rows);
+    println!("{dt}");
+    match dt.write_to(&results, "table4_dynamic") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(err) => eprintln!("could not write results JSON: {err}"),
+    }
+    let errs = ex::validate(&rows, &dyn_rows);
+    if errs.is_empty() {
+        println!("static analysis validated against dynamic runs for all {} kernels", rows.len());
+    } else {
+        for e in &errs {
+            eprintln!("vladvise: MISMATCH: {e}");
+        }
+        std::process::exit(1);
+    }
+}

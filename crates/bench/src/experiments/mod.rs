@@ -12,6 +12,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod table4_static;
 
 use vlt_stats::{Experiment, Table};
 use vlt_workloads::Scale;

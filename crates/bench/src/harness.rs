@@ -27,11 +27,13 @@ pub fn results_dir() -> PathBuf {
 /// The `all` runner checks this set after writing and exits nonzero when
 /// one is absent — a silently-skipped experiment would otherwise look like
 /// a passing suite.
-pub const EXPECTED_RESULTS: [&str; 12] = [
+pub const EXPECTED_RESULTS: [&str; 14] = [
     "table1",
     "table2",
     "table3",
     "table4",
+    "table4_static",
+    "table4_dynamic",
     "fig1",
     "fig3",
     "fig4",

@@ -17,6 +17,7 @@
 //! cargo run -p vlt-bench --release --bin fig4    # datapath utilization
 //! cargo run -p vlt-bench --release --bin fig5    # SU design space
 //! cargo run -p vlt-bench --release --bin fig6    # scalar threads on lanes
+//! cargo run -p vlt-bench --release --bin vladvise # static DLP advisor
 //! cargo run -p vlt-bench --release --bin all     # everything + summary
 //! ```
 //!

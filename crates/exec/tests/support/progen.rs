@@ -1,0 +1,264 @@
+//! Deterministic random-program generator shared by the differential
+//! test harnesses (`#[path]`-included, so it is not its own test binary).
+//!
+//! Emits vlint-clean SPMD programs: every scratch register is initialized
+//! in a prologue, all memory traffic stays inside a tid-strided private
+//! slice of one shared buffer (race-free by construction), loops have
+//! constant trip counts, and phases meet at top-level barriers. The
+//! engine-differential fuzz (`engine_fuzz`) steps these under two
+//! execution engines; the static-DLP differential fuzz (`dlp_fuzz` in
+//! vlt-verify) replays them against the static analyzer's predictions.
+
+/// xorshift64* — deterministic, dependency-free.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// Scratch integer registers the generator may clobber. `x1` (tid), `x2`
+/// (private base), `x13` (address/constant temp), `x14` (loop counter),
+/// and `x15` (setvl result) are reserved.
+const XPOOL: [u8; 9] = [4, 5, 6, 7, 8, 9, 10, 11, 12];
+const FPOOL: [u8; 4] = [1, 2, 3, 4];
+const VPOOL: [u8; 4] = [1, 2, 3, 4];
+
+struct Gen {
+    src: String,
+    rng: Rng,
+    label: u32,
+}
+
+impl Gen {
+    fn x(&mut self) -> u8 {
+        *self.rng.pick(&XPOOL)
+    }
+    fn f(&mut self) -> u8 {
+        *self.rng.pick(&FPOOL)
+    }
+    fn v(&mut self) -> u8 {
+        *self.rng.pick(&VPOOL)
+    }
+    fn emit(&mut self, line: &str) {
+        self.src.push_str("        ");
+        self.src.push_str(line);
+        self.src.push('\n');
+    }
+
+    /// One random instruction (or small idiom) that only touches pool
+    /// registers and the thread's private `[x2, x2+1024)` memory slice.
+    fn item(&mut self) {
+        match self.rng.below(12) {
+            0..=2 => {
+                let op = *self.rng.pick(&[
+                    "add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+                    "div", "rem",
+                ]);
+                let (d, a, b) = (self.x(), self.x(), self.x());
+                self.emit(&format!("{op}  x{d}, x{a}, x{b}"));
+            }
+            3 => {
+                let op = *self.rng.pick(&["addi", "andi", "ori", "xori"]);
+                let (d, a) = (self.x(), self.x());
+                let imm = self.rng.below(1024) as i64 - 512;
+                self.emit(&format!("{op}  x{d}, x{a}, {imm}"));
+            }
+            4 => {
+                let op = *self.rng.pick(&["slli", "srli", "srai"]);
+                let (d, a) = (self.x(), self.x());
+                let sh = self.rng.below(64);
+                self.emit(&format!("{op}  x{d}, x{a}, {sh}"));
+            }
+            5 => {
+                let (s, off) = (self.x(), 8 * self.rng.below(127));
+                self.emit(&format!("sd   x{s}, {off}(x2)"));
+            }
+            6 => {
+                let (d, off) = (self.x(), 8 * self.rng.below(127));
+                self.emit(&format!("ld   x{d}, {off}(x2)"));
+            }
+            7 => {
+                // Forward skip over a couple of ops; the join is static,
+                // so divergent conditions stay barrier-convergent.
+                let cond = *self.rng.pick(&["beq", "bne", "blt", "bge"]);
+                let (a, b) = (self.x(), self.x());
+                let l = self.label;
+                self.label += 1;
+                self.emit(&format!("{cond}  x{a}, x{b}, skip{l}"));
+                for _ in 0..=self.rng.below(2) {
+                    let (d, a, b) = (self.x(), self.x(), self.x());
+                    self.emit(&format!("add  x{d}, x{a}, x{b}"));
+                }
+                self.src.push_str(&format!("    skip{l}:\n"));
+            }
+            8 => {
+                // Constant-trip loop on the reserved counter.
+                let l = self.label;
+                self.label += 1;
+                let trips = 1 + self.rng.below(5);
+                self.emit(&format!("li   x14, {trips}"));
+                self.src.push_str(&format!("    loop{l}:\n"));
+                for _ in 0..=self.rng.below(2) {
+                    let (d, a, b) = (self.x(), self.x(), self.x());
+                    let op = *self.rng.pick(&["add", "xor", "mul"]);
+                    self.emit(&format!("{op}  x{d}, x{a}, x{b}"));
+                }
+                self.emit("addi x14, x14, -1");
+                self.emit(&format!("bne  x14, x0, loop{l}"));
+            }
+            9 => {
+                let (d, a, b) = (self.f(), self.f(), self.f());
+                let op = *self.rng.pick(&["fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"]);
+                self.emit(&format!("{op} f{d}, f{a}, f{b}"));
+            }
+            10 => match self.rng.below(4) {
+                0 => {
+                    let (d, a, b) = (self.v(), self.v(), self.v());
+                    let op = *self.rng.pick(&[
+                        "vadd.vv", "vsub.vv", "vmul.vv", "vand.vv", "vor.vv", "vxor.vv", "vmin.vv",
+                        "vmax.vv", "vfadd.vv", "vfmul.vv",
+                    ]);
+                    let vm = if self.rng.below(2) == 0 { ", vm" } else { "" };
+                    self.emit(&format!("{op} v{d}, v{a}, v{b}{vm}"));
+                }
+                1 => {
+                    let (d, a, s) = (self.v(), self.v(), self.x());
+                    let op = *self.rng.pick(&["vadd.vs", "vmul.vs", "vsll.vs", "vsrl.vs"]);
+                    let vm = if self.rng.below(2) == 0 { ", vm" } else { "" };
+                    self.emit(&format!("{op} v{d}, v{a}, x{s}{vm}"));
+                }
+                2 => {
+                    let (a, b) = (self.v(), self.v());
+                    let op = *self.rng.pick(&["vseq.vv", "vsne.vv", "vslt.vv", "vsge.vv"]);
+                    self.emit(&format!("{op} v{a}, v{b}"));
+                }
+                _ => {
+                    let s = self.x();
+                    match self.rng.below(3) {
+                        0 => self.emit(&format!("vmsetb x{s}")),
+                        1 => self.emit("vmnot"),
+                        _ => {
+                            let d = self.v();
+                            self.emit(&format!("vsplat v{d}, x{s}"));
+                        }
+                    }
+                }
+            },
+            _ => match self.rng.below(4) {
+                0 => {
+                    // Unit-stride load/store inside the private slice
+                    // (vl <= 16 => 128 bytes; offsets stay below 896).
+                    let off = 8 * self.rng.below(112);
+                    let v = self.v();
+                    self.emit(&format!("addi x13, x2, {off}"));
+                    let vm = if self.rng.below(2) == 0 { ", vm" } else { "" };
+                    if self.rng.below(2) == 0 {
+                        self.emit(&format!("vld  v{v}, x13{vm}"));
+                    } else {
+                        self.emit(&format!("vst  v{v}, x13{vm}"));
+                    }
+                }
+                1 => {
+                    // Strided gather within the slice: stride * 15 < 1024.
+                    let stride = 8 * (1 + self.rng.below(8));
+                    let v = self.v();
+                    self.emit(&format!("li   x13, {stride}"));
+                    self.emit(&format!("vlds v{v}, x2, x13"));
+                }
+                2 => {
+                    // Indexed gather/scatter with freshly built in-bounds
+                    // offsets (vid * 8), so scatters stay private.
+                    let (v, vi) = (self.v(), self.v());
+                    self.emit(&format!("vid  v{vi}"));
+                    self.emit("li   x13, 8");
+                    self.emit(&format!("vmul.vs v{vi}, v{vi}, x13"));
+                    if self.rng.below(2) == 0 {
+                        self.emit(&format!("vldx v{v}, x2, v{vi}"));
+                    } else {
+                        self.emit(&format!("vstx v{v}, x2, v{vi}"));
+                    }
+                }
+                _ => {
+                    let (d, a) = (self.x(), self.v());
+                    let idx = self.x();
+                    if self.rng.below(2) == 0 {
+                        self.emit(&format!("vextract x{d}, v{a}, x{idx}"));
+                    } else {
+                        self.emit(&format!("vinsert  v{a}, x{idx}, x{d}"));
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Generate one random vlint-clean SPMD program for `threads` threads.
+pub fn gen_program(seed: u64, threads: usize) -> String {
+    let mut g = Gen { src: String::new(), rng: Rng::new(seed), label: 0 };
+    g.src.push_str("        .data\n    buf:\n");
+    g.src.push_str(&format!("        .zero {}\n", threads * 1024));
+    g.src.push_str("        .text\n");
+    g.emit("tid  x1");
+    g.emit("la   x2, buf");
+    g.emit("slli x3, x1, 10");
+    g.emit("add  x2, x2, x3     # x2 = this thread's private 1 KiB slice");
+    // Initialize every pool register so random reads are always defined.
+    for (i, x) in XPOOL.iter().enumerate() {
+        let v = g.rng.below(1 << 20);
+        g.emit(&format!("li   x{x}, {v}"));
+        if i == 0 {
+            g.emit(&format!("vmsetb x{x}"));
+        }
+    }
+    g.emit("addi x4, x4, 1       # x4 > 0: safe loop/shift seed");
+    for f in FPOOL {
+        let x = *g.rng.pick(&XPOOL);
+        g.emit(&format!("fcvt.f.x f{f}, x{x}"));
+    }
+    let vl = 1 + g.rng.below(16);
+    g.emit(&format!("li   x13, {vl}"));
+    g.emit("setvl x15, x13");
+    for v in VPOOL {
+        let x = *g.rng.pick(&XPOOL);
+        if v % 2 == 0 {
+            g.emit(&format!("vid  v{v}"));
+        } else {
+            g.emit(&format!("vsplat v{v}, x{x}"));
+        }
+    }
+
+    let phases = 1 + g.rng.below(3);
+    for p in 0..phases {
+        let items = 8 + g.rng.below(16);
+        for _ in 0..items {
+            g.item();
+        }
+        // Occasionally re-size the vector length between phases.
+        if g.rng.below(2) == 0 {
+            let vl = 1 + g.rng.below(16);
+            g.emit(&format!("li   x13, {vl}"));
+            g.emit("setvl x15, x13");
+        }
+        if p + 1 < phases || g.rng.below(2) == 0 {
+            g.emit("barrier");
+        }
+    }
+    g.emit("halt");
+    g.src
+}

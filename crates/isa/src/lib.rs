@@ -44,7 +44,7 @@ pub use disasm::disasm;
 pub use encode::{decode, encode};
 pub use error::IsaError;
 pub use inst::Inst;
-pub use opcode::{Format, Op, OpClass, OperandSig};
+pub use opcode::{Format, Op, OpClass, OperandSig, VMemPattern};
 pub use program::{Program, DATA_BASE, STACK_BASE, STACK_SIZE, TEXT_BASE};
 pub use reg::{FReg, IReg, RegRef, VReg};
 

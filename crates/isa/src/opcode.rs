@@ -119,6 +119,21 @@ impl OpClass {
     }
 }
 
+/// Address pattern of a vector memory instruction, as classified by the
+/// static DLP analyzer (Table 4's stride column). `Unit` accesses are
+/// bank-friendly on any power-of-two interleave; `Strided` accesses hit a
+/// reduced bank set whenever the element stride shares a factor with the
+/// interleave; `Indexed` gather/scatter addresses are data-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VMemPattern {
+    /// Unit-stride (`vld`/`vst`): consecutive 8-byte elements.
+    Unit,
+    /// Constant byte stride from a scalar register (`vlds`/`vsts`).
+    Strided,
+    /// Per-element byte indices from a vector register (`vldx`/`vstx`).
+    Indexed,
+}
+
 impl Op {
     /// True if this instruction accepts a trailing `, vm` mask operand:
     /// vector-class ops in the `R`/`R2` formats. The encoder rejects and
@@ -126,6 +141,39 @@ impl Op {
     /// can never appear where the assembler could not have written it.
     pub fn maskable(self) -> bool {
         matches!(self.format(), Format::R | Format::R2) && self.class().is_vector()
+    }
+
+    /// The address pattern of a vector memory instruction, or `None` for
+    /// everything that is not a vector load/store.
+    pub fn vmem_pattern(self) -> Option<VMemPattern> {
+        match self {
+            Op::Vld | Op::Vst => Some(VMemPattern::Unit),
+            Op::Vlds | Op::Vsts => Some(VMemPattern::Strided),
+            Op::Vldx | Op::Vstx => Some(VMemPattern::Indexed),
+            _ => None,
+        }
+    }
+
+    /// True if this instruction writes a *scalar* register whose value is
+    /// derived from vector-lane or FP state (reductions, mask population
+    /// counts, element extracts, FP compares/converts). These are the ops
+    /// through which data-dependent values can reach scalar control flow,
+    /// which is what the static DLP walker must track to stay exact.
+    pub fn scalar_result_from_lanes(self) -> bool {
+        matches!(
+            self,
+            Op::Vredsum
+                | Op::Vredmin
+                | Op::Vredmax
+                | Op::Vpopc
+                | Op::Vmfirst
+                | Op::Vmgetb
+                | Op::Vextract
+                | Op::FcvtXf
+                | Op::Feq
+                | Op::Flt
+                | Op::Fle
+        )
     }
 }
 

@@ -25,6 +25,12 @@ use vlt_isa::{Inst, Op, Program, RegRef, DATA_BASE, MAX_VL, STACK_BASE, STACK_SI
 
 use crate::cfg::Cfg;
 use crate::diag::{Code, Options};
+use crate::interval::Iv;
+
+/// Hull width beyond which interval joins widen to unbounded. Generous
+/// enough to keep branch-merged pointer hulls and `tid`/`vl`-scaled offsets
+/// precise, small enough that slow loop-counter growth converges quickly.
+const WIDEN_WIDTH: i64 = 4096;
 
 /// Flat constant lattice: `Bot` (unreached) < `K(c)` < `Top` (unknown).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +94,13 @@ impl Init {
 pub struct AbsState {
     /// Integer register values.
     pub x: [Cv; 32],
+    /// Integer register value *intervals* — a strictly weaker but wider
+    /// net than `x`: where the constant lattice collapses to `Top`, the
+    /// interval can still bound the value (`tid` in `[0, 63]`, a `setvl`
+    /// result in `[1, mvl]`, a hull of branch-merged constants). Joins
+    /// widen any growing side straight to unbounded, so the fixpoint still
+    /// terminates by state equality.
+    pub xr: [Iv; 32],
     /// Integer register definedness.
     pub xi: [Init; 32],
     /// FP register definedness.
@@ -116,11 +129,15 @@ impl AbsState {
     pub fn entry() -> AbsState {
         let mut x = [Cv::K(0); 32];
         x[30] = Cv::Top;
+        let mut xr = [Iv::exact(0); 32];
+        // The runtime points x30 at the top of the thread's stack slot.
+        xr[30] = Iv::new((STACK_BASE + STACK_SIZE) as i64, (STACK_BASE + 64 * STACK_SIZE) as i64);
         let mut xi = [Init::No; 32];
         xi[0] = Init::Yes;
         xi[30] = Init::Yes;
         AbsState {
             x,
+            xr,
             xi,
             fi: [Init::No; 32],
             vi: [Init::No; 32],
@@ -147,6 +164,7 @@ impl AbsState {
         let before = self.clone();
         for i in 0..32 {
             self.x[i] = self.x[i].join(other.x[i]);
+            self.xr[i] = before.xr[i].join_widen(other.xr[i], WIDEN_WIDTH);
             self.xi[i] = self.xi[i].join(other.xi[i]);
             self.fi[i] = self.fi[i].join(other.fi[i]);
             self.vi[i] = self.vi[i].join(other.vi[i]);
@@ -340,6 +358,7 @@ fn transfer(
 
     // --- value transfer for integer defs ---------------------------------
     let val = int_value(inst, st);
+    let ivl = int_interval(inst, st, val);
 
     // --- apply defs -------------------------------------------------------
     for d in &defs {
@@ -347,6 +366,7 @@ fn transfer(
             RegRef::I(r) => {
                 st.xi[r as usize] = Init::Yes;
                 st.x[r as usize] = val;
+                st.xr[r as usize] = ivl;
             }
             RegRef::F(r) => st.fi[r as usize] = Init::Yes,
             RegRef::V(r) => st.vi[r as usize] = Init::Yes,
@@ -357,6 +377,16 @@ fn transfer(
     // setvl writes the clamped vl to rd.
     if inst.op == Op::SetVl && rd != 0 {
         st.x[rd as usize] = st.vl;
+        st.xr[rd as usize] = vl_interval(st);
+    }
+}
+
+/// The interval a `vl`-valued result lies in: exact when the constant
+/// lattice pins it, else `[1, mvl]` (a live `vl` is never zero).
+fn vl_interval(st: &AbsState) -> Iv {
+    match st.vl.known() {
+        Some(v) => Iv::exact(v),
+        None => Iv::new(1, st.mvl.known().unwrap_or(MAX_VL as i64)),
     }
 }
 
@@ -410,6 +440,42 @@ fn int_value(inst: &Inst, st: &AbsState) -> Cv {
     }
 }
 
+/// The interval an instruction's integer destination lies in. Falls back
+/// to the constant lattice when that is exact, and knows the
+/// architecturally-bounded sources the constant lattice cannot track:
+/// `tid`/`nthr`, `setvl`/`getvl` results, mask population counts, compare
+/// results, and sub-word loads. Interval arithmetic covers the address-
+/// forming ALU subset.
+fn int_interval(inst: &Inst, st: &AbsState, val: Cv) -> Iv {
+    if let Some(k) = val.known() {
+        return Iv::exact(k);
+    }
+    let (rs1, rs2, imm) = (inst.rs1 as usize, inst.rs2 as usize, inst.imm as i64);
+    let a = st.xr[rs1];
+    let b = st.xr[rs2];
+    match inst.op {
+        Op::Addi => a.add_k(imm),
+        Op::Add => a.add(b),
+        Op::Sub => a.sub(b),
+        Op::Mul => a.mul(b),
+        Op::Slli => a.shl_k((imm as u64 & 63) as u32),
+        Op::Andi => Iv::and_k(imm),
+        Op::Slti | Op::Slt | Op::Sltu => Iv::new(0, 1),
+        Op::Feq | Op::Flt | Op::Fle => Iv::new(0, 1),
+        Op::Tid => Iv::new(0, 63),
+        Op::Nthr => Iv::new(1, 64),
+        Op::GetVl => vl_interval(st),
+        Op::Vpopc => Iv::new(0, MAX_VL as i64),
+        Op::Vmfirst => Iv::new(-1, MAX_VL as i64 - 1),
+        Op::Vmgetb => Iv::new(0, 1),
+        Op::Lwu => Iv::new(0, u32::MAX as i64),
+        Op::Lw => Iv::new(i32::MIN as i64, i32::MAX as i64),
+        Op::Lb => Iv::new(i8::MIN as i64, i8::MAX as i64),
+        Op::Lbu => Iv::new(0, u8::MAX as i64),
+        _ => Iv::TOP,
+    }
+}
+
 /// Static memory checks for constant-addressed accesses.
 fn check_memory(
     inst: &Inst,
@@ -424,7 +490,26 @@ fn check_memory(
         return;
     }
     let base = st.x[inst.rs1 as usize];
-    let Some(b) = base.known() else { return };
+    let Some(b) = base.known() else {
+        // Not a constant — but the interval domain may still bound the
+        // whole address range. Only a *certain* miss is reported: every
+        // address in the (sound, over-approximate) hull lies outside both
+        // the data segment and the stack, so whatever the concrete value,
+        // the access is out of bounds.
+        if matches!(class, OpClass::Load | OpClass::Store) {
+            let size = match inst.op {
+                Op::Ld | Op::Sd | Op::Fld | Op::Fsd => 8,
+                Op::Lw | Op::Lwu | Op::Sw => 4,
+                _ => 1,
+            };
+            let write = class == OpClass::Store;
+            let range = st.xr[inst.rs1 as usize].add_k(inst.imm as i64);
+            if let (Some(lo), Some(hi)) = (range.lo, range.hi) {
+                check_addr_range(lo, hi, size, write, prog, opts, emit);
+            }
+        }
+        return;
+    };
 
     match class {
         OpClass::Load | OpClass::Store => {
@@ -474,6 +559,44 @@ fn check_memory(
             }
         }
         _ => unreachable!("is_mem covers scalar and vector memory classes"),
+    }
+}
+
+/// Report an access whose *entire* possible address range `[lo, hi]`
+/// (start addresses, each touching `size` bytes) misses both the data
+/// segment and the stack. Unlike [`check_addr`] this fires on non-constant
+/// addresses, but only when the miss is certain for every value in the
+/// hull.
+fn check_addr_range(
+    lo: i64,
+    hi: i64,
+    size: i64,
+    write: bool,
+    prog: &Program,
+    opts: &Options,
+    emit: &mut impl FnMut(Code, String),
+) {
+    let (code, what) =
+        if write { (Code::OobWrite, "store to") } else { (Code::OobRead, "load from") };
+    if hi < 0 {
+        emit(code, format!("{what} a negative address (all of [{lo:#x}, {hi:#x}])"));
+        return;
+    }
+    let data_end = DATA_BASE + prog.data.len() as u64;
+    let read_end = (data_end + if write { 0 } else { opts.read_slack }) as i64;
+    let stack_end = (STACK_BASE + 64 * STACK_SIZE) as i64;
+    let touches = |start: i64, end: i64| -> bool {
+        // Does any access starting in [lo, hi] overlap [start, end)?
+        hi.saturating_add(size) > start && lo < end
+    };
+    if !touches(DATA_BASE as i64, read_end) && !touches(STACK_BASE as i64, stack_end) {
+        emit(
+            code,
+            format!(
+                "{what} [{lo:#x}, {hi:#x}]: every possible address lies outside the \
+                 data segment [{DATA_BASE:#x}, {data_end:#x}) and the stack region"
+            ),
+        );
     }
 }
 
@@ -607,6 +730,33 @@ mod tests {
         let d = raw(".data\nys: .dword 1\n.text\n\
              li x1, 16\nsetvl x0, x1\nla x2, ys\nvld v1, x2\nhalt\n");
         assert!(has(&d, Code::OobRead), "{d:?}");
+    }
+
+    /// The interval domain proves whole-range misses that the constant
+    /// lattice cannot: a `tid`-scaled address is not constant, but its
+    /// hull `[0, 504]` lies entirely below `DATA_BASE`.
+    #[test]
+    fn interval_whole_range_oob_caught() {
+        let d = raw("tid x1\nslli x2, x1, 3\nld x3, 0(x2)\nhalt\n");
+        assert!(has(&d, Code::OobRead), "{d:?}");
+    }
+
+    /// ... but a `tid`-scaled index off a valid base stays clean: part of
+    /// the hull is inside the data segment, so nothing is certain.
+    #[test]
+    fn interval_partial_overlap_not_flagged() {
+        let d = raw(".data\nxs: .dword 1, 2, 3, 4\n.text\n\
+             la x4, xs\ntid x1\nslli x2, x1, 3\nadd x5, x4, x2\nld x3, 0(x5)\nhalt\n");
+        assert!(!has(&d, Code::OobRead), "{d:?}");
+    }
+
+    /// Loop-carried growth widens to unbounded instead of looping the
+    /// fixpoint forever, and an unbounded hull never emits.
+    #[test]
+    fn interval_loop_growth_terminates() {
+        let d = raw(".data\nxs: .dword 1\n.text\n\
+             la x1, xs\nli x2, 0\nloop:\naddi x2, x2, 1\nblt x2, x1, loop\nhalt\n");
+        assert!(!has(&d, Code::OobRead), "{d:?}");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   --races[=N]       also run the barrier-epoch race analysis at N
 //!                     threads (default: the program's `vlint.threads`
 //!                     symbol, else 2)
+//!   --dlp[=N]         also run the static DLP analysis at N threads
+//!                     (default 1): prints the predicted Table-4 profile
+//!                     and VLTCFG partition advice, and surfaces the
+//!                     analyzer's diagnostics (`dlp-*` codes)
 //!   --list-codes      print every lint code with severity and description
 //!   -q, --quiet       print nothing for clean files
 //! ```
@@ -23,6 +27,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vlt_isa::asm::assemble;
+use vlt_verify::dlp::{advise, dlp_report, DlpOptions};
 use vlt_verify::{check_races_with, verify_with, Code, Options};
 
 struct Cli {
@@ -31,12 +36,15 @@ struct Cli {
     /// `Some(None)` = `--races` (thread count from the program or 2);
     /// `Some(Some(n))` = `--races=n`.
     races: Option<Option<usize>>,
+    /// `Some(None)` = `--dlp` (1 thread); `Some(Some(n))` = `--dlp=n`.
+    dlp: Option<Option<usize>>,
     opts: Options,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: vlint [--strict] [--allow <code>] [--races[=N]] [--list-codes] [-q|--quiet] <path>...\n\
+    "usage: vlint [--strict] [--allow <code>] [--races[=N]] [--dlp[=N]] [--list-codes] \
+     [-q|--quiet] <path>...\n\
      checks .s files (directories are scanned recursively)"
 }
 
@@ -45,6 +53,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
         strict: false,
         quiet: false,
         races: None,
+        dlp: None,
         opts: Options::default(),
         paths: Vec::new(),
     };
@@ -54,6 +63,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
             "--strict" => cli.strict = true,
             "-q" | "--quiet" => cli.quiet = true,
             "--races" => cli.races = Some(None),
+            "--dlp" => cli.dlp = Some(None),
             "--list-codes" => {
                 for &c in Code::ALL {
                     println!("{:7} {:22} {}", c.severity().to_string(), c.name(), c.describe());
@@ -68,6 +78,15 @@ fn parse_args() -> Result<Option<Cli>, String> {
             "-h" | "--help" => {
                 println!("{}", usage());
                 return Ok(None);
+            }
+            _ if a.starts_with("--dlp=") => {
+                let v = &a["--dlp=".len()..];
+                let n: usize =
+                    v.parse().map_err(|_| format!("--dlp needs a thread count, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--dlp thread count must be at least 1".to_string());
+                }
+                cli.dlp = Some(Some(n));
             }
             _ if a.starts_with("--races=") => {
                 let v = &a["--races=".len()..];
@@ -160,9 +179,25 @@ fn main() -> ExitCode {
                 report.diags.extend(races.diags);
                 report.suppressed += races.suppressed;
             }
-            report
+            let dlp = cli.dlp.map(|n| {
+                let threads = n.unwrap_or(1);
+                let (profile, diags) =
+                    dlp_report(&prog, &DlpOptions { threads, ..DlpOptions::default() });
+                let mut kept = 0;
+                for d in diags {
+                    if opts.allow.contains(&d.code) {
+                        report.suppressed += 1;
+                    } else {
+                        report.diags.push(d);
+                        kept += 1;
+                    }
+                }
+                let _ = kept;
+                profile
+            });
+            (report, dlp)
         });
-        let report = match analysis {
+        let (report, dlp_profile) = match analysis {
             Ok(r) => r,
             Err(_) => {
                 eprintln!(
@@ -174,13 +209,39 @@ fn main() -> ExitCode {
         };
         let bad = report.errors() > 0 || (cli.strict && report.warnings() > 0);
         failed |= bad;
-        if report.diags.is_empty() && report.suppressed == 0 {
+        if report.diags.is_empty() && report.suppressed == 0 && dlp_profile.is_none() {
             if !cli.quiet {
                 println!("{}: clean", f.display());
             }
             continue;
         }
         println!("{}:", f.display());
+        if let Some(p) = &dlp_profile {
+            let t = &p.total;
+            println!(
+                "  dlp: {} | {} insts, {} epochs | {:.1}% vectorized, avg VL {:.1}, common VLs {:?}",
+                if p.exact { "exact" } else { "inexact (partial lower bound)" },
+                t.insts,
+                p.epochs,
+                t.pct_vectorization(),
+                t.avg_vl(),
+                t.common_vls(4),
+            );
+            let a = advise(p);
+            for r in &a.regions {
+                if r.region == 0 {
+                    continue;
+                }
+                println!(
+                    "  dlp: region {}: {:?}, {:.1}% vectorized, avg VL {:.1}, best {} thread(s)",
+                    r.region, r.opportunity, r.pct_vectorization, r.avg_vl, r.best_threads,
+                );
+            }
+            println!(
+                "  dlp: advice: {} thread(s) x MVL {} (est. {:.2}x over serial, {:.1}% opportunity)",
+                a.best.threads, a.best.mvl, a.best.speedup, a.opportunity_pct,
+            );
+        }
         for d in &report.diags {
             println!("  {d}");
         }

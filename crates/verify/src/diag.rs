@@ -69,6 +69,11 @@ define_codes! {
     (RaceWw,           "race-ww",           Warn,  "two threads may write overlapping addresses within the same barrier epoch"),
     (RaceRw,           "race-rw",           Warn,  "one thread may read an address another thread writes within the same barrier epoch"),
     (RaceUnknown,      "race-unknown",      Warn,  "access whose footprint the race analysis cannot bound may conflict across threads within an epoch"),
+    (DlpInexact,       "dlp-inexact",       Warn,  "the static DLP walk could not stay exact (data-dependent control, indirect flow, or budget): the profile is a partial lower bound"),
+    (DlpShortVl,       "dlp-short-vl",      Info,  "parallel region runs vector code at short average VL (<= half MVL): a VLT lane partition recovers the idle lanes"),
+    (DlpScalarRegion,  "dlp-scalar-region", Info,  "parallel region executes no vector element operations: scalar VLT threads-on-lanes applies"),
+    (DlpStrideConflict, "dlp-stride-conflict", Info, "strided/indexed vector memory access maps many elements to few L2 banks (bank-conflict prone)"),
+    (DlpSetvlClamp,    "dlp-setvl-clamp",   Info,  "fixed setvl request exceeds the MVL of a smaller partition and the clamped result register is never read: the phase cannot re-chunk under VLT"),
 }
 
 impl fmt::Display for Code {
@@ -78,9 +83,13 @@ impl fmt::Display for Code {
 }
 
 /// Diagnostic severity. `Error` marks defects that produce a dynamic fault
-/// or a silently-wrong result; `Warn` marks structural smells and risks.
+/// or a silently-wrong result; `Warn` marks structural smells and risks;
+/// `Info` marks advisory performance observations (the `--dlp` pass) that
+/// never affect `vlint`'s exit status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Advisory observation (performance structure, not a defect).
+    Info,
     /// Suspicious but not certainly wrong.
     Warn,
     /// A defect: dynamic fault or silent corruption on some input/path.
@@ -90,6 +99,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Info => "info",
             Severity::Warn => "warning",
             Severity::Error => "error",
         })
@@ -188,6 +198,11 @@ impl Report {
         self.diags.iter().filter(|d| d.severity == Severity::Warn).count()
     }
 
+    /// Number of info-severity findings.
+    pub fn infos(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Info).count()
+    }
+
     /// True when no error-severity findings remain.
     pub fn is_clean(&self) -> bool {
         self.errors() == 0
@@ -215,6 +230,9 @@ impl fmt::Display for Report {
             writeln!(f, "{d}")?;
         }
         write!(f, "{} error(s), {} warning(s)", self.errors(), self.warnings())?;
+        if self.infos() > 0 {
+            write!(f, ", {} note(s)", self.infos())?;
+        }
         if self.suppressed > 0 {
             write!(f, ", {} suppressed", self.suppressed)?;
         }
@@ -239,6 +257,24 @@ mod tests {
     #[test]
     fn severity_ordering() {
         assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+
+    /// Info findings are advisory: they never make a report unclean and
+    /// never count as warnings.
+    #[test]
+    fn info_findings_are_advisory() {
+        let d = Diagnostic {
+            code: Code::DlpShortVl,
+            severity: Severity::Info,
+            sidx: Some(0),
+            disasm: String::new(),
+            msg: "short".into(),
+        };
+        let r = Report { diags: vec![d], suppressed: 0 };
+        assert!(r.is_clean());
+        assert_eq!(r.warnings(), 0);
+        assert_eq!(r.infos(), 1);
     }
 
     #[test]

@@ -327,21 +327,7 @@ fn direct_bound<E: Env>(env: &E, f: &Form, upper: bool) -> Option<i64> {
     i64::try_from(acc).ok()
 }
 
-fn opt_min(a: Option<i64>, b: Option<i64>) -> Option<i64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
-    }
-}
-
-fn opt_max(a: Option<i64>, b: Option<i64>) -> Option<i64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.max(y)),
-        (x, None) => x,
-        (None, y) => y,
-    }
-}
+use crate::interval::{max_opt as opt_max, min_opt as opt_min};
 
 fn rng_and(a: Rng, b: Rng) -> Rng {
     (opt_max(a.0, b.0), opt_min(a.1, b.1))

@@ -1,0 +1,265 @@
+//! A small signed-interval domain.
+//!
+//! Shared by the abstract interpreter (`absint`, which threads an interval
+//! alongside its constant domain to prove whole-range memory bounds), the
+//! footprint/race analyses (whose `Rng = (Option<i64>, Option<i64>)` pairs
+//! are exactly this shape), and the static DLP analyzer. `None` on either
+//! side means unbounded; when both bounds are present `lo <= hi` holds.
+//! Arithmetic saturates to unbounded on `i64` overflow, which keeps the
+//! domain sound for the wrapping machine semantics: a bound is only ever
+//! claimed when the true machine value cannot have wrapped past it.
+
+/// A signed interval `[lo, hi]` with optional (absent = infinite) bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iv {
+    /// Inclusive lower bound (`None` = -inf).
+    pub lo: Option<i64>,
+    /// Inclusive upper bound (`None` = +inf).
+    pub hi: Option<i64>,
+}
+
+impl Iv {
+    /// The full interval (no information).
+    pub const TOP: Iv = Iv { lo: None, hi: None };
+
+    /// A single known value.
+    pub fn exact(k: i64) -> Iv {
+        Iv { lo: Some(k), hi: Some(k) }
+    }
+
+    /// A bounded interval; callers must pass `lo <= hi`.
+    pub fn new(lo: i64, hi: i64) -> Iv {
+        debug_assert!(lo <= hi);
+        Iv { lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// True when neither side is bounded.
+    pub fn is_top(self) -> bool {
+        self.lo.is_none() && self.hi.is_none()
+    }
+
+    /// The value if the interval pins exactly one.
+    pub fn as_const(self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True if `k` lies inside the interval.
+    pub fn contains(self, k: i64) -> bool {
+        self.lo.is_none_or(|l| l <= k) && self.hi.is_none_or(|h| k <= h)
+    }
+
+    /// Convex hull (the join of the lattice).
+    pub fn join(self, other: Iv) -> Iv {
+        Iv { lo: min_opt_lo(self.lo, other.lo), hi: max_opt_hi(self.hi, other.hi) }
+    }
+
+    /// Widen against the previous iterate: any side that moved outward
+    /// jumps straight to unbounded. With this, chains of joins terminate
+    /// in at most two steps per side, which is what lets `absint` keep
+    /// iterating its fixpoint to state *equality*.
+    pub fn widen(self, prev: Iv) -> Iv {
+        Iv {
+            lo: match (self.lo, prev.lo) {
+                (Some(n), Some(p)) if n < p => None,
+                (Some(n), Some(_)) => Some(n),
+                _ => None,
+            },
+            hi: match (self.hi, prev.hi) {
+                (Some(n), Some(p)) if n > p => None,
+                (Some(n), Some(_)) => Some(n),
+                _ => None,
+            },
+        }
+    }
+
+    /// Join with delayed widening: the precise hull while it stays no
+    /// wider than `cap`, after which any side that grew past `self`'s
+    /// jumps to unbounded. Hulls only ever expand across fixpoint
+    /// iterations, so each side is monotone and the width cap bounds the
+    /// number of distinct iterates — the equality-driven fixpoint in
+    /// `absint` terminates without per-block visit counters.
+    pub fn join_widen(self, other: Iv, cap: i64) -> Iv {
+        let j = self.join(other);
+        if let (Some(l), Some(h)) = (j.lo, j.hi) {
+            if h.checked_sub(l).is_some_and(|w| w <= cap) {
+                return j;
+            }
+        }
+        Iv {
+            lo: match (j.lo, self.lo) {
+                (Some(n), Some(p)) if n >= p => Some(n),
+                _ => None,
+            },
+            hi: match (j.hi, self.hi) {
+                (Some(n), Some(p)) if n <= p => Some(n),
+                _ => None,
+            },
+        }
+    }
+
+    /// Interval addition (unbounded on overflow).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Iv) -> Iv {
+        Iv {
+            lo: opt2(self.lo, other.lo, i64::checked_add),
+            hi: opt2(self.hi, other.hi, i64::checked_add),
+        }
+    }
+
+    /// Add a constant to both bounds.
+    pub fn add_k(self, k: i64) -> Iv {
+        self.add(Iv::exact(k))
+    }
+
+    /// Interval subtraction (unbounded on overflow).
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Iv) -> Iv {
+        Iv {
+            lo: opt2(self.lo, other.hi, i64::checked_sub),
+            hi: opt2(self.hi, other.lo, i64::checked_sub),
+        }
+    }
+
+    /// Interval multiplication. Requires both operands fully bounded
+    /// (otherwise top), and saturates to top on any corner overflow.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Iv) -> Iv {
+        let (Some(al), Some(ah), Some(bl), Some(bh)) = (self.lo, self.hi, other.lo, other.hi)
+        else {
+            return Iv::TOP;
+        };
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for a in [al, ah] {
+            for b in [bl, bh] {
+                match a.checked_mul(b) {
+                    Some(p) => {
+                        lo = lo.min(p);
+                        hi = hi.max(p);
+                    }
+                    None => return Iv::TOP,
+                }
+            }
+        }
+        Iv::new(lo, hi)
+    }
+
+    /// Left shift by a known amount (multiply by `2^k`).
+    pub fn shl_k(self, k: u32) -> Iv {
+        match 1i64.checked_shl(k) {
+            Some(m) => self.mul(Iv::exact(m)),
+            None => Iv::TOP,
+        }
+    }
+
+    /// `x & imm` for a known non-negative mask: the result is in
+    /// `[0, imm]` regardless of `x`. Negative masks give top.
+    pub fn and_k(imm: i64) -> Iv {
+        if imm >= 0 {
+            Iv::new(0, imm)
+        } else {
+            Iv::TOP
+        }
+    }
+
+    /// The footprint analyses' range-pair form.
+    pub fn to_rng(self) -> (Option<i64>, Option<i64>) {
+        (self.lo, self.hi)
+    }
+
+    /// Build from the footprint analyses' range-pair form.
+    pub fn from_rng(r: (Option<i64>, Option<i64>)) -> Iv {
+        match (r.0, r.1) {
+            (Some(l), Some(h)) if l > h => Iv::TOP, // empty/contradictory: no claim
+            _ => Iv { lo: r.0, hi: r.1 },
+        }
+    }
+}
+
+fn opt2(a: Option<i64>, b: Option<i64>, f: impl Fn(i64, i64) -> Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(a), Some(b)) => f(a, b),
+        _ => None,
+    }
+}
+
+fn min_opt_lo(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        _ => None,
+    }
+}
+
+fn max_opt_hi(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        _ => None,
+    }
+}
+
+/// The tighter of two lower bounds (`None` = unbounded). Shared with the
+/// race analysis' range intersections.
+pub(crate) fn max_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (Some(a), None) | (None, Some(a)) => Some(a),
+        (None, None) => None,
+    }
+}
+
+/// The tighter of two upper bounds (`None` = unbounded).
+pub(crate) fn min_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) | (None, Some(a)) => Some(a),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_join() {
+        let a = Iv::exact(3);
+        let b = Iv::exact(10);
+        assert_eq!(a.as_const(), Some(3));
+        let j = a.join(b);
+        assert_eq!(j, Iv::new(3, 10));
+        assert!(j.contains(7));
+        assert!(!j.contains(11));
+    }
+
+    #[test]
+    fn widening_terminates_growth() {
+        let prev = Iv::new(0, 10);
+        let grown = Iv::new(0, 20).widen(prev);
+        assert_eq!(grown, Iv { lo: Some(0), hi: None });
+        // A stable side survives widening untouched.
+        let stable = Iv::new(0, 10).widen(prev);
+        assert_eq!(stable, prev);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let big = Iv::exact(i64::MAX);
+        assert_eq!(big.add_k(1), Iv::TOP);
+        assert_eq!(Iv::new(2, 4).add(Iv::new(-1, 1)), Iv::new(1, 5));
+        assert_eq!(Iv::new(2, 4).sub(Iv::new(1, 1)), Iv::new(1, 3));
+        assert_eq!(Iv::new(-3, 4).mul(Iv::exact(-2)), Iv::new(-8, 6));
+        assert_eq!(Iv::new(1, 3).shl_k(3), Iv::new(8, 24));
+        assert_eq!(Iv::and_k(63), Iv::new(0, 63));
+        assert_eq!(Iv::and_k(-1), Iv::TOP);
+    }
+
+    #[test]
+    fn rng_roundtrip() {
+        let r = (Some(4), None);
+        assert_eq!(Iv::from_rng(r).to_rng(), r);
+        assert_eq!(Iv::from_rng((Some(5), Some(2))), Iv::TOP);
+    }
+}

@@ -34,7 +34,9 @@ use vlt_isa::{decode, disasm, Inst, IsaError, Program};
 mod absint;
 mod cfg;
 mod diag;
+pub mod dlp;
 mod footprint;
+mod interval;
 mod liveness;
 mod races;
 mod structure;
@@ -42,6 +44,7 @@ mod structure;
 pub use absint::{AbsState, Cv, Init};
 pub use cfg::{direct_target, Block, Cfg, Term};
 pub use diag::{Code, Diagnostic, Options, Report, Severity};
+pub use interval::Iv;
 pub use races::{check_races, check_races_with, predicted_race_sites};
 
 /// Verify an assembled program with default options plus any

@@ -36,6 +36,7 @@ use crate::footprint::{
     analyze_tid, clb, cub, div_ceil, div_floor, Access, Env, Form, Qty, Rng, SlotKind, TidRun, Var,
     VarId,
 };
+use crate::interval::{max_opt, min_opt};
 
 /// Static race analysis with default options plus program-embedded allows.
 pub fn check_races(prog: &Program, nthr: usize) -> Report {
@@ -136,9 +137,37 @@ fn analyze(prog: &Program, nthr: usize) -> RaceOut {
     let mut seen: BTreeSet<(usize, usize, Code)> = BTreeSet::new();
     for t1 in 0..nthr {
         for t2 in t1 + 1..nthr {
-            check_pair(&cfg, &runs[t1], &runs[t2], &anchored, &mut seen, &mut out);
+            check_pair(&cfg, &runs[t1], &runs[t2], &anchored, None, &mut seen, &mut out);
         }
     }
+
+    // Lazy refinement: only when the symbolic pass still sees potential
+    // conflicts, ask the static DLP walker for exact, schedule-independent
+    // per-thread address hulls and re-check with provably-disjoint pairs
+    // pruned. Clean programs never pay for the walk; tid-tiled kernels the
+    // symbolic footprints over-approximate (e.g. emergent per-thread
+    // bounds threaded through memory) come back clean here.
+    if !out.sites.is_empty() {
+        if let Some(bounds) = crate::dlp::site_bounds(prog, nthr) {
+            let mut pruned = RaceOut { diags: Vec::new(), sites: BTreeSet::new() };
+            let mut seen2: BTreeSet<(usize, usize, Code)> = BTreeSet::new();
+            for t1 in 0..nthr {
+                for t2 in t1 + 1..nthr {
+                    check_pair(
+                        &cfg,
+                        &runs[t1],
+                        &runs[t2],
+                        &anchored,
+                        Some((&bounds[t1], &bounds[t2])),
+                        &mut seen2,
+                        &mut pruned,
+                    );
+                }
+            }
+            out = pruned;
+        }
+    }
+
     out.diags.sort_by_key(|d| (d.sidx, d.code));
     out
 }
@@ -408,22 +437,6 @@ impl PairEnv<'_> {
     }
 }
 
-fn max_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.max(y)),
-        (x, None) => x,
-        (None, y) => y,
-    }
-}
-
-fn min_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
-    }
-}
-
 impl Env for PairEnv<'_> {
     fn rng(&self, v: Var) -> Rng {
         if let Some(&p) = self.pins.get(&v) {
@@ -475,11 +488,16 @@ impl Env for PairEnv<'_> {
     }
 }
 
+/// Exact per-(site, barrier-epoch) access hulls `[lo, hi)` for one
+/// thread, from the DLP walker (see [`crate::dlp::site_bounds`]).
+type SiteHulls = BTreeMap<usize, BTreeMap<u64, (u64, u64)>>;
+
 fn check_pair(
     cfg: &Cfg,
     a: &TidRun,
     b: &TidRun,
     anchored: &[bool],
+    bounds: Option<(&SiteHulls, &SiteHulls)>,
     seen: &mut BTreeSet<(usize, usize, Code)>,
     out: &mut RaceOut,
 ) {
@@ -488,6 +506,21 @@ fn check_pair(
         for ab in &b.accesses {
             if !aa.write && !ab.write {
                 continue;
+            }
+            if let Some((ha, hb)) = bounds {
+                // A site absent from a thread's hull map was never
+                // executed by that thread. A conflict needs both accesses
+                // in the same barrier epoch, so the pair survives only if
+                // some epoch's hulls spatially overlap.
+                let (Some(ea), Some(eb)) = (ha.get(&aa.sidx), hb.get(&ab.sidx)) else {
+                    continue;
+                };
+                let overlap = ea
+                    .iter()
+                    .any(|(e, &(la, ra))| eb.get(e).is_some_and(|&(lb, rb)| la < rb && lb < ra));
+                if !overlap {
+                    continue;
+                }
             }
             let code = if aa.write && ab.write { Code::RaceWw } else { Code::RaceRw };
             let de = retag(&aa.epoch, 1, &sync).sub(&retag(&ab.epoch, 2, &sync));

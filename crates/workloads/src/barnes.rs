@@ -137,12 +137,10 @@ impl Workload for Barnes {
         .zero {fbytes}
         .text
         # the interaction-list walk is genuine pointer chasing: node
-        # addresses come from `next` links loaded at run time, so the race
-        # analysis cannot bound the read footprints. The walk only ever
-        # reads m/pos/heads (all read-only after load) and each thread
-        # writes only its own force slice; the dynamic epoch checker
-        # verifies this at 1..8 threads.
-        .eq vlint.allow.race_unknown, 1
+        # addresses come from `next` links loaded at run time, so the
+        # symbolic analysis cannot bound the read footprints — but the race
+        # checker's exact DLP walk can, and proves the reads stay inside
+        # the read-only m/pos/heads arrays, so no allow is needed.
         tid     x10
         li      x11, {bodies_per_thread}
         mul     x12, x10, x11

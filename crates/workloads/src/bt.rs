@@ -124,12 +124,10 @@ impl Workload for Bt {
     serial_out:
         .zero 8
         .text
-        # the boundary-stencil strip base rolls through the pass loop; after
-        # widening, the hulls of its fixed-offset scalar loads smear past the
-        # read-only bsrc strip into other threads' y/relax output slices.
-        # The reads stay inside bsrc (the dynamic epoch checker proves it);
-        # this is analysis imprecision, not sharing.
-        .eq vlint.allow.race_rw, 1
+        # the boundary-stencil strip base rolls through the pass loop; the
+        # symbolic footprints smear past the read-only bsrc strip, but the
+        # race checker's exact DLP walk proves the per-epoch access hulls
+        # disjoint, so no allow is needed.
         li      x9, {vltcfg}
         vltcfg  x9
         tid     x10

@@ -122,12 +122,9 @@ impl Workload for Mpenc {
         .zero 8
         .text
         # the cur/ref row cursors advance through three nested loops (row,
-        # candidate, block); after widening, their hulls smear past the
-        # read-only input planes into the output arrays, falsely overlapping
-        # other threads' best_sad/best_idx/recon writes. The actual reads
-        # never leave cur/refp (the dynamic epoch checker proves it); this
-        # is analysis imprecision, not sharing.
-        .eq vlint.allow.race_rw, 1
+        # candidate, block); the symbolic footprints smear past the
+        # read-only input planes, but the race checker's exact DLP walk
+        # proves the per-epoch access hulls disjoint, so no allow is needed.
         li      x9, {vltcfg}
         vltcfg  x9
         tid     x10

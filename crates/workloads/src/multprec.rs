@@ -111,13 +111,10 @@ impl Workload for Multprec {
         .zero 8
         .text
         # the carry ripple is a data-dependent scalar walk whose limb
-        # cursor joins back into the vector phase; after widening, the
-        # per-number footprints smear across the whole c/outp arrays and
-        # falsely overlap other threads' writes. The number partition is
-        # disjoint by construction (the dynamic epoch checker proves it);
-        # this is analysis imprecision, not sharing.
-        .eq vlint.allow.race_rw, 1
-        .eq vlint.allow.race_ww, 1
+        # cursor joins back into the vector phase; the symbolic footprints
+        # smear across the whole c/outp arrays, but the race checker's
+        # exact DLP walk proves the per-number partition disjoint, so no
+        # allow is needed.
         li      x9, {vltcfg}
         vltcfg  x9
         tid     x10

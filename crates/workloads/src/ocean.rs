@@ -87,13 +87,10 @@ impl Workload for Ocean {
         .text
         # cur/next swap between u0 and u1 every sweep, and the stencil
         # deliberately reads the up/down rows owned by neighbouring threads
-        # — from the *previous* sweep's grid. After the swap join the race
-        # analysis cannot separate the two grids, so those reads falsely
-        # overlap the neighbours' same-sweep writes to the other grid. The
-        # dynamic epoch checker proves the sweeps are disjoint at 1..8
-        # threads; this is analysis imprecision, not sharing.
-        .eq vlint.allow.race_rw, 1
-        .eq vlint.allow.race_ww, 1
+        # — from the *previous* sweep's grid. The symbolic analysis cannot
+        # separate the two grids after the swap join, but the race
+        # checker's exact DLP walk proves the reads and the neighbours'
+        # writes never share a barrier epoch's hull, so no allow is needed.
         tid     x10
         li      x11, {rows_per_thread}
         mul     x12, x10, x11

@@ -66,14 +66,10 @@ impl Workload for Sage {
     u1:
         .zero {bytes}
         .text
-        # cur/next swap between u0 and u1 every timestep; after the swap
-        # join the race analysis sees each pointer as possibly-either-base,
-        # so one thread's reads of cur falsely overlap a neighbour's writes
-        # of next. The interior partition is disjoint (the dynamic epoch
-        # checker proves it at 1/2/4 threads); this is analysis imprecision,
-        # not sharing.
-        .eq vlint.allow.race_rw, 1
-        .eq vlint.allow.race_ww, 1
+        # cur/next swap between u0 and u1 every timestep; the symbolic
+        # analysis sees each pointer as possibly-either-base, but the race
+        # checker's exact DLP walk separates the two grids per barrier
+        # epoch, so no allow is needed.
         li      x9, {vltcfg}
         vltcfg  x9
         tid     x10

@@ -125,10 +125,9 @@ impl Workload for Trfd {
         # is intentionally unused; see the module docs
         .eq vlint.allow.dead_write, 1
         # row starts come from the offs table loaded at run time, so the
-        # y/z cursors are data-dependent and the race analysis cannot bound
-        # their footprints; the per-thread row ranges are disjoint by
-        # construction and the dynamic epoch checker verifies it
-        .eq vlint.allow.race_unknown, 1
+        # symbolic analysis cannot bound the y/z cursors — but the race
+        # checker's exact DLP walk can, and proves the per-thread row
+        # ranges disjoint, so no allow is needed.
         li      x9, {vltcfg}
         vltcfg  x9
         tid     x10
