@@ -8,12 +8,16 @@
 //! build, matching how `table4` characterizes them), prints the predicted
 //! Table-4 profile with the advisor's recommended partition per workload
 //! and per region, and writes `results/table4_static.json` (vlt-table v1).
+//! The irregular kernel mix (SpMV, histogram, hash-join probe, multi-sweep
+//! stencil) gets the same treatment as a second table, written to
+//! `results/irregular_static.json`.
 //!
 //! With `--validate`, also measures the dynamic characterization, writes
-//! `results/table4_dynamic.json`, and cross-checks static against dynamic
-//! (avg VL within 10%, % vectorization within 5 points, top common VL
-//! exact, instruction count exact for exact walks) — exiting 1 on any
-//! mismatch, so CI can gate releases on the analyzer staying honest.
+//! `results/table4_dynamic.json` and `results/irregular_dynamic.json`, and
+//! cross-checks static against dynamic (avg VL within 10%, % vectorization
+//! within 5 points, top common VL exact, instruction count exact for exact
+//! walks) — exiting 1 on any mismatch, so CI can gate releases on the
+//! analyzer staying honest.
 //!
 //! Scale comes from `VLT_SCALE` (`test` | `small` | `full`), like every
 //! other experiment binary.
@@ -40,9 +44,51 @@ fn main() {
     let results = vlt_bench::results_dir();
 
     let rows = ex::run(scale);
-    let t = ex::static_table(&rows);
+    print_static(&ex::static_table(&rows), &rows, &results, "table4_static");
+
+    let irr = ex::run_irregular(scale);
+    println!();
+    print_static(&ex::irregular_static_table(&irr), &irr, &results, "irregular_static");
+
+    if !validate {
+        return;
+    }
+
+    println!("\nvalidating against the dynamic characterization...");
+    let mut errs = Vec::new();
+    let dyn_rows = ex::dynamic_rows(scale);
+    let dt = ex::dynamic_table(&dyn_rows);
+    println!("{dt}");
+    write_table(&dt, &results, "table4_dynamic");
+    errs.extend(ex::validate(&rows, &dyn_rows));
+
+    let irr_dyn = ex::dynamic_rows_irregular(scale);
+    let idt = ex::dynamic_table(&irr_dyn);
+    println!("{idt}");
+    write_table(&idt, &results, "irregular_dynamic");
+    errs.extend(ex::validate(&irr, &irr_dyn));
+
+    if errs.is_empty() {
+        println!(
+            "static analysis validated against dynamic runs for all {} kernels",
+            rows.len() + irr.len()
+        );
+    } else {
+        for e in &errs {
+            eprintln!("vladvise: MISMATCH: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn print_static(
+    t: &vlt_stats::Table,
+    rows: &[ex::StaticRow],
+    results: &std::path::Path,
+    name: &str,
+) {
     println!("{t}");
-    for r in &rows {
+    for r in rows {
         let a = &r.advice;
         for reg in &a.regions {
             if reg.region == 0 {
@@ -65,30 +111,12 @@ fn main() {
             .collect();
         println!("{}: ranking: {}", r.name, ranked.join(" > "));
     }
-    match t.write_to(&results, "table4_static") {
+    write_table(t, results, name);
+}
+
+fn write_table(t: &vlt_stats::Table, results: &std::path::Path, name: &str) {
+    match t.write_to(results, name) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(err) => eprintln!("could not write results JSON: {err}"),
-    }
-
-    if !validate {
-        return;
-    }
-
-    println!("\nvalidating against the dynamic characterization...");
-    let dyn_rows = ex::dynamic_rows(scale);
-    let dt = ex::dynamic_table(&dyn_rows);
-    println!("{dt}");
-    match dt.write_to(&results, "table4_dynamic") {
-        Ok(p) => println!("wrote {}", p.display()),
-        Err(err) => eprintln!("could not write results JSON: {err}"),
-    }
-    let errs = ex::validate(&rows, &dyn_rows);
-    if errs.is_empty() {
-        println!("static analysis validated against dynamic runs for all {} kernels", rows.len());
-    } else {
-        for e in &errs {
-            eprintln!("vladvise: MISMATCH: {e}");
-        }
-        std::process::exit(1);
     }
 }

@@ -17,7 +17,7 @@
 use vlt_stats::Table;
 use vlt_verify::dlp::{advise, analyze, Advice, DlpOptions, DlpProfile};
 use vlt_workloads::characterize::{characterize, Characterization};
-use vlt_workloads::{suite, Scale};
+use vlt_workloads::{irregular_suite, suite, Scale, Workload};
 
 /// One workload's static analysis: profile plus partition advice.
 pub struct StaticRow {
@@ -29,10 +29,8 @@ pub struct StaticRow {
     pub advice: Advice,
 }
 
-/// Statically analyze every workload in the suite.
-pub fn run(scale: Scale) -> Vec<StaticRow> {
-    suite()
-        .iter()
+fn rows_over(ws: &[&'static dyn Workload], scale: Scale) -> Vec<StaticRow> {
+    ws.iter()
         .map(|w| {
             let built = w.build(1, scale);
             let profile = analyze(&built.program, &DlpOptions::default());
@@ -40,6 +38,18 @@ pub fn run(scale: Scale) -> Vec<StaticRow> {
             StaticRow { name: w.name(), profile, advice }
         })
         .collect()
+}
+
+/// Statically analyze every workload in the suite.
+pub fn run(scale: Scale) -> Vec<StaticRow> {
+    rows_over(&suite(), scale)
+}
+
+/// Statically analyze the irregular kernels (SpMV, histogram, hash-join
+/// probe, multi-sweep stencil) — the content-steered mix the footprint
+/// analyzer has to discharge without annotations.
+pub fn run_irregular(scale: Scale) -> Vec<StaticRow> {
+    rows_over(&irregular_suite(), scale)
 }
 
 fn fmt_vls(vls: &[usize]) -> String {
@@ -52,8 +62,17 @@ fn fmt_vls(vls: &[usize]) -> String {
 
 /// Render the static rows as the `table4_static` table.
 pub fn static_table(rows: &[StaticRow]) -> Table {
+    titled_static_table("table4_static — Workload characteristics (static DLP analysis)", rows)
+}
+
+/// Render the irregular-kernel rows as the `irregular_static` table.
+pub fn irregular_static_table(rows: &[StaticRow]) -> Table {
+    titled_static_table("irregular_static — Irregular kernel mix (static DLP analysis)", rows)
+}
+
+fn titled_static_table(title: &str, rows: &[StaticRow]) -> Table {
     let mut t = Table::new(
-        "table4_static — Workload characteristics (static DLP analysis)",
+        title,
         &[
             "app",
             "% vect",
@@ -86,8 +105,17 @@ pub fn static_table(rows: &[StaticRow]) -> Table {
 /// Measure every workload dynamically (the `table4` characterization) and
 /// render the rows as the `table4_dynamic` table.
 pub fn dynamic_rows(scale: Scale) -> Vec<Characterization> {
-    suite()
-        .iter()
+    dynamic_rows_over(&suite(), scale)
+}
+
+/// Measure the irregular kernels dynamically, for cross-checking the
+/// static irregular rows with [`validate`].
+pub fn dynamic_rows_irregular(scale: Scale) -> Vec<Characterization> {
+    dynamic_rows_over(&irregular_suite(), scale)
+}
+
+fn dynamic_rows_over(ws: &[&'static dyn Workload], scale: Scale) -> Vec<Characterization> {
+    ws.iter()
         .map(|&w| characterize(w, scale).unwrap_or_else(|err| panic!("{}: {err}", w.name())))
         .collect()
 }
@@ -173,5 +201,18 @@ mod tests {
         let t = static_table(&rows);
         assert_eq!(t.len(), suite().len());
         assert!(t.to_string().contains("mxm"));
+    }
+
+    #[test]
+    fn irregular_rows_cover_the_irregular_suite() {
+        let rows = run_irregular(Scale::Test);
+        assert_eq!(rows.len(), irregular_suite().len());
+        for r in &rows {
+            assert!(r.profile.exact, "{} walk should be exact", r.name);
+            assert!(!r.advice.ranking.is_empty(), "{} has no ranked partitions", r.name);
+        }
+        let t = irregular_static_table(&rows);
+        assert_eq!(t.len(), rows.len());
+        assert!(t.to_string().contains("spmv"));
     }
 }

@@ -64,7 +64,7 @@ impl Gen {
     /// One random instruction (or small idiom) that only touches pool
     /// registers and the thread's private `[x2, x2+1024)` memory slice.
     fn item(&mut self) {
-        match self.rng.below(12) {
+        match self.rng.below(13) {
             0..=2 => {
                 let op = *self.rng.pick(&[
                     "add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
@@ -160,6 +160,49 @@ impl Gen {
                     }
                 }
             },
+            11 => match self.rng.below(3) {
+                // Content-steered addressing: offsets *loaded from the
+                // read-only `idx` table* (bounded byte offsets into the
+                // private slice) steer gathers, scatters, and scalar
+                // accesses. Statically sound only through the verifier's
+                // content lattice: folding the table bounds the loaded
+                // index, which bounds the data access.
+                0 => {
+                    // Steered scalar access: idx[k] picks the slot.
+                    let off = 8 * self.rng.below(128);
+                    let r = self.x();
+                    self.emit("la   x13, idx");
+                    self.emit(&format!("ld   x13, {off}(x13)"));
+                    self.emit("add  x13, x13, x2");
+                    if self.rng.below(2) == 0 {
+                        self.emit(&format!("ld   x{r}, 0(x13)"));
+                    } else {
+                        self.emit(&format!("sd   x{r}, 0(x13)"));
+                    }
+                }
+                1 => {
+                    // Steered gather: index vector loaded from the table
+                    // (vl <= 16 elements, so the table load stays inside
+                    // the table's 128 entries).
+                    let off = 8 * self.rng.below(112);
+                    let (v, vi) = (self.v(), self.v());
+                    self.emit("la   x13, idx");
+                    self.emit(&format!("addi x13, x13, {off}"));
+                    self.emit(&format!("vld  v{vi}, x13"));
+                    self.emit(&format!("vldx v{v}, x2, v{vi}"));
+                }
+                _ => {
+                    // Steered scatter into the private slice (same-thread
+                    // collisions are fine; cross-thread is impossible —
+                    // every table entry stays below the 1 KiB stride).
+                    let off = 8 * self.rng.below(112);
+                    let (v, vi) = (self.v(), self.v());
+                    self.emit("la   x13, idx");
+                    self.emit(&format!("addi x13, x13, {off}"));
+                    self.emit(&format!("vld  v{vi}, x13"));
+                    self.emit(&format!("vstx v{v}, x2, v{vi}"));
+                }
+            },
             _ => match self.rng.below(4) {
                 0 => {
                     // Unit-stride load/store inside the private slice
@@ -213,6 +256,14 @@ pub fn gen_program(seed: u64, threads: usize) -> String {
     let mut g = Gen { src: String::new(), rng: Rng::new(seed), label: 0 };
     g.src.push_str("        .data\n    buf:\n");
     g.src.push_str(&format!("        .zero {}\n", threads * 1024));
+    // Read-only index table for the content-steered items: 128 byte
+    // offsets into a private slice, each in [0, 896] and 8-aligned, so a
+    // steered 8-byte access stays below the 1 KiB thread stride.
+    g.src.push_str("    idx:\n");
+    for _ in 0..16 {
+        let row: Vec<String> = (0..8).map(|_| format!("{}", 8 * g.rng.below(113))).collect();
+        g.src.push_str(&format!("        .dword {}\n", row.join(", ")));
+    }
     g.src.push_str("        .text\n");
     g.emit("tid  x1");
     g.emit("la   x2, buf");

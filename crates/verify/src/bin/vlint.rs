@@ -7,6 +7,10 @@
 //!
 //! Options:
 //!   --strict          exit nonzero on warnings, not just errors
+//!   --json            print machine-readable diagnostics (one
+//!                     `vlint-report` object per file inside a top-level
+//!                     `{"schema": "vlint", "version": 1, "files": [...]}`
+//!                     document; see `vlt_verify::json` for the schema)
 //!   --allow <code>    suppress a lint code (repeatable)
 //!   --races[=N]       also run the barrier-epoch race analysis at N
 //!                     threads (default: the program's `vlint.threads`
@@ -28,11 +32,13 @@ use std::process::ExitCode;
 
 use vlt_isa::asm::assemble;
 use vlt_verify::dlp::{advise, dlp_report, DlpOptions};
+use vlt_verify::json::report_to_json;
 use vlt_verify::{check_races_with, verify_with, Code, Options};
 
 struct Cli {
     strict: bool,
     quiet: bool,
+    json: bool,
     /// `Some(None)` = `--races` (thread count from the program or 2);
     /// `Some(Some(n))` = `--races=n`.
     races: Option<Option<usize>>,
@@ -43,7 +49,7 @@ struct Cli {
 }
 
 fn usage() -> &'static str {
-    "usage: vlint [--strict] [--allow <code>] [--races[=N]] [--dlp[=N]] [--list-codes] \
+    "usage: vlint [--strict] [--json] [--allow <code>] [--races[=N]] [--dlp[=N]] [--list-codes] \
      [-q|--quiet] <path>...\n\
      checks .s files (directories are scanned recursively)"
 }
@@ -52,6 +58,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         strict: false,
         quiet: false,
+        json: false,
         races: None,
         dlp: None,
         opts: Options::default(),
@@ -61,6 +68,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--strict" => cli.strict = true,
+            "--json" => cli.json = true,
             "-q" | "--quiet" => cli.quiet = true,
             "--races" => cli.races = Some(None),
             "--dlp" => cli.dlp = Some(None),
@@ -150,6 +158,7 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let mut json_files: Vec<String> = Vec::new();
     for f in &files {
         let src = match std::fs::read_to_string(f) {
             Ok(s) => s,
@@ -161,7 +170,11 @@ fn main() -> ExitCode {
         let prog = match assemble(&src) {
             Ok(p) => p,
             Err(e) => {
-                println!("{}: assembly error: {e}", f.display());
+                if cli.json {
+                    json_files.push(assembly_error_json(&f.display().to_string(), &e.to_string()));
+                } else {
+                    println!("{}: assembly error: {e}", f.display());
+                }
                 failed = true;
                 continue;
             }
@@ -209,6 +222,10 @@ fn main() -> ExitCode {
         };
         let bad = report.errors() > 0 || (cli.strict && report.warnings() > 0);
         failed |= bad;
+        if cli.json {
+            json_files.push(report_to_json(&f.display().to_string(), &report));
+            continue;
+        }
         if report.diags.is_empty() && report.suppressed == 0 && dlp_profile.is_none() {
             if !cli.quiet {
                 println!("{}: clean", f.display());
@@ -256,9 +273,50 @@ fn main() -> ExitCode {
             }
         );
     }
+    if cli.json {
+        let body = json_files
+            .iter()
+            .map(|f| {
+                let indented: Vec<String> = f.lines().map(|l| format!("    {l}")).collect();
+                indented.join("\n")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        println!("{{\n  \"schema\": \"vlint\",\n  \"version\": 1,\n  \"files\": [");
+        if !body.is_empty() {
+            println!("{body}");
+        }
+        println!("  ]\n}}");
+    }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// A file that failed to assemble, as a JSON object (no diagnostics —
+/// the assembler stops at the first syntax error).
+fn assembly_error_json(path: &str, err: &str) -> String {
+    let q = |s: &str| {
+        let mut out = String::from("\"");
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    };
+    format!(
+        "{{\n  \"schema\": \"vlint-report\",\n  \"version\": 1,\n  \"path\": {},\n  \
+         \"assembly_error\": {}\n}}",
+        q(path),
+        q(err)
+    )
 }

@@ -1286,23 +1286,31 @@ pub fn analyze(prog: &Program, opts: &DlpOptions) -> DlpProfile {
     }
 }
 
-/// One thread's address hulls: static instruction index → barrier epoch →
-/// `[lo, hi)` byte interval covering every access the site made in that
-/// epoch.
-pub type SiteBounds = BTreeMap<usize, BTreeMap<u64, (u64, u64)>>;
+/// One thread's access-set bounds: static instruction index → barrier
+/// epoch → sorted disjoint `[lo, hi)` byte ranges covering every access
+/// the site made in that epoch. The symbolic walker produces one-element
+/// lists (hulls); the observed walk keeps the exact coalesced sets, which
+/// is what lets the race analysis discharge permutation scatters whose
+/// hulls overlap but whose elements interleave disjointly.
+pub type SiteBounds = BTreeMap<usize, BTreeMap<u64, Vec<(u64, u64)>>>;
 
-/// Per-thread address hulls `[lo, hi)` for every (site, barrier-epoch)
-/// pair, over loads and stores — `Some` only when the walk of every
-/// thread validated as exact and schedule-independent, so the race
-/// analysis may prune access pairs whose hulls never overlap within the
-/// same epoch. A site absent from a thread's map was never executed by
-/// that thread.
+/// Per-thread access-set bounds for every (site, barrier-epoch) pair,
+/// over loads and stores — `Some` only when either the symbolic walk of
+/// every thread validated as exact and schedule-independent, or (failing
+/// that) the epoch-synchronous observed walk (`content::observe`)
+/// completed conflict-free, which certifies its per-epoch sets for every
+/// interleaving. A site absent from a thread's map was never executed by
+/// that thread — in any schedule, by the same argument.
 pub fn site_bounds(prog: &Program, threads: usize) -> Option<Vec<SiteBounds>> {
     let opts = DlpOptions { threads, budget: 20_000_000, ..DlpOptions::default() };
     let dec = DecodedProgram::new(prog);
     let (outs, exact) = analyze_threads(&dec, &opts);
     if !exact {
-        return None;
+        // Symbolic walk couldn't certify (data-dependent steering, shared
+        // epochs the two-pass scheme rejected, …): fall back to concretely
+        // observing the canonical schedule. Conflict-free ⇒ the sets are
+        // schedule-independent, so they are just as valid as walker hulls.
+        return crate::content::observe(prog, threads, opts.budget);
     }
     Some(
         outs.into_iter()
@@ -1311,7 +1319,9 @@ pub fn site_bounds(prog: &Program, threads: usize) -> Option<Vec<SiteBounds>> {
                 for ((s, e), (lo, hi)) in o.load_hulls.into_iter().chain(o.store_hulls) {
                     hull(m.entry(s).or_default(), e, lo, hi);
                 }
-                m
+                m.into_iter()
+                    .map(|(s, per)| (s, per.into_iter().map(|(e, h)| (e, vec![h])).collect()))
+                    .collect()
             })
             .collect(),
     )
@@ -1889,19 +1899,40 @@ mod tests {
         assert_eq!(bounds.len(), 2);
         let vst = bounds
             .iter()
-            .map(|m| m.values().filter_map(|epochs| epochs.get(&0)).copied().collect::<Vec<_>>())
+            .map(|m| m.values().filter_map(|epochs| epochs.get(&0)).cloned().collect::<Vec<_>>())
             .collect::<Vec<_>>();
         assert!(!vst[0].is_empty() && !vst[1].is_empty());
     }
 
     #[test]
-    fn cross_thread_steering_defeats_bounds() {
-        // Thread 0 stores a flag another thread branches on: pass 2 must
-        // refuse to certify the walk.
+    fn cross_thread_steering_falls_back_to_observed_walk() {
+        // Thread 0 stores a flag another thread branches on after the
+        // barrier: the symbolic walker's pass 2 refuses to certify, but
+        // the communication is barrier-separated, so the epoch-synchronous
+        // observed walk certifies the access sets instead.
         let src = ".data\nflag: .dword 0\n.text\n\
                    tid x1\nla x2, flag\nbne x1, x0, reader\n\
                    li x3, 1\nsd x3, 0(x2)\nbarrier\nhalt\n\
                    reader:\nbarrier\nld x4, 0(x2)\nbne x4, x0, done\ndone:\nhalt\n";
+        let prog = assemble(src).unwrap();
+        let dec = DecodedProgram::new(&prog);
+        let opts = DlpOptions { threads: 2, budget: 20_000_000, ..DlpOptions::default() };
+        let (_, exact) = analyze_threads(&dec, &opts);
+        assert!(!exact, "the symbolic walk must refuse this program");
+        assert!(site_bounds(&prog, 2).is_some(), "the observed walk certifies it");
+    }
+
+    #[test]
+    fn same_epoch_conflict_defeats_bounds() {
+        // Both threads write the steering slot in the same epoch and then
+        // load it back to index another access: the walker's pass 2
+        // refuses (a cross-tainted value steers an address) and the
+        // observed walk sees a same-epoch write/write set conflict, so no
+        // bounds may be certified by either path.
+        let src = ".data\nidx: .dword 0\nxs: .space 64\n.text\n\
+                   tid x1\nla x2, idx\nsd x1, 0(x2)\nld x3, 0(x2)\n\
+                   la x4, xs\nslli x5, x3, 3\nadd x4, x4, x5\nld x6, 0(x4)\n\
+                   barrier\nhalt\n";
         let prog = assemble(src).unwrap();
         assert!(site_bounds(&prog, 2).is_none());
     }

@@ -480,19 +480,31 @@ pub(crate) struct Access {
     pub esize: u8,
     /// Address form (`None` when the analysis cannot bound the address).
     pub addr: Option<Form>,
+    /// For full-word stores: hull of the value(s) written, evaluated
+    /// against the converged run (`(None, None)` = unbounded, and always
+    /// for loads and sub-word stores). This is the content lattice's
+    /// write half: `races` folds these into the store-value overlay that
+    /// bounds later loads from the same ranges.
+    pub val: Rng,
     /// Barrier-epoch form at the access.
     pub epoch: Form,
     /// Branch refinements in scope.
     pub refine: Refine,
 }
 
-/// A load folded against the initial data image.
+/// A load folded against the initial data image (and, when `widened`,
+/// the store-value overlay).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Fold {
     /// The address form that was enumerated.
     pub addr: Form,
     /// Byte span `[lo, hi)` of data the fold read.
     pub span: (i64, i64),
+    /// The fold's value hull absorbed overlay store ranges. A widened
+    /// fold is still a sound bound, but it must never be treated as
+    /// synchronized across threads: mid-epoch, two threads can observe
+    /// different values from a concurrently written location.
+    pub widened: bool,
 }
 
 /// Result of analyzing the program as one concrete thread.
@@ -552,6 +564,7 @@ const MAX_SWEEPS: usize = 80;
 const GROW_LIMIT: u32 = 3;
 const NARROW_ROUNDS: usize = 6;
 const FOLD_SPAN: i64 = 256;
+const VFOLD_SPAN: i64 = 1 << 16;
 const SCALE_LIMIT: i64 = 1 << 40;
 
 /// Arrival bounds accumulated for one variable during a narrowing sweep.
@@ -575,7 +588,8 @@ pub(crate) struct Runner<'a> {
     data: &'a [u8],
     tid: usize,
     nthr: usize,
-    blocklist: &'a BTreeSet<usize>,
+    overlay: &'a crate::content::Overlay,
+    image: Option<crate::content::DataHull>,
     vars: BTreeMap<VarId, VarInfo>,
     joins: BTreeMap<usize, SlotState>,
     folds: BTreeMap<usize, Fold>,
@@ -586,20 +600,24 @@ pub(crate) struct Runner<'a> {
     log: Vec<String>,
 }
 
-/// Analyze the program as concrete thread `tid` of `nthr`.
+/// Analyze the program as concrete thread `tid` of `nthr`. `overlay` is
+/// the store-value overlay from the previous fold round (`races` iterates
+/// to an overlay fixpoint; an empty overlay means "trust the initial data
+/// image", a poisoned one forbids every fold).
 pub(crate) fn analyze_tid(
     cfg: &Cfg,
     data: &[u8],
     tid: usize,
     nthr: usize,
-    blocklist: &BTreeSet<usize>,
+    overlay: &crate::content::Overlay,
 ) -> TidRun {
     let mut r = Runner {
         cfg,
         data,
         tid,
         nthr,
-        blocklist,
+        overlay,
+        image: None,
         vars: BTreeMap::new(),
         joins: BTreeMap::new(),
         folds: BTreeMap::new(),
@@ -1463,12 +1481,16 @@ impl Runner<'_> {
 
         macro_rules! rec {
             ($write:expr, $esize:expr, $addr:expr) => {
+                rec!($write, $esize, $addr, (None, None))
+            };
+            ($write:expr, $esize:expr, $addr:expr, $val:expr) => {
                 if let Some(out) = sink.as_deref_mut() {
                     out.push(Access {
                         sidx,
                         write: $write,
                         esize: $esize,
                         addr: $addr,
+                        val: $val,
                         epoch: st.epoch.clone(),
                         refine: st.refine.clone(),
                     });
@@ -1567,7 +1589,32 @@ impl Runner<'_> {
                 };
                 set(st, rd, v);
             }
-            Op::And => set(st, rd, cfold(&v1, &v2, |a, b| (a as u64 & b as u64) as i64)),
+            Op::And => {
+                let v = match (v1.is_const(), v2.is_const()) {
+                    (Some(a), Some(b)) => Val::konst((a as u64 & b as u64) as i64),
+                    // Masking with a known non-negative value bounds the
+                    // result to `[0, mask]` whatever the other operand is
+                    // (hash-table index computations land here).
+                    (Some(m), None) | (None, Some(m)) if m >= 0 => {
+                        let id = VarId::Gen(sidx as u32);
+                        let info = VarInfo {
+                            lo: Some(0),
+                            hi: Some(m),
+                            caps: Vec::new(),
+                            floors: Vec::new(),
+                            lo_grow: 0,
+                            hi_grow: 0,
+                            base: (None, None),
+                            step: 1,
+                            unit_step: false,
+                            origin: Origin::Andi,
+                        };
+                        Val::F(self.set_derived(id, info))
+                    }
+                    _ => Val::Top,
+                };
+                set(st, rd, v);
+            }
             Op::Or => set(st, rd, cfold(&v1, &v2, |a, b| (a as u64 | b as u64) as i64)),
             Op::Sll => {
                 let v = match (v1.is_const(), v2.is_const()) {
@@ -1652,7 +1699,15 @@ impl Runner<'_> {
                     Op::Sw => 4,
                     _ => 1,
                 };
-                rec!(true, esize, f1.map(|f| f.addc(imm)));
+                // Only a full-word integer store has a value hull the
+                // content overlay can use: sub-word stores splice bytes
+                // into dwords and FP stores aren't tracked.
+                let val = if op == Op::Sd {
+                    self.form_hull(&self.get_x(st, rd).form().cloned(), &st.refine)
+                } else {
+                    (None, None)
+                };
+                rec!(true, esize, f1.map(|f| f.addc(imm)), val);
             }
 
             Op::Vld | Op::Vst => {
@@ -1660,9 +1715,14 @@ impl Runner<'_> {
                     let lane = self.lane_var(sidx, st);
                     base.add(&lane.scale(8))
                 });
-                rec!(op == Op::Vst, 8, addr);
-                if op == Op::Vld {
-                    st.v[rd as usize] = VVal::Top;
+                if op == Op::Vst {
+                    let val = self.vval_hull(&st.v[rd as usize], &st.refine);
+                    rec!(true, 8, addr, val);
+                } else {
+                    rec!(false, 8, addr.clone());
+                    st.v[rd as usize] = addr
+                        .and_then(|a| self.try_vfold(sidx, &a, &st.refine))
+                        .unwrap_or(VVal::Top);
                 }
             }
             Op::Vlds | Op::Vsts => {
@@ -1673,9 +1733,14 @@ impl Runner<'_> {
                     }
                     _ => None,
                 };
-                rec!(op == Op::Vsts, 8, addr);
-                if op == Op::Vlds {
-                    st.v[rd as usize] = VVal::Top;
+                if op == Op::Vsts {
+                    let val = self.vval_hull(&st.v[rd as usize], &st.refine);
+                    rec!(true, 8, addr, val);
+                } else {
+                    rec!(false, 8, addr.clone());
+                    st.v[rd as usize] = addr
+                        .and_then(|a| self.try_vfold(sidx, &a, &st.refine))
+                        .unwrap_or(VVal::Top);
                 }
             }
             Op::Vldx | Op::Vstx => {
@@ -1698,8 +1763,11 @@ impl Runner<'_> {
                     }
                     _ => None,
                 };
-                rec!(op == Op::Vstx, 8, addr);
-                if op == Op::Vldx {
+                if op == Op::Vstx {
+                    let val = self.vval_hull(&st.v[rd as usize], &st.refine);
+                    rec!(true, 8, addr, val);
+                } else {
+                    rec!(false, 8, addr);
                     st.v[rd as usize] = VVal::Top;
                 }
             }
@@ -1751,6 +1819,32 @@ impl Runner<'_> {
                             && self.lb(lo, &st.refine).is_some_and(|l| l >= 0) =>
                     {
                         VVal::Range(lo.scale(1 << sh), hi.scale(1 << sh))
+                    }
+                    _ => VVal::Top,
+                };
+                st.v[rd as usize] = self.vmask(st, inst.masked, rd, r);
+            }
+            Op::VandVS => {
+                // Element-wise mask with a known non-negative scalar:
+                // every lane lands in `[0, mask]` regardless of the source
+                // vector — this is what bounds hash-style gather indices.
+                let r = match v2.is_const() {
+                    Some(m) if m >= 0 => VVal::Range(Form::konst(0), Form::konst(m)),
+                    _ => VVal::Top,
+                };
+                st.v[rd as usize] = self.vmask(st, inst.masked, rd, r);
+            }
+            Op::VsrlVS => {
+                let r = match (&st.v[rs1 as usize], v2.is_const()) {
+                    (VVal::Range(lo, hi), Some(sh)) if (0..64).contains(&sh) => {
+                        // Logical shift is monotone on non-negative
+                        // values; bound through the evaluated hull.
+                        match (self.lb(lo, &st.refine), self.ub(hi, &st.refine)) {
+                            (Some(l), Some(h)) if l >= 0 && l <= h => {
+                                VVal::Range(Form::konst(l >> sh), Form::konst(h >> sh))
+                            }
+                            _ => VVal::Top,
+                        }
                     }
                     _ => VVal::Top,
                 };
@@ -1841,42 +1935,36 @@ impl Runner<'_> {
         self.set_derived(id, info)
     }
 
-    /// Fold an 8-byte load whose address enumerates a small set of
-    /// initialized data words. Sound only while no store can touch the
-    /// span — `races` re-runs with a blocklist when that check fails.
-    fn try_fold(&mut self, sidx: usize, addr: &Form, refine: &Refine) -> Option<Val> {
-        if self.blocklist.contains(&sidx) {
-            return None;
+    /// Hull of a scalar form under the current bounds.
+    fn form_hull(&self, f: &Option<Form>, refine: &Refine) -> Rng {
+        match f {
+            Some(f) => (self.lb(f, refine), self.ub(f, refine)),
+            None => (None, None),
         }
-        let lo = self.lb(addr, refine)?;
-        let hi = self.ub(addr, refine)?;
-        if hi < lo || hi - lo > FOLD_SPAN {
-            return None;
+    }
+
+    /// Hull of a vector register's per-lane values.
+    fn vval_hull(&self, v: &VVal, refine: &Refine) -> Rng {
+        match v {
+            VVal::Range(lo, hi) => (self.lb(lo, refine), self.ub(hi, refine)),
+            VVal::Top => (None, None),
         }
-        let step = match addr.gcd_terms() {
-            0 => 8, // constant address: single candidate
-            g => g,
-        };
-        if step < 8 || step % 8 != 0 || lo % 8 != 0 {
-            return None;
+    }
+
+    /// Join the store-value overlay into an image-derived value hull for
+    /// a fold over `[lo, hi + 8)`. `None` when an unboundable store may
+    /// touch the span (the fold must fail); the bool reports whether the
+    /// hull was widened by overlay ranges (such a fold is sound but never
+    /// synchronized across threads).
+    fn overlay_join(&self, lo: i64, hi: i64, vmin: i64, vmax: i64) -> Option<(i64, i64, bool)> {
+        match self.overlay.query(lo, hi + 8) {
+            Err(()) => None,
+            Ok(None) => Some((vmin, vmax, false)),
+            Ok(Some((wlo, whi))) => Some((vmin.min(wlo), vmax.max(whi), true)),
         }
-        let base = DATA_BASE as i64;
-        let len = self.data.len() as i64;
-        let (mut vmin, mut vmax) = (i64::MAX, i64::MIN);
-        let mut a = lo;
-        while a <= hi {
-            if a < base || a + 8 > base + len {
-                return None;
-            }
-            let off = (a - base) as usize;
-            let bytes: [u8; 8] = self.data[off..off + 8].try_into().ok()?;
-            let v = u64::from_le_bytes(bytes);
-            let v = i64::try_from(v).ok()?;
-            vmin = vmin.min(v);
-            vmax = vmax.max(v);
-            a += step;
-        }
-        let fold = Fold { addr: addr.clone(), span: (lo, hi + 8) };
+    }
+
+    fn register_fold(&mut self, sidx: usize, fold: Fold) {
         match self.folds.get(&sidx) {
             Some(old) if *old == fold => {}
             _ => {
@@ -1887,6 +1975,53 @@ impl Runner<'_> {
                 self.dirty = true;
             }
         }
+    }
+
+    /// Fold an 8-byte load whose address enumerates a bounded window of
+    /// initialized data words. Narrow windows are enumerated exactly
+    /// (honoring the address stride); wider ones — up to the vector-fold
+    /// span — use the chunked image summaries, whose whole-window hull is
+    /// a sound over-approximation of any stride pattern. Stores that may
+    /// touch the span widen the hull with their value bounds (via the
+    /// overlay `races` iterates to a fixpoint); an unboundable
+    /// intersecting store makes the fold fail.
+    fn try_fold(&mut self, sidx: usize, addr: &Form, refine: &Refine) -> Option<Val> {
+        let lo = self.lb(addr, refine)?;
+        let hi = self.ub(addr, refine)?;
+        if hi < lo || hi - lo > VFOLD_SPAN {
+            return None;
+        }
+        let step = match addr.gcd_terms() {
+            0 => 8, // constant address: single candidate
+            g => g,
+        };
+        if step < 8 || step % 8 != 0 || lo % 8 != 0 {
+            return None;
+        }
+        let (vmin, vmax) = if hi - lo <= FOLD_SPAN {
+            let base = DATA_BASE as i64;
+            let len = self.data.len() as i64;
+            let (mut vmin, mut vmax) = (i64::MAX, i64::MIN);
+            let mut a = lo;
+            while a <= hi {
+                if a < base || a + 8 > base + len {
+                    return None;
+                }
+                let off = (a - base) as usize;
+                let bytes: [u8; 8] = self.data[off..off + 8].try_into().ok()?;
+                let v = u64::from_le_bytes(bytes);
+                let v = i64::try_from(v).ok()?;
+                vmin = vmin.min(v);
+                vmax = vmax.max(v);
+                a += step;
+            }
+            (vmin, vmax)
+        } else {
+            let image = self.image.get_or_insert_with(|| crate::content::DataHull::new(self.data));
+            image.hull(lo, hi)?
+        };
+        let (vmin, vmax, widened) = self.overlay_join(lo, hi, vmin, vmax)?;
+        self.register_fold(sidx, Fold { addr: addr.clone(), span: (lo, hi + 8), widened });
         let id = VarId::Gen(sidx as u32);
         let info = VarInfo {
             lo: Some(vmin),
@@ -1901,6 +2036,33 @@ impl Runner<'_> {
             origin: Origin::Fold,
         };
         Some(Val::F(self.set_derived(id, info)))
+    }
+
+    /// Fold a unit/strided vector load over a bounded, 8-aligned window
+    /// of the data image into a per-lane value hull. Wider windows than
+    /// the scalar fold allows are fine: the chunked image summaries keep
+    /// the query cheap, and a whole-window hull (ignoring the stride
+    /// pattern) is a sound over-approximation. This is the content step
+    /// that turns a loaded index vector into bounded gather/scatter
+    /// footprints downstream.
+    fn try_vfold(&mut self, sidx: usize, addr: &Form, refine: &Refine) -> Option<VVal> {
+        let lo = self.lb(addr, refine)?;
+        let hi = self.ub(addr, refine)?;
+        if hi < lo || hi - lo > VFOLD_SPAN {
+            return None;
+        }
+        let step = match addr.gcd_terms() {
+            0 => 8,
+            g => g,
+        };
+        if step < 8 || step % 8 != 0 || lo % 8 != 0 {
+            return None;
+        }
+        let image = self.image.get_or_insert_with(|| crate::content::DataHull::new(self.data));
+        let (vmin, vmax) = image.hull(lo, hi)?;
+        let (vmin, vmax, widened) = self.overlay_join(lo, hi, vmin, vmax)?;
+        self.register_fold(sidx, Fold { addr: addr.clone(), span: (lo, hi + 8), widened });
+        Some(VVal::Range(Form::konst(vmin), Form::konst(vmax)))
     }
 
     // ---- output --------------------------------------------------------
@@ -1937,6 +2099,7 @@ impl Runner<'_> {
                         write,
                         esize: 8,
                         addr: None,
+                        val: (None, None),
                         epoch: Form::var(VarId::Gen(u32::MAX)),
                         refine: Refine::new(),
                     });
@@ -2046,10 +2209,25 @@ mod tests {
     use vlt_isa::asm::assemble;
 
     fn run_tid(src: &str, tid: usize, nthr: usize) -> TidRun {
+        run_tid_overlay(src, tid, nthr, &crate::content::Overlay::default())
+    }
+
+    fn run_tid_overlay(
+        src: &str,
+        tid: usize,
+        nthr: usize,
+        overlay: &crate::content::Overlay,
+    ) -> TidRun {
         let prog = assemble(src).unwrap();
         let insts: Vec<_> = prog.text.iter().map(|&w| vlt_isa::decode(w).unwrap()).collect();
         let cfg = Cfg::build(insts);
-        analyze_tid(&cfg, &prog.data, tid, nthr, &BTreeSet::new())
+        analyze_tid(&cfg, &prog.data, tid, nthr, overlay)
+    }
+
+    fn bounds(run: &TidRun, acc: &Access) -> (Option<i64>, Option<i64>) {
+        let f = acc.addr.as_ref().unwrap();
+        let env = RunEnv { vars: &run.vars, refine: &acc.refine, skip_global: None };
+        (clb(&env, f, &mut Vec::new()), cub(&env, f, &mut Vec::new()))
     }
 
     #[test]
@@ -2126,6 +2304,142 @@ mod tests {
         assert_eq!(lo, 0x100000);
         // Last element is a[99] at base + 99*8.
         assert_eq!(hi, 0x100000 + 99 * 8);
+    }
+
+    #[test]
+    fn vector_load_folds_bound_a_gather() {
+        // A unit vld of an offsets table gives the index vector a value
+        // hull from the data image, which finitely bounds the vldx
+        // footprint instead of leaving it ⊤.
+        let src = "
+            .data
+        tbl: .dword 0, 8, 16, 24, 32, 40, 48, 56
+        out: .space 64
+            .text
+            li x1, 1
+            vltcfg x1
+            li x2, 8
+            setvl x3, x2
+            la x4, tbl
+            vld v1, x4
+            la x5, out
+            vldx v2, x5, v1
+            halt
+        ";
+        let run = run_tid(src, 0, 1);
+        assert!(!run.failed);
+        let gather = run.accesses.last().unwrap();
+        let (lo, hi) = bounds(&run, gather);
+        let out = DATA_BASE as i64 + 64;
+        assert_eq!(lo, Some(out));
+        assert_eq!(hi, Some(out + 56));
+        let fold = run.folds.values().next().expect("the vld registered a fold");
+        assert!(!fold.widened);
+    }
+
+    #[test]
+    fn overlay_widens_scalar_folds() {
+        // slot at DATA_BASE, out right behind it.
+        let src = "
+            .data
+        slot: .dword 3
+        out:  .space 128
+            .text
+            la x1, slot
+            ld x2, 0(x1)
+            la x3, out
+            add x4, x3, x2
+            sd x0, 0(x4)
+            halt
+        ";
+        let slot = DATA_BASE as i64;
+        let out = slot + 8;
+
+        // No overlay: the load folds to the image value exactly.
+        let run = run_tid(src, 0, 1);
+        assert!(!run.failed);
+        let st = run.accesses.iter().find(|a| a.write).unwrap();
+        assert_eq!(bounds(&run, st), (Some(out + 3), Some(out + 3)));
+        assert!(!run.folds.values().next().unwrap().widened);
+
+        // A store of [8, 16] into the slot widens the fold (and marks it,
+        // so it can never be treated as synchronized across threads).
+        let ov = crate::content::Overlay {
+            poisoned: false,
+            ranges: vec![(slot, slot + 8, (Some(8), Some(16)))],
+        };
+        let run = run_tid_overlay(src, 0, 1, &ov);
+        assert!(!run.failed);
+        let st = run.accesses.iter().find(|a| a.write).unwrap();
+        assert_eq!(bounds(&run, st), (Some(out + 3), Some(out + 16)));
+        assert!(run.folds.values().next().unwrap().widened);
+
+        // An unboundable intersecting store kills the fold: the indexed
+        // store's address cannot be bounded at all.
+        let ov = crate::content::Overlay {
+            poisoned: false,
+            ranges: vec![(slot, slot + 8, (None, Some(16)))],
+        };
+        let run = run_tid_overlay(src, 0, 1, &ov);
+        assert!(!run.failed);
+        let st = run.accesses.iter().find(|a| a.write).unwrap();
+        assert!(st.addr.is_none());
+        assert!(run.folds.is_empty());
+    }
+
+    #[test]
+    fn stores_report_value_hulls() {
+        let src = "
+            li x1, 40
+            sd x1, 0(x0)
+            sw x1, 8(x0)
+            halt
+        ";
+        let run = run_tid(src, 0, 1);
+        let sd = &run.accesses[0];
+        let sw = &run.accesses[1];
+        assert_eq!(sd.val, (Some(40), Some(40)));
+        assert_eq!(sw.val, (None, None), "sub-word stores have no dword hull");
+    }
+
+    #[test]
+    fn mask_and_shift_bound_indices() {
+        // Scalar: x & mask lands in [0, mask] even for an unknown x.
+        // Vector: vand.vs bounds any vector; vsrl.vs divides a
+        // non-negative hull.
+        let src = "
+            .data
+        out: .space 1024
+            .text
+            li x1, 1
+            vltcfg x1
+            li x2, 8
+            setvl x3, x2
+            ld x4, 0(x30)
+            li x5, 63
+            and x6, x4, x5
+            la x7, out
+            add x8, x7, x6
+            sd x0, 0(x8)
+            vsplat v1, x4
+            vand.vs v2, v1, x5
+            vsll.vs v3, v2, x3
+            vstx v4, x7, v3
+            halt
+        ";
+        let run = run_tid(src, 0, 1);
+        assert!(!run.failed);
+        let out = DATA_BASE as i64;
+        let scalar_store = run.accesses.iter().find(|a| a.write && a.esize == 8).unwrap();
+        let (lo, hi) = bounds(&run, scalar_store);
+        assert_eq!(lo, Some(out));
+        assert_eq!(hi, Some(out + 63));
+        let vstx = run.accesses.last().unwrap();
+        assert!(vstx.write);
+        let (lo, hi) = bounds(&run, vstx);
+        assert_eq!(lo, Some(out));
+        // vand.vs → [0, 63], vsll.vs by vl=8 → [0, 63*256].
+        assert_eq!(hi, Some(out + 63 * 256));
     }
 
     #[test]

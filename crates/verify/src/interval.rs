@@ -262,4 +262,86 @@ mod tests {
         assert_eq!(Iv::from_rng(r).to_rng(), r);
         assert_eq!(Iv::from_rng((Some(5), Some(2))), Iv::TOP);
     }
+
+    #[test]
+    fn overflow_saturates_per_side() {
+        // Each bound saturates independently: an overflowing corner loses
+        // only its own side, never fabricates a tighter one.
+        let hi_edge = Iv::new(0, i64::MAX);
+        let sum = hi_edge.add(Iv::new(0, 1));
+        assert_eq!(sum, Iv { lo: Some(0), hi: None });
+        let lo_edge = Iv::new(i64::MIN, 0);
+        let diff = lo_edge.sub(Iv::new(0, 1));
+        assert_eq!(diff, Iv { lo: None, hi: Some(0) });
+        // Multiplication bails to top on ANY corner overflow, even when
+        // the surviving corners would look bounded.
+        assert_eq!(Iv::new(i64::MIN, 2).mul(Iv::exact(2)), Iv::TOP);
+        assert_eq!(Iv::new(-2, 2).mul(Iv::new(i64::MIN / 2, 1)), Iv::TOP);
+        // Full-width shift requests give top, not a wrapped constant.
+        assert_eq!(Iv::new(1, 2).shl_k(63), Iv::TOP);
+        assert_eq!(Iv::new(1, 2).shl_k(64), Iv::TOP);
+        assert_eq!(Iv::exact(1).shl_k(62), Iv::exact(1 << 62));
+    }
+
+    #[test]
+    fn half_bounded_arithmetic() {
+        let ge0 = Iv { lo: Some(0), hi: None };
+        assert_eq!(ge0.add_k(5), Iv { lo: Some(5), hi: None });
+        assert_eq!(ge0.sub(Iv::exact(3)), Iv { lo: Some(-3), hi: None });
+        // Any unbounded side makes a product unbounded on both sides (sign
+        // of the other operand could flip the open side).
+        assert_eq!(ge0.mul(Iv::exact(-1)), Iv::TOP);
+        assert!(ge0.contains(i64::MAX));
+        assert!(!ge0.contains(-1));
+    }
+
+    #[test]
+    fn empty_interval_propagates_as_top() {
+        // A contradictory range pair (the footprint analyses produce these
+        // when refinements conflict) must degrade to "no claim", and stay
+        // there through arithmetic and joins.
+        let e = Iv::from_rng((Some(5), Some(2)));
+        assert!(e.is_top());
+        assert!(e.add_k(1).is_top());
+        assert!(e.join(Iv::exact(7)).is_top());
+        assert_eq!(e.mul(Iv::exact(2)), Iv::TOP);
+        // from_rng only normalizes fully-bounded contradictions; half
+        // bounded pairs pass through untouched.
+        assert_eq!(Iv::from_rng((None, Some(-3))), Iv { lo: None, hi: Some(-3) });
+    }
+
+    #[test]
+    fn widening_on_self_loops_terminates() {
+        // A self-loop that grows its iterate every sweep: widen jumps the
+        // moving side to unbounded in one step, and is then a fixpoint.
+        let mut cur = Iv::new(0, 0);
+        let mut steps = 0;
+        loop {
+            let next = cur.join(cur.add_k(8)); // loop body: x' = x + 8
+            let w = next.widen(cur);
+            steps += 1;
+            if w == cur {
+                break;
+            }
+            cur = w;
+            assert!(steps < 4, "widening failed to stabilize");
+        }
+        assert_eq!(cur, Iv { lo: Some(0), hi: None });
+
+        // join_widen with a cap: precise until the width cap, then one
+        // jump. The downward direction behaves symmetrically.
+        let mut cur = Iv::new(0, 0);
+        for k in 1..=4 {
+            cur = cur.join_widen(Iv::new(0, 10 * k), 25);
+        }
+        assert_eq!(cur, Iv { lo: Some(0), hi: None });
+        let mut cur = Iv::new(0, 0);
+        for k in 1..=4 {
+            cur = cur.join_widen(Iv::new(-10 * k, 0), 25);
+        }
+        assert_eq!(cur, Iv { lo: None, hi: Some(0) });
+        // A side pinned by the cap window stays precise.
+        let stable = Iv::new(0, 10).join_widen(Iv::new(3, 12), 25);
+        assert_eq!(stable, Iv::new(0, 12));
+    }
 }

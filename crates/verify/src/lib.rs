@@ -33,10 +33,12 @@ use vlt_isa::{decode, disasm, Inst, IsaError, Program};
 
 mod absint;
 mod cfg;
+mod content;
 mod diag;
 pub mod dlp;
 mod footprint;
 mod interval;
+pub mod json;
 mod liveness;
 mod races;
 mod structure;
@@ -45,7 +47,7 @@ pub use absint::{AbsState, Cv, Init};
 pub use cfg::{direct_target, Block, Cfg, Term};
 pub use diag::{Code, Diagnostic, Options, Report, Severity};
 pub use interval::Iv;
-pub use races::{check_races, check_races_with, predicted_race_sites};
+pub use races::{check_races, check_races_with, footprint_hulls, predicted_race_sites, SiteHull};
 
 /// Verify an assembled program with default options plus any
 /// program-embedded `vlint.allow.*` symbols.

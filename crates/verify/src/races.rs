@@ -99,25 +99,7 @@ fn analyze(prog: &Program, nthr: usize) -> RaceOut {
         return out;
     }
 
-    // Analyze every tid, re-running with folds blocklisted when a store
-    // can touch data a folded load read (the fold would otherwise bake in
-    // a value a racing thread might change).
-    let mut blocklist: BTreeSet<usize> = BTreeSet::new();
-    let mut runs: Vec<TidRun> = Vec::new();
-    for round in 0..=FOLD_ROUNDS {
-        runs = (0..nthr).map(|tid| analyze_tid(&cfg, &prog.data, tid, nthr, &blocklist)).collect();
-        let bad = invalidated_folds(&runs);
-        if bad.is_empty() || round == FOLD_ROUNDS {
-            if round == FOLD_ROUNDS && !bad.is_empty() {
-                blocklist.extend(bad);
-                runs = (0..nthr)
-                    .map(|tid| analyze_tid(&cfg, &prog.data, tid, nthr, &blocklist))
-                    .collect();
-            }
-            break;
-        }
-        blocklist.extend(bad);
-    }
+    let runs = converged_runs(&cfg, &prog.data, nthr);
 
     if runs.iter().any(|r| r.failed) {
         out.diags.push(Diagnostic {
@@ -172,6 +154,108 @@ fn analyze(prog: &Program, nthr: usize) -> RaceOut {
     out
 }
 
+/// Analyze every tid, iterating the store-value overlay to a fixpoint:
+/// each round's runs report what their stores may write where, and the
+/// next round's folds absorb those hulls (or fail, when an intersecting
+/// store's value or address is unboundable). Converged means the runs
+/// were produced under exactly the overlay they regenerate, so every
+/// fold's value hull accounts for every store that can touch its span.
+fn converged_runs(cfg: &Cfg, data: &[u8], nthr: usize) -> Vec<TidRun> {
+    let mut overlay = crate::content::Overlay::default();
+    let mut runs: Vec<TidRun> = Vec::new();
+    for round in 0..=FOLD_ROUNDS {
+        runs = (0..nthr).map(|tid| analyze_tid(cfg, data, tid, nthr, &overlay)).collect();
+        let next = build_overlay(&runs);
+        if next == overlay {
+            break;
+        }
+        if round == FOLD_ROUNDS {
+            // No fixpoint within the round budget: one last fully
+            // conservative pass with a poisoned overlay (every fold whose
+            // span any store might reach fails).
+            overlay = crate::content::Overlay { poisoned: true, ranges: Vec::new() };
+            runs = (0..nthr).map(|tid| analyze_tid(cfg, data, tid, nthr, &overlay)).collect();
+            break;
+        }
+        overlay = next;
+    }
+    runs
+}
+
+/// The static byte-address hull of one memory access site, analyzed as one
+/// concrete thread. Produced by [`footprint_hulls`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteHull {
+    /// Static instruction index of the load/store.
+    pub sidx: usize,
+    /// The concrete thread id the program was analyzed as.
+    pub tid: usize,
+    /// True for stores.
+    pub write: bool,
+    /// Lowest byte address the site can touch (`None` = unbounded below).
+    pub lo: Option<i64>,
+    /// One past the highest byte address the site can touch (`None` =
+    /// unbounded above).
+    pub hi: Option<i64>,
+}
+
+impl SiteHull {
+    /// True when both sides of the hull are finite.
+    pub fn bounded(&self) -> bool {
+        self.lo.is_some() && self.hi.is_some()
+    }
+
+    /// True when the byte address range `[lo, hi)` lies inside the hull.
+    /// An unbounded side admits everything on that side.
+    pub fn covers(&self, lo: i64, hi: i64) -> bool {
+        self.lo.is_none_or(|l| l <= lo) && self.hi.is_none_or(|h| hi <= h)
+    }
+}
+
+/// The content-aware footprint analysis as a public oracle: analyze the
+/// program once per concrete thread id and report, for every reachable
+/// memory access site, the hull of byte addresses it can touch in that
+/// thread. This is exactly the address knowledge the race pairing tests
+/// consume, so the soundness contract is directly testable: every address
+/// a real run of thread `tid` issues at site `sidx` must fall inside the
+/// site's hull (the differential `footprint_fuzz` suite enforces this over
+/// randomized indexed programs).
+///
+/// Returns `None` when no sound hulls exist: indirect control flow
+/// (`jr`/`jalr`) or a diverged fixpoint. Unreachable sites produce no
+/// entry; a site the analysis cannot bound produces an entry with `None`
+/// sides. Entries are ordered by `(tid, program order)`.
+pub fn footprint_hulls(prog: &Program, nthr: usize) -> Option<Vec<SiteHull>> {
+    let insts: Vec<Inst> = prog.text.iter().map(|&w| decode(w).unwrap_or(Inst::NOP)).collect();
+    if insts.is_empty() {
+        return Some(Vec::new());
+    }
+    let cfg = Cfg::build(insts);
+    if cfg.has_indirect {
+        return None;
+    }
+    let runs = converged_runs(&cfg, &prog.data, nthr);
+    if runs.iter().any(|r| r.failed) {
+        return None;
+    }
+    let mut out = Vec::new();
+    for run in &runs {
+        for acc in &run.accesses {
+            let (lo, hi) = match &acc.addr {
+                Some(f) => {
+                    let env = run.env(&acc.refine);
+                    let lo = clb(&env, f, &mut Vec::new());
+                    let hi = cub(&env, f, &mut Vec::new());
+                    (lo, hi.map(|h| h + i64::from(acc.esize)))
+                }
+                None => (None, None),
+            };
+            out.push(SiteHull { sidx: acc.sidx, tid: run.tid, write: acc.write, lo, hi });
+        }
+    }
+    Some(out)
+}
+
 fn collect_mem_sites(cfg: &Cfg, sites: &mut BTreeSet<usize>) {
     let reach = cfg.reachable();
     for (b, block) in cfg.blocks.iter().enumerate() {
@@ -186,45 +270,42 @@ fn collect_mem_sites(cfg: &Cfg, sites: &mut BTreeSet<usize>) {
     }
 }
 
-/// Folds whose data span a store in any run may write. Evaluated with each
-/// run's own bounds; a store with no address bound invalidates every fold.
-fn invalidated_folds(runs: &[TidRun]) -> BTreeSet<usize> {
-    let mut spans: Vec<(usize, i64, i64)> = Vec::new();
+/// The store-value overlay of a set of runs: every store's address span
+/// with the hull of values it may write, evaluated with each run's own
+/// bounds. A store with no address bound (or a failed run) poisons the
+/// overlay — no fold whose span a store might reach can then succeed.
+fn build_overlay(runs: &[TidRun]) -> crate::content::Overlay {
+    let mut ov = crate::content::Overlay::default();
     for run in runs {
-        for (&sidx, fold) in &run.folds {
-            spans.push((sidx, fold.span.0, fold.span.1));
+        if run.failed {
+            ov.poisoned = true;
+            continue;
         }
-    }
-    if spans.is_empty() {
-        return BTreeSet::new();
-    }
-    let mut bad = BTreeSet::new();
-    for run in runs {
         for acc in &run.accesses {
             if !acc.write {
                 continue;
             }
-            match &acc.addr {
-                None => {
-                    // Unknown store: no fold is safe.
-                    return spans.iter().map(|&(s, _, _)| s).collect();
-                }
-                Some(f) => {
-                    let env = run.env(&acc.refine);
-                    let lo = clb(&env, f, &mut Vec::new());
-                    let hi = cub(&env, f, &mut Vec::new());
-                    for &(sidx, slo, shi) in &spans {
-                        let disjoint = matches!(lo, Some(l) if l >= shi)
-                            || matches!(hi, Some(h) if h + i64::from(acc.esize) <= slo);
-                        if !disjoint {
-                            bad.insert(sidx);
-                        }
-                    }
-                }
-            }
+            let Some(f) = &acc.addr else {
+                ov.poisoned = true;
+                continue;
+            };
+            let env = run.env(&acc.refine);
+            let lo = clb(&env, f, &mut Vec::new());
+            let hi = cub(&env, f, &mut Vec::new());
+            let (Some(lo), Some(hi)) = (lo, hi) else {
+                ov.poisoned = true;
+                continue;
+            };
+            ov.ranges.push((lo, hi + i64::from(acc.esize), acc.val));
         }
     }
-    bad
+    // Canonical order so overlay equality is the convergence test.
+    ov.ranges.sort_unstable();
+    ov.ranges.dedup();
+    if ov.poisoned {
+        ov.ranges.clear();
+    }
+    ov
 }
 
 /// Blocks at which a loop-join variable advances in lock-step across
@@ -337,7 +418,10 @@ fn sync_vars(a: &TidRun, b: &TidRun, anchored: &[bool]) -> BTreeSet<VarId> {
             VarId::Gen(s) => {
                 let s = *s as usize;
                 if let (Some(fa), Some(fb)) = (a.folds.get(&s), b.folds.get(&s)) {
-                    if fa == fb {
+                    // A widened fold absorbed concurrently-written ranges:
+                    // its hull is sound, but mid-epoch the two threads can
+                    // observe different values, so it never synchronizes.
+                    if fa == fb && !fa.widened {
                         sync.insert(*id);
                     }
                 }
@@ -488,9 +572,15 @@ impl Env for PairEnv<'_> {
     }
 }
 
-/// Exact per-(site, barrier-epoch) access hulls `[lo, hi)` for one
-/// thread, from the DLP walker (see [`crate::dlp::site_bounds`]).
-type SiteHulls = BTreeMap<usize, BTreeMap<u64, (u64, u64)>>;
+/// Exact per-(site, barrier-epoch) access sets (sorted disjoint `[lo, hi)`
+/// ranges) for one thread, from [`crate::dlp::site_bounds`] — the DLP
+/// walker's hulls, or the observed walk's exact sets when the walker
+/// refuses. Two lemmas fall out of pruning with these: *partition* (hulls
+/// confined to per-thread disjoint ranges never overlap) and
+/// *injectivity/permutation* (hulls overlap, but the exact sets of a
+/// provably-injective scatter — radix's exclusive-prefix-sum shape —
+/// interleave without intersecting).
+type SiteHulls = BTreeMap<usize, BTreeMap<u64, Vec<(u64, u64)>>>;
 
 fn check_pair(
     cfg: &Cfg,
@@ -515,9 +605,9 @@ fn check_pair(
                 let (Some(ea), Some(eb)) = (ha.get(&aa.sidx), hb.get(&ab.sidx)) else {
                     continue;
                 };
-                let overlap = ea
-                    .iter()
-                    .any(|(e, &(la, ra))| eb.get(e).is_some_and(|&(lb, rb)| la < rb && lb < ra));
+                let overlap = ea.iter().any(|(e, la)| {
+                    eb.get(e).is_some_and(|lb| crate::content::ranges_overlap(la, lb))
+                });
                 if !overlap {
                     continue;
                 }

@@ -1,0 +1,174 @@
+//! Differential fuzz for the content-aware footprint analysis: the static
+//! per-site address hulls ([`vlt_verify::footprint_hulls`]) must cover
+//! every byte a real execution touches at that site.
+//!
+//! Programs come from the same deterministic generator the engine- and
+//! DLP-differential fuzzes use (`crates/exec/tests/support/progen.rs`),
+//! which now emits content-steered indexed traffic — gathers, scatters,
+//! and scalar accesses whose offsets are *loaded from a table* — so the
+//! hulls under test are the ones only the content lattice can produce.
+//! Each program is stepped thread by thread under `FuncSim` while the
+//! per-site byte footprint is collected from the dynamic trace, then every
+//! observed access is checked against the hull of its `(tid, sidx)` site.
+//!
+//! The contract: the hull is an over-approximation (`static ⊇ dynamic`),
+//! and it is *useful* — every store site must come back with finite
+//! bounds, because the race analysis is built on bounded write footprints.
+
+use std::collections::BTreeMap;
+
+use vlt_exec::{DynKind, FuncSim, Step};
+use vlt_isa::asm::assemble;
+use vlt_verify::{footprint_hulls, SiteHull};
+
+#[path = "../../exec/tests/support/progen.rs"]
+mod progen;
+use progen::gen_program;
+
+const SEEDS: u64 = 40;
+const BUDGET: u64 = 4_000_000;
+
+/// Join of all hull entries for one `(tid, sidx)` site (the analysis
+/// emits one per reachable access; joining keeps the check valid either
+/// way).
+fn hull_map(hulls: &[SiteHull]) -> BTreeMap<(usize, usize), SiteHull> {
+    let mut m: BTreeMap<(usize, usize), SiteHull> = BTreeMap::new();
+    for h in hulls {
+        m.entry((h.tid, h.sidx))
+            .and_modify(|e| {
+                e.lo = e.lo.zip(h.lo).map(|(a, b)| a.min(b));
+                e.hi = e.hi.zip(h.hi).map(|(a, b)| a.max(b));
+            })
+            .or_insert_with(|| h.clone());
+    }
+    m
+}
+
+/// Run the program and collect every dynamic byte access as
+/// `(tid, sidx, lo, hi)` half-open byte ranges.
+fn dynamic_accesses(sim: &mut FuncSim, threads: usize) -> Vec<(usize, usize, i64, i64)> {
+    let mut out = Vec::new();
+    let mut steps = 0u64;
+    while !sim.all_halted() {
+        for t in 0..threads {
+            while let Step::Inst(d) =
+                sim.step_thread(t).expect("generated programs execute cleanly")
+            {
+                match d.kind {
+                    DynKind::Mem { addr, size } => {
+                        out.push((t, d.sidx as usize, addr as i64, addr as i64 + i64::from(size)));
+                    }
+                    DynKind::VMem { addrs } => {
+                        for &a in sim.addrs(addrs) {
+                            out.push((t, d.sidx as usize, a as i64, a as i64 + 8));
+                        }
+                    }
+                    DynKind::Barrier => break,
+                    _ => {}
+                }
+                steps += 1;
+                assert!(steps < BUDGET, "runaway program");
+            }
+        }
+    }
+    out
+}
+
+fn check_case(seed: u64, threads: usize) -> (usize, usize) {
+    let src = gen_program(seed, threads);
+    let prog = assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: bad program: {e}\n{src}"));
+    let hulls = footprint_hulls(&prog, threads)
+        .unwrap_or_else(|| panic!("seed {seed} x{threads}: footprint analysis gave up\n{src}"));
+    let map = hull_map(&hulls);
+
+    // Usefulness: the race analysis needs every write footprint bounded.
+    for h in &hulls {
+        if h.write {
+            assert!(
+                h.bounded(),
+                "seed {seed} x{threads}: write site {} (tid {}) unbounded\n{src}",
+                h.sidx,
+                h.tid
+            );
+        }
+    }
+
+    // Soundness: every dynamically observed byte lies inside its hull.
+    let mut sim = FuncSim::new(&prog, threads);
+    let observed = dynamic_accesses(&mut sim, threads);
+    assert!(!observed.is_empty(), "seed {seed} x{threads}: program touched no memory");
+    for (t, sidx, lo, hi) in &observed {
+        let h = map.get(&(*t, *sidx)).unwrap_or_else(|| {
+            panic!("seed {seed} x{threads}: dynamic access at sidx {sidx} (tid {t}) has no static site\n{src}")
+        });
+        assert!(
+            h.covers(*lo, *hi),
+            "seed {seed} x{threads}: sidx {sidx} tid {t}: dynamic [{lo}, {hi}) escapes hull \
+             [{:?}, {:?})\n{src}",
+            h.lo,
+            h.hi
+        );
+    }
+    (observed.len(), hulls.iter().filter(|h| h.bounded()).count())
+}
+
+/// ≥120 generated indexed programs: `SEEDS` seeds × three thread counts.
+#[test]
+fn static_hulls_cover_dynamic_footprints() {
+    let mut cases = 0usize;
+    let mut accesses = 0usize;
+    let mut bounded = 0usize;
+    for seed in 0..SEEDS {
+        for threads in [1usize, 2, 4] {
+            let (obs, bnd) = check_case(seed * 131 + threads as u64, threads);
+            cases += 1;
+            accesses += obs;
+            bounded += bnd;
+        }
+    }
+    assert!(cases >= 120, "only {cases} programs checked");
+    // The suite must actually exercise the machinery: plenty of dynamic
+    // traffic, and a substantial population of finitely-bounded sites.
+    assert!(accesses > 10_000, "only {accesses} dynamic accesses observed");
+    assert!(bounded > 500, "only {bounded} bounded static sites");
+}
+
+/// The steered items must appear and be boundable on their own: a focused
+/// program with only content-steered traffic gets finite hulls for every
+/// site, including the scatter.
+#[test]
+fn steered_scatter_hull_is_the_table_hull() {
+    let src = "
+        .data
+    buf:
+        .zero 2048
+    idx:
+        .dword 0, 64, 128, 896, 8, 72, 800, 16
+        .text
+        tid  x1
+        la   x2, buf
+        slli x3, x1, 10
+        add  x2, x2, x3
+        li   x13, 8
+        setvl x15, x13
+        la   x13, idx
+        vld  v1, x13
+        vid  v2
+        vstx v2, x2, v1
+        halt
+    ";
+    let prog = assemble(src).unwrap();
+    let buf = prog.symbol("buf").unwrap() as i64;
+    let hulls = footprint_hulls(&prog, 2).expect("boundable");
+    let scatter: Vec<&SiteHull> = hulls.iter().filter(|h| h.write).collect();
+    assert_eq!(scatter.len(), 2, "one scatter site per thread");
+    for h in scatter {
+        assert!(h.bounded(), "scatter unbounded for tid {}", h.tid);
+        let base = buf + 1024 * h.tid as i64;
+        // The content fold bounds the indices to the table hull [0, 896],
+        // so the scatter hull is the thread's slice [base, base+904).
+        assert!(h.covers(base, base + 904), "hull [{:?}, {:?}) too small", h.lo, h.hi);
+        assert!(h.lo.unwrap() >= base, "hull leaks below the slice");
+        assert!(h.hi.unwrap() <= base + 1024, "hull leaks into the next slice");
+    }
+}

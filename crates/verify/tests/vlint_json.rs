@@ -1,0 +1,97 @@
+//! End-to-end check of `vlint --json`: the CLI's machine-readable output
+//! must parse back through the library's own schema parsers
+//! (`vlt_verify::json`) — the CLI and the library can never drift apart
+//! on the schema.
+
+use std::process::Command;
+
+use vlt_verify::json::{vlint_output_from_json, FileOutcome};
+use vlt_verify::Severity;
+
+fn run_vlint(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vlint")).args(args).output().expect("vlint runs");
+    (out.status.code(), String::from_utf8(out.stdout).unwrap())
+}
+
+#[test]
+fn json_output_round_trips_through_the_library_parser() {
+    let dir = std::env::temp_dir().join("vlint-json-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    // One clean file, one with findings (undef read + dead write).
+    let clean = dir.join("clean.s");
+    std::fs::write(
+        &clean,
+        ".data\nbuf:\n.zero 64\n.text\nla x1, buf\nli x2, 7\nsd x2, 0(x1)\nld x3, 8(x1)\n\
+         add x4, x2, x3\nsd x4, 16(x1)\nhalt\n",
+    )
+    .unwrap();
+    let dirty = dir.join("dirty.s");
+    std::fs::write(&dirty, "add x2, x7, x7\nhalt\n").unwrap();
+
+    let (code, stdout) = run_vlint(&["--json", clean.to_str().unwrap(), dirty.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "dirty file has an error finding");
+
+    let files = vlint_output_from_json(&stdout)
+        .unwrap_or_else(|e| panic!("CLI emitted unparseable JSON ({e}):\n{stdout}"));
+    assert_eq!(files.len(), 2, "expected two file reports:\n{stdout}");
+
+    let (clean_path, clean_outcome) = &files[0];
+    assert_eq!(clean_path, clean.to_str().unwrap());
+    let FileOutcome::Report(clean_report) = clean_outcome else {
+        panic!("clean file failed to assemble:\n{stdout}");
+    };
+    assert!(clean_report.diags.is_empty(), "clean file reported findings:\n{stdout}");
+
+    let (dirty_path, dirty_outcome) = &files[1];
+    assert_eq!(dirty_path, dirty.to_str().unwrap());
+    let FileOutcome::Report(dirty_report) = dirty_outcome else {
+        panic!("dirty file failed to assemble:\n{stdout}");
+    };
+    assert!(dirty_report.errors() >= 1, "undef read must surface as an error:\n{stdout}");
+    assert!(
+        dirty_report.diags.iter().any(|d| d.severity == Severity::Error && d.sidx == Some(0)),
+        "error not anchored at sidx 0:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_assembly_errors_are_structured() {
+    let dir = std::env::temp_dir().join("vlint-json-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.s");
+    std::fs::write(&bad, "bogus operand soup\n").unwrap();
+
+    let (code, stdout) = run_vlint(&["--json", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "assembly errors fail the run");
+    let files = vlint_output_from_json(&stdout)
+        .unwrap_or_else(|e| panic!("CLI emitted unparseable JSON ({e}):\n{stdout}"));
+    assert_eq!(files.len(), 1);
+    let FileOutcome::AssemblyError(msg) = &files[0].1 else {
+        panic!("expected an assembly_error entry:\n{stdout}");
+    };
+    assert!(msg.contains("unknown mnemonic"), "unexpected message `{msg}`");
+}
+
+/// `--json` composes with the analysis flags: race and DLP diagnostics
+/// appear in the same machine-readable stream.
+#[test]
+fn json_carries_race_and_dlp_findings() {
+    let dir = std::env::temp_dir().join("vlint-json-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Two threads both store to the same address every epoch: race-ww.
+    let racy = dir.join("racy.s");
+    std::fs::write(
+        &racy,
+        ".data\nbuf:\n.zero 64\n.text\nla x1, buf\nli x2, 1\nsd x2, 0(x1)\nhalt\n",
+    )
+    .unwrap();
+
+    let (code, stdout) = run_vlint(&["--json", "--races=2", racy.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "races are warnings, not errors");
+    let files = vlint_output_from_json(&stdout).unwrap();
+    let FileOutcome::Report(report) = &files[0].1 else { panic!("assembled") };
+    assert!(
+        report.diags.iter().any(|d| d.code.name().starts_with("race-")),
+        "race finding missing from JSON:\n{stdout}"
+    );
+}

@@ -23,6 +23,18 @@
 //! Each workload builds at a chosen thread count and [`Scale`]; the
 //! returned [`Built`] bundles the program with a verifier that replays the
 //! exact arithmetic in Rust and compares the final memory image.
+//!
+//! Alongside the nine Table-4 applications, an **irregular suite**
+//! ([`irregular_suite`]) of four gather/scatter-heavy kernels exercises
+//! the content-aware footprint analysis — data-dependent addressing that
+//! the verifier must certify without any `vlint.allow.*` annotation:
+//!
+//! | name       | structure                              | discharged by      |
+//! |------------|----------------------------------------|--------------------|
+//! | `spmv`     | CSR sparse matrix-vector product       | exact walk hulls   |
+//! | `histo`    | histogram + permutation scatter        | injectivity lemma  |
+//! | `hashjoin` | hash build + vectorized indexed probe  | masked-index bound |
+//! | `sweep`    | multi-sweep stencil, permuted schedule | partition lemma    |
 
 pub mod characterize;
 pub mod common;
@@ -38,5 +50,10 @@ pub mod radix;
 pub mod sage;
 pub mod trfd;
 
+pub mod hashjoin;
+pub mod histo;
+pub mod spmv;
+pub mod sweep;
+
 pub use common::{Built, Scale};
-pub use suite::{suite, workload, PaperRow, Workload};
+pub use suite::{irregular_source, irregular_suite, suite, workload, PaperRow, Workload};

@@ -79,9 +79,36 @@ pub fn suite() -> Vec<&'static dyn Workload> {
     ]
 }
 
-/// Look up a workload by name.
+/// The four irregular kernels: gather/scatter-heavy SPMD programs whose
+/// data-dependent addressing the content-aware footprint analysis must
+/// certify without any `vlint.allow.*` annotation. Kept out of [`suite`]
+/// — they are verification workloads, not Table 4 rows.
+pub fn irregular_suite() -> Vec<&'static dyn Workload> {
+    vec![&crate::spmv::Spmv, &crate::histo::Histo, &crate::hashjoin::HashJoin, &crate::sweep::Sweep]
+}
+
+/// Regenerate an irregular kernel's assembly source by name (the lint
+/// driver feeds these straight to `vlint`). `None` for unknown names —
+/// the Table 4 workloads are not exposed this way.
+pub fn irregular_source(
+    name: &str,
+    threads: usize,
+    clusters: usize,
+    scale: Scale,
+) -> Option<String> {
+    match name {
+        "spmv" => Some(crate::spmv::source(threads, clusters, scale)),
+        "histo" => Some(crate::histo::source(threads, clusters, scale)),
+        "hashjoin" => Some(crate::hashjoin::source(threads, clusters, scale)),
+        "sweep" => Some(crate::sweep::source(threads, clusters, scale)),
+        _ => None,
+    }
+}
+
+/// Look up a workload by name, searching the Table 4 suite and then the
+/// irregular suite.
 pub fn workload(name: &str) -> Option<&'static dyn Workload> {
-    suite().into_iter().find(|w| w.name() == name)
+    suite().into_iter().chain(irregular_suite()).find(|w| w.name() == name)
 }
 
 #[cfg(test)]
@@ -100,7 +127,19 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert!(workload("mxm").is_some());
+        assert!(workload("spmv").is_some());
         assert!(workload("nope").is_none());
+    }
+
+    #[test]
+    fn irregular_suite_has_four_vector_kernels() {
+        let names: Vec<&str> = irregular_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["spmv", "histo", "hashjoin", "sweep"]);
+        for w in irregular_suite() {
+            assert!(w.vectorizable(), "{}", w.name());
+            assert!(irregular_source(w.name(), 2, 1, Scale::Test).is_some(), "{}", w.name());
+        }
+        assert!(irregular_source("mxm", 1, 1, Scale::Test).is_none());
     }
 
     #[test]
