@@ -39,6 +39,7 @@ fn main() {
         ex::ext_lanes::run(scale),
         ex::ext_chaining::run(scale),
         ex::ext_cluster::run(scale),
+        ex::irregular_stalls::run(scale),
     ] {
         ex::emit_result(e);
     }

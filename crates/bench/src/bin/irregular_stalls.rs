@@ -1,0 +1,7 @@
+//! Standalone runner for the irregular-kernel stall profiles
+//! (`results/irregular_stalls.json`).
+
+fn main() {
+    let scale = vlt_bench::experiments::scale_from_env();
+    vlt_bench::experiments::emit_result(vlt_bench::experiments::irregular_stalls::run(scale));
+}

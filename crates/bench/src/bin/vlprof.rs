@@ -1,34 +1,47 @@
 //! `vlprof`: run any workload (or a raw `.s` program) under the full
 //! observability stack and emit a Perfetto/Chrome trace, a metrics JSON
-//! document, and a terminal summary of the top stall causes per region.
+//! document (including CPI stacks), and a terminal summary of the top
+//! stall causes per region.
 //!
 //! ```text
 //! vlprof saxpy.s                      # profile an assembly file
 //! vlprof mxm --config v4-cmp          # profile a suite workload
-//! vlprof radix --threads 8 --config v4-cmt-lanes --out prof/
+//! vlprof spmv --whatif all            # causal what-if speedup bounds
+//! vlprof --diff base/metrics.json new/metrics.json
 //! ```
 //!
 //! Both output documents are validated before they are written (the same
 //! validators the test suite uses), so a malformed trace fails the run
 //! instead of failing later inside `chrome://tracing`.
+//!
+//! `--whatif` is the causal layer: for a stall cause with a removable
+//! hardware component it re-runs the workload with that component
+//! idealized (zero-conflict L2 banks, zero-hop cluster network, free
+//! barrier flushes, unbounded issue width) and reports the *measured*
+//! speedup next to the cycles the profiler *attributed* to the cause.
+//! The measured gain can never exceed the attribution (checked on every
+//! run) — attribution is an upper bound, what-if is the causal truth.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vlt_core::{EngineMode, SimResult, System, SystemConfig};
+use vlt_core::{EngineMode, IdealizeConfig, SimResult, StallCause, System, SystemConfig};
 use vlt_obs::perfetto::validate_chrome_trace;
-use vlt_obs::{MetricsObserver, Multi, PerfettoObserver};
+use vlt_obs::{CpiObserver, MetricsObserver, Multi, PerfettoObserver};
+use vlt_stats::json::Json;
 use vlt_stats::metrics::validate_metrics_json;
 use vlt_stats::{MetricsRegistry, Table};
 use vlt_workloads::{workload, Scale};
 
 const USAGE: &str = "\
 usage: vlprof <workload|file.s> [options]
+       vlprof --diff A/metrics.json B/metrics.json
 
   <workload|file.s>   a suite workload name (mxm, sage, mpenc, trfd,
-                      multprec, bt, radix, ocean, barnes) or a path to a
-                      VLT assembly file
+                      multprec, bt, radix, ocean, barnes, or the irregular
+                      spmv, histo, hashjoin, sweep) or a path to a VLT
+                      assembly file
 
 options:
   --config NAME   design point: base, v2-smt, v2-cmp, v2-cmp-h, v4-smt,
@@ -42,17 +55,25 @@ options:
                   (default: small; ignored for .s files)
   --engine E      functional engine: block (threaded-code blocks, the
                   default) | interp (the single-step oracle)
+  --whatif CAUSE  after profiling, re-run with the hardware component
+                  behind CAUSE idealized and report the measured speedup
+                  against the attributed cycles: bank-conflict,
+                  network-contention, barrier-wait, issue-width, or all
+  --diff A B      compare two metrics.json documents (no simulation);
+                  prints the counters that moved, largest swing first
   --out DIR       output directory for trace.json + metrics.json
                   (default: vlprof-out)
   -h, --help      this text";
 
 struct Args {
-    target: String,
+    target: Option<String>,
     config: String,
     clusters: usize,
     threads: usize,
     scale: Scale,
     engine: EngineMode,
+    whatif: Option<String>,
+    diff: Option<(PathBuf, PathBuf)>,
     out: PathBuf,
 }
 
@@ -64,6 +85,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     let mut threads = 4usize;
     let mut scale = Scale::Small;
     let mut engine = EngineMode::default();
+    let mut whatif = None;
+    let mut diff = None;
     let mut out = PathBuf::from("vlprof-out");
     let next = |argv: &mut std::env::Args, flag: &str| {
         argv.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -99,6 +122,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     s => return Err(format!("unknown engine {s:?} (block | interp)")),
                 };
             }
+            "--whatif" => whatif = Some(next(&mut argv, "--whatif")?),
+            "--diff" => {
+                let a = PathBuf::from(next(&mut argv, "--diff")?);
+                let b = argv.next().ok_or_else(|| "--diff needs two paths".to_string())?;
+                diff = Some((a, PathBuf::from(b)));
+            }
             "--out" => out = PathBuf::from(next(&mut argv, "--out")?),
             s if s.starts_with('-') => return Err(format!("unknown option {s}\n\n{USAGE}")),
             _ => {
@@ -108,11 +137,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
             }
         }
     }
-    let target = target.ok_or_else(|| USAGE.to_string())?;
+    if diff.is_none() && target.is_none() {
+        return Err(USAGE.to_string());
+    }
     if threads == 0 {
         return Err("--threads needs a positive integer".to_string());
     }
-    Ok(Args { target, config, clusters, threads, scale, engine, out })
+    Ok(Args { target, config, clusters, threads, scale, engine, whatif, diff, out })
 }
 
 /// Resolve a design-point name (case- and `-`/`_`-insensitive).
@@ -135,7 +166,73 @@ fn config_by_name(name: &str) -> Option<SystemConfig> {
     }
 }
 
+/// The idealizable stall causes `--whatif` accepts, in report order.
+const WHATIF_CAUSES: [StallCause; 4] = [
+    StallCause::BankConflict,
+    StallCause::NetworkContention,
+    StallCause::BarrierWait,
+    StallCause::IssueWidth,
+];
+
+fn whatif_causes(arg: &str) -> Result<Vec<StallCause>, String> {
+    if arg == "all" {
+        return Ok(WHATIF_CAUSES.to_vec());
+    }
+    WHATIF_CAUSES.iter().copied().find(|c| c.name() == arg).map(|c| vec![c]).ok_or_else(|| {
+        let names: Vec<&str> = WHATIF_CAUSES.iter().map(|c| c.name()).collect();
+        format!("--whatif {arg:?}: not an idealizable cause (one of {}, or all)", names.join(", "))
+    })
+}
+
+/// The resolved profile target: a program plus an optional post-run
+/// verifier (suite workloads verify; raw `.s` files run as-is).
+struct Target {
+    label: String,
+    program: vlt_isa::Program,
+    built: Option<vlt_workloads::Built>,
+}
+
+fn resolve_target(args: &Args, cfg: &SystemConfig) -> Result<Target, String> {
+    let name = args.target.as_deref().expect("profile mode has a target");
+    if name.ends_with(".s") {
+        let src = std::fs::read_to_string(name).map_err(|e| format!("cannot read {name}: {e}"))?;
+        let program = vlt_isa::asm::assemble(&src).map_err(|e| format!("{name}: {e}"))?;
+        return Ok(Target { label: name.to_string(), program, built: None });
+    }
+    let w = workload(name)
+        .ok_or_else(|| format!("{name:?} is neither a workload name nor a .s file\n\n{USAGE}"))?;
+    // Spread the program's vltcfg over the machine's clusters so an
+    // ultra-wide profile actually exercises every cluster.
+    let built = w.build_spread(args.threads, cfg.clusters, args.scale);
+    Ok(Target { label: w.name().to_string(), program: built.program.clone(), built: Some(built) })
+}
+
+/// One simulation of the target on `cfg`, verified, with conservation
+/// checked. `run_observed` only when observers are attached.
+fn simulate(
+    cfg: &SystemConfig,
+    target: &Target,
+    threads: usize,
+    engine: EngineMode,
+    obs: Option<&mut Multi<'_>>,
+) -> Result<SimResult, String> {
+    let mut sys = System::new(cfg.clone(), &target.program, threads).with_engine(engine);
+    let result = match obs {
+        Some(multi) => sys.run_observed(vlt_bench::harness::MAX_CYCLES, multi),
+        None => sys.run(vlt_bench::harness::MAX_CYCLES),
+    }
+    .map_err(|e| format!("simulation failed: {e}"))?;
+    if let Some(built) = &target.built {
+        (built.verifier)(sys.funcsim()).map_err(|m| format!("verification failed: {m}"))?;
+    }
+    result.check_stall_conservation().map_err(|e| format!("stall accounting broken: {e}"))?;
+    Ok(result)
+}
+
 fn run(args: &Args) -> Result<(), String> {
+    if let Some((a, b)) = &args.diff {
+        return run_diff(a, b);
+    }
     let mut cfg = config_by_name(&args.config)
         .ok_or_else(|| format!("unknown config {:?}\n\n{USAGE}", args.config))?;
     if args.clusters > 1 {
@@ -152,41 +249,22 @@ fn run(args: &Args) -> Result<(), String> {
             args.threads
         ));
     }
+    let causes = args.whatif.as_deref().map(whatif_causes).transpose()?;
+    let target = resolve_target(args, &cfg)?;
 
-    // Resolve the target: a `.s` file profiles as-is; a workload name
-    // builds at the requested scale and verifies after the run.
-    let is_asm = args.target.ends_with(".s");
-    let (label, program, built) = if is_asm {
-        let src = std::fs::read_to_string(&args.target)
-            .map_err(|e| format!("cannot read {}: {e}", args.target))?;
-        let program = vlt_isa::asm::assemble(&src).map_err(|e| format!("{}: {e}", args.target))?;
-        (args.target.clone(), program, None)
-    } else {
-        let w = workload(&args.target).ok_or_else(|| {
-            format!("{:?} is neither a workload name nor a .s file\n\n{USAGE}", args.target)
-        })?;
-        // Spread the program's vltcfg over the machine's clusters so an
-        // ultra-wide profile actually exercises every cluster.
-        let built = w.build_spread(args.threads, cfg.clusters, args.scale);
-        (w.name().to_string(), built.program.clone(), Some(built))
-    };
-
-    eprintln!("vlprof: {label} on {} x{} ...", cfg.name, args.threads);
-    let mut sys = System::new(cfg.clone(), &program, args.threads).with_engine(args.engine);
+    eprintln!("vlprof: {} on {} x{} ...", target.label, cfg.name, args.threads);
     let mut metrics = MetricsObserver::new();
     let mut trace = PerfettoObserver::new();
+    let mut cpi = CpiObserver::new();
     let result = {
-        let mut multi = Multi::new().with(&mut metrics).with(&mut trace);
-        sys.run_observed(vlt_bench::harness::MAX_CYCLES, &mut multi)
-            .map_err(|e| format!("simulation failed: {e}"))?
+        let mut multi = Multi::new().with(&mut metrics).with(&mut trace).with(&mut cpi);
+        simulate(&cfg, &target, args.threads, args.engine, Some(&mut multi))?
     };
-    if let Some(built) = &built {
-        (built.verifier)(sys.funcsim()).map_err(|m| format!("verification failed: {m}"))?;
-    }
-    result.check_stall_conservation().map_err(|e| format!("stall accounting broken: {e}"))?;
+    cpi.check_conservation().map_err(|e| format!("CPI stack not conserving: {e}"))?;
 
     // Validate both documents before writing anything.
-    let metrics_doc = metrics.into_registry();
+    let mut metrics_doc = metrics.into_registry();
+    cpi.export_into(&mut metrics_doc);
     let metrics_json = metrics_doc.to_json();
     validate_metrics_json(&metrics_json).map_err(|e| format!("metrics JSON invalid: {e}"))?;
     let trace_json = trace.into_json();
@@ -201,7 +279,72 @@ fn run(args: &Args) -> Result<(), String> {
         eprintln!("wrote {}", path.display());
     }
 
-    print_summary(&label, &cfg, &result, &metrics_doc);
+    print_summary(&target.label, &cfg, &result, &metrics_doc);
+    print_cpi(&cpi);
+    if let Some(causes) = causes {
+        run_whatif(&cfg, &target, args, &result, &causes)?;
+    }
+    Ok(())
+}
+
+/// Re-run the workload once per idealized cause and print measured
+/// speedups next to the profiler's attribution. Errors if a measured
+/// gain ever exceeds the attributed cycles — that would mean the stall
+/// accounting undercounts the cause it claims to explain.
+fn run_whatif(
+    cfg: &SystemConfig,
+    target: &Target,
+    args: &Args,
+    base: &SimResult,
+    causes: &[StallCause],
+) -> Result<(), String> {
+    let mut t = Table::new(
+        "What-if speedup bounds (component idealized vs measured)",
+        &["idealization", "attributed", "base", "ideal", "speedup", "realized"],
+    );
+    for &cause in causes {
+        let ideal =
+            IdealizeConfig::for_cause(cause).expect("WHATIF_CAUSES only lists idealizable causes");
+        let mut icfg = cfg.clone();
+        icfg.ideal = ideal;
+        eprintln!("vlprof: what-if {} ...", cause.name());
+        let r = simulate(&icfg, target, args.threads, args.engine, None)?;
+        let attributed = base.stalls().get(cause);
+        let gain = base.cycles.saturating_sub(r.cycles);
+        // The causal cross-check: removing a component can never buy more
+        // cycles than the profiler attributed to it (attribution counts
+        // every cycle the cause was *blamed* for; overlap with other
+        // causes only shrinks the realizable gain).
+        if gain > attributed {
+            return Err(format!(
+                "what-if {}: measured gain {gain} cycles exceeds the attributed {attributed} — \
+                 stall attribution undercounts this cause",
+                cause.name()
+            ));
+        }
+        if r.cycles > base.cycles {
+            eprintln!(
+                "vlprof: note: idealizing {} slowed the run by {} cycles \
+                 (timing interaction, e.g. altered barrier arrival order)",
+                cause.name(),
+                r.cycles - base.cycles
+            );
+        }
+        let realized = if attributed == 0 { 0.0 } else { 100.0 * gain as f64 / attributed as f64 };
+        t.row(&[
+            cause.name().to_string(),
+            attributed.to_string(),
+            base.cycles.to_string(),
+            r.cycles.to_string(),
+            format!("{:.3}x", base.cycles as f64 / r.cycles.max(1) as f64),
+            format!("{realized:.0}%"),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "attributed counts are stall-cycles across all units (vector datapath-cycles \n\
+         and core cycles); realized = measured gain / attributed, the causal share."
+    );
     Ok(())
 }
 
@@ -259,6 +402,106 @@ fn print_summary(label: &str, cfg: &SystemConfig, result: &SimResult, reg: &Metr
     } else {
         println!("{t}");
     }
+}
+
+/// Whole-run CPI stacks: each unit's cycle budget decomposed top-down,
+/// largest components first. Exact — components sum to the budget.
+fn print_cpi(cpi: &CpiObserver) {
+    let mut t = Table::new("CPI stacks (whole run)", &["unit", "cycles", "composition"]);
+    for s in cpi.total() {
+        let mut parts = s.components();
+        parts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let comp = parts
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .take(4)
+            .map(|(label, n)| format!("{label} {:.0}%", 100.0 * *n as f64 / s.cycles.max(1) as f64))
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row(&[s.unit.clone(), s.cycles.to_string(), comp]);
+    }
+    if !t.is_empty() {
+        println!("{t}");
+    }
+}
+
+/// Load and validate a metrics.json document.
+fn load_metrics(path: &PathBuf) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))?;
+    validate_metrics_json(&doc)
+        .map_err(|e| format!("{}: not a metrics document: {e}", path.display()))?;
+    Ok(doc)
+}
+
+/// Flatten a metrics document into comparable scalar rows: every counter
+/// by name, plus each histogram's `count` and `sum` moments.
+fn scalar_rows(doc: &Json) -> BTreeMap<String, f64> {
+    let mut rows = BTreeMap::new();
+    if let Some(Json::Obj(counters)) = doc.get("counters") {
+        for (k, v) in counters {
+            if let Some(n) = v.as_f64() {
+                rows.insert(k.clone(), n);
+            }
+        }
+    }
+    if let Some(Json::Obj(hists)) = doc.get("histograms") {
+        for (k, h) in hists {
+            for field in ["count", "sum"] {
+                if let Some(n) = h.get(field).and_then(Json::as_f64) {
+                    rows.insert(format!("{k}.{field}"), n);
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// `vlprof --diff A B`: every metric that moved between two runs,
+/// largest relative swing first. A metric present on only one side
+/// diffs against zero (new counters appear, dead ones disappear).
+fn run_diff(a: &PathBuf, b: &PathBuf) -> Result<(), String> {
+    let (da, db) = (load_metrics(a)?, load_metrics(b)?);
+    let (ra, rb) = (scalar_rows(&da), scalar_rows(&db));
+    let (ca, cb) = (ra.get("sim.cycles").copied(), rb.get("sim.cycles").copied());
+    if let (Some(ca), Some(cb)) = (ca, cb) {
+        println!(
+            "sim.cycles: {ca} -> {cb} ({})",
+            if cb > 0.0 { format!("{:.3}x", ca / cb) } else { "n/a".to_string() }
+        );
+        println!();
+    }
+    let mut moved: Vec<(String, f64, f64)> = Vec::new();
+    for name in ra.keys().chain(rb.keys()) {
+        if moved.iter().any(|(n, _, _)| n == name) {
+            continue;
+        }
+        let va = ra.get(name).copied().unwrap_or(0.0);
+        let vb = rb.get(name).copied().unwrap_or(0.0);
+        if va != vb {
+            moved.push((name.clone(), va, vb));
+        }
+    }
+    let rel = |va: f64, vb: f64| (vb - va).abs() / va.abs().max(vb.abs()).max(1.0);
+    moved.sort_by(|x, y| rel(y.1, y.2).partial_cmp(&rel(x.1, x.2)).unwrap().then(x.0.cmp(&y.0)));
+    if moved.is_empty() {
+        println!("no differing metrics: the two documents agree on every scalar");
+        return Ok(());
+    }
+    const CAP: usize = 40;
+    let mut t = Table::new(
+        "Differing metrics (largest relative swing first)",
+        &["metric", "A", "B", "delta"],
+    );
+    for (name, va, vb) in moved.iter().take(CAP) {
+        t.row(&[name.clone(), format!("{va}"), format!("{vb}"), format!("{:+}", vb - va)]);
+    }
+    println!("{t}");
+    if moved.len() > CAP {
+        println!("... and {} more differing metrics", moved.len() - CAP);
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,299 @@
+//! `vlregress`: the performance-regression harness.
+//!
+//! Records the full workload suite (Table 4 + the irregular kernels,
+//! across thread counts and the clustered ultra-wide point) into a
+//! versioned baseline JSON, then gates future changes by re-running the
+//! same points and comparing every recorded metric against its tolerance
+//! band:
+//!
+//! * **cycles / committed / utilization / stall causes** — exact. The
+//!   simulator is deterministic, so any drift is a real timing-model
+//!   change and fails the check (re-record deliberately when a change is
+//!   intended, and say why in the commit).
+//! * **throughput.mcps** — wall-clock simulation speed, report-only: it
+//!   varies with the host, so it never gates, but large slowdowns are
+//!   printed for a human to notice.
+//!
+//! ```text
+//! vlregress --record                 # write results/vlregress_baseline.json
+//! vlregress --check                  # compare a fresh run against it
+//! vlregress --check --baseline B     # compare against a specific file
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use vlt_bench::harness::{results_dir, MAX_CYCLES};
+use vlt_core::{SimResult, System, SystemConfig};
+use vlt_stats::json::Json;
+use vlt_stats::Table;
+use vlt_workloads::{irregular_suite, suite, Scale, Workload};
+
+const SCHEMA: &str = "vlt-regress";
+const VERSION: f64 = 1.0;
+
+const USAGE: &str = "\
+usage: vlregress --record [--baseline PATH]
+       vlregress --check  [--baseline PATH]
+
+  --record        run the full suite and write the baseline JSON
+  --check         run the full suite and compare against the baseline;
+                  exits nonzero when any gating metric leaves its band
+  --baseline P    baseline file (default: results/vlregress_baseline.json)
+  -h, --help      this text";
+
+/// One suite point: a workload shape the baseline pins.
+struct Point {
+    key: String,
+    workload: &'static dyn Workload,
+    cfg: SystemConfig,
+    threads: usize,
+    clusters: usize,
+}
+
+/// The fixed point set: every workload (Table 4 + irregular) at 1/2/4
+/// threads on `v4-cmt`, plus the 8-thread spread over two 8-lane clusters
+/// for every vectorizable kernel (the ultra-wide VLT shape).
+fn points() -> Vec<Point> {
+    let mut out = Vec::new();
+    for w in suite().into_iter().chain(irregular_suite()) {
+        for threads in [1usize, 2, 4] {
+            if threads > w.max_threads() {
+                continue;
+            }
+            out.push(Point {
+                key: format!("{}.x{threads}.v4-cmt", w.name()),
+                workload: w,
+                cfg: SystemConfig::v4_cmt(),
+                threads,
+                clusters: 1,
+            });
+        }
+        if w.vectorizable() {
+            out.push(Point {
+                key: format!("{}.x8.v8-2x8", w.name()),
+                workload: w,
+                cfg: SystemConfig::v8_clustered(2),
+                threads: 8,
+                clusters: 2,
+            });
+        }
+    }
+    out
+}
+
+/// The gating tolerance for a metric, as a relative band; `None` marks a
+/// report-only metric that never gates.
+fn tolerance(metric: &str) -> Option<f64> {
+    if metric.starts_with("throughput.") {
+        None
+    } else {
+        // Deterministic simulator: every timing metric is exact.
+        Some(0.0)
+    }
+}
+
+/// Run one point and flatten its result into the recorded metric set.
+fn measure(p: &Point) -> Result<BTreeMap<String, f64>, String> {
+    let built = p.workload.build_spread(p.threads, p.clusters, Scale::Test);
+    let start = Instant::now();
+    let mut sys = System::new(p.cfg.clone(), &built.program, p.threads);
+    let result: SimResult =
+        sys.run(MAX_CYCLES).map_err(|e| format!("{}: simulation failed: {e}", p.key))?;
+    let wall = start.elapsed();
+    (built.verifier)(sys.funcsim()).map_err(|m| format!("{}: verification failed: {m}", p.key))?;
+    result
+        .check_stall_conservation()
+        .map_err(|e| format!("{}: stall accounting broken: {e}", p.key))?;
+
+    let mut m = BTreeMap::new();
+    m.insert("cycles".into(), result.cycles as f64);
+    m.insert("committed".into(), result.committed as f64);
+    m.insert("util.busy".into(), result.utilization.busy as f64);
+    m.insert("util.partly-idle".into(), result.utilization.partly_idle as f64);
+    m.insert("util.stalled".into(), result.utilization.stalled as f64);
+    m.insert("util.all-idle".into(), result.utilization.all_idle as f64);
+    for (cause, n) in result.stalls().iter() {
+        if n > 0 {
+            m.insert(format!("stalls.{}", cause.name()), n as f64);
+        }
+    }
+    let mcps = result.cycles as f64 / wall.as_secs_f64().max(1e-9) / 1e6;
+    m.insert("throughput.mcps".into(), mcps);
+    Ok(m)
+}
+
+fn run_all() -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let pts = points();
+    let mut all = BTreeMap::new();
+    for (i, p) in pts.iter().enumerate() {
+        eprintln!("vlregress: [{}/{}] {} ...", i + 1, pts.len(), p.key);
+        all.insert(p.key.clone(), measure(p)?);
+    }
+    Ok(all)
+}
+
+fn to_json(all: &BTreeMap<String, BTreeMap<String, f64>>) -> Json {
+    let points = all
+        .iter()
+        .map(|(k, metrics)| {
+            (
+                k.clone(),
+                Json::Obj(metrics.iter().map(|(n, v)| (n.clone(), Json::Num(*v))).collect()),
+            )
+        })
+        .collect();
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".into(), Json::Str(SCHEMA.into()));
+    doc.insert("version".into(), Json::Num(VERSION));
+    doc.insert("points".into(), Json::Obj(points));
+    Json::Obj(doc)
+}
+
+fn parse_baseline(path: &PathBuf) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e} (record one first)", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("{}: not a {SCHEMA} document", path.display()));
+    }
+    if doc.get("version").and_then(Json::as_f64) != Some(VERSION) {
+        return Err(format!("{}: baseline schema version mismatch", path.display()));
+    }
+    let Some(Json::Obj(points)) = doc.get("points") else {
+        return Err(format!("{}: \"points\" is not an object", path.display()));
+    };
+    let mut out = BTreeMap::new();
+    for (key, metrics) in points {
+        let Json::Obj(metrics) = metrics else {
+            return Err(format!("{}: point {key:?} is not an object", path.display()));
+        };
+        let metrics: BTreeMap<String, f64> =
+            metrics.iter().filter_map(|(n, v)| v.as_f64().map(|v| (n.clone(), v))).collect();
+        out.insert(key.clone(), metrics);
+    }
+    Ok(out)
+}
+
+fn record(path: &PathBuf) -> Result<(), String> {
+    let all = run_all()?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, to_json(&all).pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("vlregress: recorded {} points into {}", all.len(), path.display());
+    Ok(())
+}
+
+fn check(path: &PathBuf) -> Result<(), String> {
+    let base = parse_baseline(path)?;
+    let cur = run_all()?;
+    let mut failures =
+        Table::new("Regressions (outside tolerance)", &["point", "metric", "baseline", "current"]);
+    let mut drifted = 0usize;
+    for (key, base_metrics) in &base {
+        let Some(cur_metrics) = cur.get(key) else {
+            failures.row(&[key.clone(), "<point>".into(), "present".into(), "missing".into()]);
+            continue;
+        };
+        for (metric, b) in base_metrics {
+            let c = cur_metrics.get(metric).copied().unwrap_or(0.0);
+            match tolerance(metric) {
+                None => {
+                    // Report-only: flag >2x wall-clock slowdowns for a
+                    // human, never gate on them.
+                    if *b > 0.0 && c < *b / 2.0 {
+                        eprintln!(
+                            "vlregress: note: {key} {metric} fell {:.1} -> {:.1} \
+                             (report-only; host-dependent)",
+                            b, c
+                        );
+                        drifted += 1;
+                    }
+                }
+                Some(tol) => {
+                    if (c - b).abs() > tol * b.abs().max(c.abs()) {
+                        failures.row(&[
+                            key.clone(),
+                            metric.clone(),
+                            format!("{b}"),
+                            format!("{c}"),
+                        ]);
+                    }
+                }
+            }
+        }
+        for metric in cur_metrics.keys() {
+            if !base_metrics.contains_key(metric) && tolerance(metric).is_some() {
+                let c = cur_metrics[metric];
+                failures.row(&[key.clone(), metric.clone(), "absent".into(), format!("{c}")]);
+            }
+        }
+    }
+    for key in cur.keys() {
+        if !base.contains_key(key) {
+            failures.row(&[key.clone(), "<point>".into(), "missing".into(), "present".into()]);
+        }
+    }
+    if !failures.is_empty() {
+        println!("{failures}");
+        return Err(format!(
+            "performance baseline violated — if the change is intended, \
+             re-record with `vlregress --record` and commit {}",
+            path.display()
+        ));
+    }
+    println!(
+        "vlregress: {} points match the baseline exactly ({} report-only drifts)",
+        cur.len(),
+        drifted
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let mut mode = None;
+    let mut baseline = results_dir().join("vlregress_baseline.json");
+    let bad = |msg: String| {
+        eprintln!("{msg}\n\n{USAGE}");
+        ExitCode::FAILURE
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--record" | "--check" => {
+                if mode.replace(a.clone()).is_some() {
+                    return bad("pick one of --record / --check".into());
+                }
+            }
+            "--baseline" => match argv.next() {
+                Some(p) => baseline = PathBuf::from(p),
+                None => return bad("--baseline needs a path".into()),
+            },
+            s => return bad(format!("unknown option {s}")),
+        }
+    }
+    let r = match mode.as_deref() {
+        Some("--record") => record(&baseline),
+        Some("--check") => check(&baseline),
+        _ => {
+            println!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vlregress: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

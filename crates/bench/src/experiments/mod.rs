@@ -8,6 +8,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod irregular_stalls;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -27,7 +27,8 @@ pub fn results_dir() -> PathBuf {
 /// The `all` runner checks this set after writing and exits nonzero when
 /// one is absent — a silently-skipped experiment would otherwise look like
 /// a passing suite.
-pub const EXPECTED_RESULTS: [&str; 14] = [
+pub const EXPECTED_RESULTS: [&str; 15] = [
+    "irregular_stalls",
     "table1",
     "table2",
     "table3",

@@ -8,7 +8,54 @@
 //! the vector unit.
 
 use vlt_mem::{MemConfig, NetConfig};
-use vlt_scalar::CoreConfig;
+use vlt_scalar::{CoreConfig, StallCause};
+
+/// What-if component idealizations (causal profiling, DESIGN.md §15).
+///
+/// Each knob removes one source of lost cycles from the timing model
+/// while leaving the functional semantics untouched; `vlprof --whatif`
+/// measures the speedup each one buys and cross-checks it against the
+/// cycles the CPI stack attributes to the corresponding [`StallCause`].
+/// All knobs default to off, and with every knob off the timing model is
+/// byte-identical to a build without this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealizeConfig {
+    /// L2 bank conflicts never delay an access (bank arbitration is
+    /// free; hit/miss latency and DRAM channel contention remain).
+    pub zero_conflict_l2: bool,
+    /// The inter-cluster network has zero hop latency and never queues
+    /// (multi-cluster machines only).
+    pub zero_hop_net: bool,
+    /// Barriers skip the coherence flush (the L1 invalidation that makes
+    /// post-barrier reads miss); the synchronization itself remains, so
+    /// residual `BarrierWait` is pure software imbalance.
+    pub free_barriers: bool,
+    /// Unbounded vector issue bandwidth (the VCL dual-issue limit is
+    /// lifted; functional-unit structural hazards remain).
+    pub infinite_issue: bool,
+}
+
+impl IdealizeConfig {
+    /// True when any knob is on.
+    pub fn any(&self) -> bool {
+        self.zero_conflict_l2 || self.zero_hop_net || self.free_barriers || self.infinite_issue
+    }
+
+    /// The single-knob idealization that targets `cause`, or `None` for
+    /// causes with no removable hardware component (`no-dlp`, `drain`,
+    /// `chain-depth`, and `scalar-dep` are program properties).
+    pub fn for_cause(cause: StallCause) -> Option<Self> {
+        let mut i = IdealizeConfig::default();
+        match cause {
+            StallCause::BankConflict => i.zero_conflict_l2 = true,
+            StallCause::NetworkContention => i.zero_hop_net = true,
+            StallCause::BarrierWait => i.free_barriers = true,
+            StallCause::IssueWidth => i.infinite_issue = true,
+            _ => return None,
+        }
+        Some(i)
+    }
+}
 
 /// Vector-control-logic sizing (kept separate from lane count so the VCL
 /// ablations can vary it).
@@ -53,6 +100,8 @@ pub struct SystemConfig {
     pub mem: MemConfig,
     /// Inter-cluster network parameters (unused when `clusters == 1`).
     pub net: NetConfig,
+    /// What-if idealization knobs (all off for faithful simulation).
+    pub ideal: IdealizeConfig,
 }
 
 impl SystemConfig {
@@ -68,6 +117,7 @@ impl SystemConfig {
             vcl: VclConfig::default(),
             mem: MemConfig::default(),
             net: NetConfig::default(),
+            ideal: IdealizeConfig::default(),
         }
     }
 

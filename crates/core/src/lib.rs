@@ -33,7 +33,7 @@ pub mod system;
 pub mod vu;
 
 pub use component::{CompId, Component, TickCtx};
-pub use config::{SystemConfig, VclConfig};
+pub use config::{IdealizeConfig, SystemConfig, VclConfig};
 pub use result::{SimError, SimResult, Utilization};
 pub use system::{
     CycleView, DriverMode, NullObserver, ProgressObserver, RepartitionEvent, Sample,
@@ -41,5 +41,5 @@ pub use system::{
 };
 pub use vlt_exec::EngineMode;
 pub use vlt_mem::{NetConfig, NetStats};
-pub use vlt_scalar::{StallBreakdown, StallCause};
+pub use vlt_scalar::{CpiStack, StallBreakdown, StallCause};
 pub use vu::{VecIssue, VectorUnit, VuConfig};

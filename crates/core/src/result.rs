@@ -65,6 +65,13 @@ pub struct SimResult {
     pub mem: MemStats,
     /// Cycles attributed to each `region` marker (region 0 = unannotated).
     pub region_cycles: BTreeMap<u32, u64>,
+    /// Per-physical-lane busy datapath-cycles on the vector unit's
+    /// arithmetic pipes, concatenated across clusters (empty without a
+    /// vector unit). Sums to `utilization.busy`.
+    pub lane_busy: Vec<u64>,
+    /// Per-physical-lane partly-idle datapath-cycles (occupied pipe, lane
+    /// masked off by a short VL). Sums to `utilization.partly_idle`.
+    pub lane_partly: Vec<u64>,
     /// `vltcfg` requests whose thread count was invalid for this
     /// configuration and got clamped to `vlt_threads`. Nonzero means the
     /// workload was built for a different machine shape than it ran on.
@@ -131,6 +138,27 @@ impl SimResult {
                 ));
             }
         }
+        self.check_occupancy_conservation()
+    }
+
+    /// Check the lane-occupancy conservation invariant: the per-lane busy
+    /// and partly-idle counters decompose the Figure-4 aggregate exactly —
+    /// their sums equal `utilization.busy` and `utilization.partly_idle`.
+    pub fn check_occupancy_conservation(&self) -> Result<(), String> {
+        let busy: u64 = self.lane_busy.iter().sum();
+        if busy != self.utilization.busy {
+            return Err(format!(
+                "lane occupancy: per-lane busy sums to {busy}, aggregate busy is {}",
+                self.utilization.busy,
+            ));
+        }
+        let partly: u64 = self.lane_partly.iter().sum();
+        if partly != self.utilization.partly_idle {
+            return Err(format!(
+                "lane occupancy: per-lane partly-idle sums to {partly}, aggregate is {}",
+                self.utilization.partly_idle,
+            ));
+        }
         Ok(())
     }
 }
@@ -187,6 +215,8 @@ mod tests {
             vu_stalls: StallBreakdown::default(),
             mem: MemStats::default(),
             region_cycles: BTreeMap::new(),
+            lane_busy: vec![],
+            lane_partly: vec![],
             clamped_repartitions: 0,
         };
         r.region_cycles.insert(0, 25);

@@ -150,6 +150,32 @@ impl CycleView<'_> {
         }
         b
     }
+
+    /// Cumulative vector-unit stall-cause breakdown, merged across lane
+    /// clusters (zeros without a vector unit). Datapath-cycles.
+    pub fn vu_stalls(&self) -> StallBreakdown {
+        self.sys.vu_stalls()
+    }
+
+    /// Datapath slots the vector units charge per machine cycle: three
+    /// arithmetic datapath groups × lanes, summed over clusters. The
+    /// Figure-4 budget — `utilization().total()` grows by exactly this
+    /// much per simulated cycle. Zero without a vector unit.
+    pub fn vu_datapaths(&self) -> u64 {
+        self.sys.vus.iter().map(|v| 3 * v.config().lanes as u64).sum()
+    }
+
+    /// Per-scalar-unit `(fetch_stall_cycles, stalls)` snapshots, in core
+    /// order — the raw material for windowed CPI stacks.
+    pub fn core_stalls(&self) -> Vec<(u64, StallBreakdown)> {
+        self.sys.cores.iter().map(|c| (c.stats.fetch_stall_cycles, c.stats.stalls)).collect()
+    }
+
+    /// Per-lane-core `(stall_cycles, stalls)` snapshots, in lane order
+    /// (empty outside VLT scalar-thread mode).
+    pub fn lane_stalls(&self) -> Vec<(u64, StallBreakdown)> {
+        self.sys.lane_cores.iter().map(|l| (l.stats.stall_cycles, l.stats.stalls)).collect()
+    }
 }
 
 /// Hooks into the driver loop. All methods default to no-ops, so an
@@ -183,7 +209,9 @@ pub trait SimObserver {
         None
     }
     /// A barrier rendezvous completed; `releases` is the cumulative count.
-    fn on_barrier(&mut self, _now: u64, _releases: u64) {}
+    /// The view snapshots the machine *after* the releasing cycle — the
+    /// epoch boundary for barrier-epoch CPI windows.
+    fn on_barrier(&mut self, _now: u64, _releases: u64, _view: &CycleView<'_>) {}
     /// A `vltcfg` was requested (possibly clamped) of the vector unit; the
     /// unit drains before applying it (see
     /// [`SimObserver::on_repartition_applied`]).
@@ -466,7 +494,10 @@ impl System {
 
         let sim = FuncSim::new(prog, nthreads);
         let decoded = Arc::clone(&sim.prog);
-        let mem = MemSystem::new(cfg.mem, cfg.cores.len(), cfg.lanes);
+        let mut mem = MemSystem::new(cfg.mem, cfg.cores.len(), cfg.lanes);
+        if cfg.ideal.zero_conflict_l2 {
+            mem.l2.set_ideal(true);
+        }
 
         let mut cores: Vec<OooCore> = cfg
             .cores
@@ -526,7 +557,14 @@ impl System {
                 let vcfg = VuConfig {
                     lanes: cfg.lanes,
                     threads: if c < active_clusters { t0 } else { 1 },
-                    issue_width: cfg.vcl.issue_width,
+                    // `infinite_issue` idealization: lift the VCL issue
+                    // limit far beyond any window size; functional-unit
+                    // structural hazards still bound issue.
+                    issue_width: if cfg.ideal.infinite_issue {
+                        1 << 20
+                    } else {
+                        cfg.vcl.issue_width
+                    },
                     window: cfg.vcl.window,
                     chaining: cfg.vcl.chaining,
                 };
@@ -535,7 +573,11 @@ impl System {
                 vus.push(v);
             }
             if cfg.clusters > 1 {
-                net = Some(ClusterNet::new(&cfg.net, cfg.clusters));
+                let mut n = ClusterNet::new(&cfg.net, cfg.clusters);
+                if cfg.ideal.zero_hop_net {
+                    n.set_ideal(true);
+                }
+                net = Some(n);
             }
         }
 
@@ -733,7 +775,7 @@ impl System {
             obs.on_cycle(now, &CycleView { sys: self });
             let ev = self.step(now)?;
             if let Some(releases) = ev.barrier_releases {
-                obs.on_barrier(now, releases);
+                obs.on_barrier(now, releases, &CycleView { sys: self });
             }
             if let Some(rp) = &ev.repartition {
                 if rp.clamped {
@@ -894,7 +936,12 @@ impl System {
         let releases = self.src.sim.barrier_releases();
         if releases > self.flushed_releases {
             self.flushed_releases = releases;
-            self.mem.barrier_flush();
+            // `free_barriers` idealization: skip the coherence flush (the
+            // post-barrier cold-miss cost), keeping the rendezvous itself —
+            // residual BarrierWait is then pure software imbalance.
+            if !self.cfg.ideal.free_barriers {
+                self.mem.barrier_flush();
+            }
             ev.barrier_releases = Some(releases);
         }
 
@@ -1034,6 +1081,13 @@ impl System {
             + self.lane_cores.iter().map(|c| c.stats.committed).sum::<u64>();
         let mut mem = self.mem.stats();
         mem.net = self.net.as_ref().map(|n| n.stats.clone());
+        let mut lane_busy = Vec::new();
+        let mut lane_partly = Vec::new();
+        for v in &self.vus {
+            let (b, p) = v.lane_occupancy();
+            lane_busy.extend_from_slice(b);
+            lane_partly.extend_from_slice(p);
+        }
         SimResult {
             cycles,
             committed,
@@ -1043,6 +1097,8 @@ impl System {
             vu_stalls: self.vu_stalls(),
             mem,
             region_cycles,
+            lane_busy,
+            lane_partly,
             clamped_repartitions,
         }
     }

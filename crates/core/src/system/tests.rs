@@ -542,7 +542,7 @@ impl SimObserver for Recorder {
         self.cycles_seen += 1;
     }
 
-    fn on_barrier(&mut self, _now: u64, releases: u64) {
+    fn on_barrier(&mut self, _now: u64, releases: u64, _view: &CycleView<'_>) {
         self.barrier_releases = releases;
         self.barrier_events += 1;
     }

@@ -199,6 +199,9 @@ pub struct VecIssue {
     pub sidx: u32,
     /// Effective vector length.
     pub vl: u16,
+    /// Lane count of the issuing partition (fixes the per-lane track
+    /// geometry: lane `j` of the partition is active iff `j < vl`).
+    pub lanes: u16,
     /// Resource class.
     pub class: OpClass,
     /// Issue cycle.
@@ -228,6 +231,15 @@ pub struct VectorUnit {
     pub stalls: StallBreakdown,
     /// Total vector instructions issued to functional units.
     pub issued: u64,
+    /// Per-physical-lane busy datapath-cycles on the arithmetic pipes,
+    /// credited inside the same per-cycle accounting pass as the aggregate
+    /// taxonomy (idle-skipped spans carry no arithmetic occupancy, so the
+    /// bulk-credit path never touches these). Indexed by physical lane;
+    /// survives repartitioning. Conservation: sums to `util.busy`.
+    lane_busy: Vec<u64>,
+    /// Per-physical-lane partly-idle datapath-cycles (occupied arithmetic
+    /// pipe, lane masked off by a short VL). Sums to `util.partly_idle`.
+    lane_partly: Vec<u64>,
     /// When true, every functional-unit issue is appended to `issue_log`
     /// (drained by the system driver each cycle). Observation only.
     log_issues: bool,
@@ -256,6 +268,8 @@ impl VectorUnit {
             util: Utilization::default(),
             stalls: StallBreakdown::default(),
             issued: 0,
+            lane_busy: vec![0; cfg.lanes],
+            lane_partly: vec![0; cfg.lanes],
             log_issues: false,
             issue_log: Vec::new(),
             prog,
@@ -283,6 +297,15 @@ impl VectorUnit {
     /// Discard consumed issue events, keeping the buffer capacity.
     pub fn clear_issue_log(&mut self) {
         self.issue_log.clear();
+    }
+
+    /// Per-physical-lane arithmetic-datapath occupancy counters, as
+    /// `(busy, partly_idle)` slices of length `lanes` in datapath-cycles.
+    /// Busy sums to `util.busy` and partly-idle to `util.partly_idle`
+    /// over the whole unit (the per-lane decomposition of Figure 4's
+    /// occupied categories).
+    pub fn lane_occupancy(&self) -> (&[u64], &[u64]) {
+        (&self.lane_busy, &self.lane_partly)
     }
 
     /// Map global VLT threads onto this unit: threads with
@@ -464,6 +487,7 @@ impl VectorUnit {
                         vthread: (vthread * self.stride + self.offset) as u32,
                         sidx: e.sidx,
                         vl: e.vl,
+                        lanes: lanes as u16,
                         class,
                         start: now,
                         done,
@@ -511,6 +535,21 @@ impl VectorUnit {
                     Some(busy) => {
                         self.util.busy += busy as u64;
                         self.util.partly_idle += (p.lanes - busy) as u64;
+                        // Per-lane occupancy, credited in the same pass: an
+                        // element group occupies the partition's first `busy`
+                        // physical lanes (lane `j` executes element
+                        // `g * lanes + j`, in range exactly when `j < busy`),
+                        // so the split conserves against the aggregate by
+                        // construction — including spans truncated by run end
+                        // or a repartition, which simulate (and charge) only
+                        // the cycles that actually elapsed.
+                        let base = pi * p.lanes;
+                        for j in 0..busy {
+                            self.lane_busy[base + j] += 1;
+                        }
+                        for j in busy..p.lanes {
+                            self.lane_partly[base + j] += 1;
+                        }
                     }
                     None => {
                         if waiting {

@@ -54,6 +54,11 @@ pub struct BankedL2 {
     recording: bool,
     /// Recorded accesses since the last [`BankedL2::drain_events`] call.
     events: Vec<BankEvent>,
+    /// What-if idealization: bank arbitration is free (accesses never wait
+    /// for a busy bank and never occupy one). Hit/miss latency and the
+    /// memory-channel serialization are unchanged, so the knob removes
+    /// exactly the bank-conflict cost and nothing else.
+    ideal: bool,
 }
 
 impl BankedL2 {
@@ -74,7 +79,15 @@ impl BankedL2 {
             misses: 0,
             recording: false,
             events: Vec::new(),
+            ideal: false,
         }
+    }
+
+    /// Enable or disable the zero-conflict idealization (see the `ideal`
+    /// field). Off by default; the timing model is byte-identical with it
+    /// off.
+    pub fn set_ideal(&mut self, on: bool) {
+        self.ideal = on;
     }
 
     /// Enable or disable per-access event recording (observer support).
@@ -110,13 +123,15 @@ impl BankedL2 {
     pub fn access(&mut self, addr: u64, write: bool, now: u64) -> u64 {
         self.accesses += 1;
         let bank = self.bank_of(addr);
-        let start = now.max(self.bank_free[bank]);
+        let start = if self.ideal { now } else { now.max(self.bank_free[bank]) };
         let conflict = start > now;
         if conflict {
             self.bank_conflicts += 1;
             self.bank_conflict_counts[bank] += 1;
         }
-        self.bank_free[bank] = start + 1;
+        if !self.ideal {
+            self.bank_free[bank] = start + 1;
+        }
         let mut miss = false;
         let done = if self.tags.access(addr) {
             start + self.hit_latency

@@ -56,6 +56,10 @@ pub struct ClusterNet {
     link_free: Vec<u64>,
     /// Running statistics.
     pub stats: NetStats,
+    /// What-if idealization: zero hop latency and infinite link bandwidth
+    /// (transfers never queue). Removes exactly the network cost; the L2's
+    /// own timing is unchanged.
+    ideal: bool,
 }
 
 impl ClusterNet {
@@ -66,7 +70,15 @@ impl ClusterNet {
             hop: cfg.hop_latency,
             link_free: vec![0; clusters],
             stats: NetStats { link_contention: vec![0; clusters], ..NetStats::default() },
+            ideal: false,
         }
+    }
+
+    /// Enable or disable the zero-hop idealization (see the `ideal`
+    /// field). Off by default; the timing model is byte-identical with it
+    /// off.
+    pub fn set_ideal(&mut self, on: bool) {
+        self.ideal = on;
     }
 
     /// Number of cluster links.
@@ -83,6 +95,9 @@ impl ClusterNet {
     /// and whether the transfer had to wait for the link.
     fn traverse(&mut self, cluster: usize, at: u64) -> (u64, bool) {
         self.stats.transfers += 1;
+        if self.ideal {
+            return (at, false);
+        }
         let depart = at.max(self.link_free[cluster]);
         let contended = depart > at;
         if contended {
@@ -107,8 +122,9 @@ impl ClusterNet {
         at: u64,
     ) -> (u64, bool) {
         let (depart, contended) = self.traverse(cluster, at);
-        let done = mem.l2_access(addr, write, depart + self.hop);
-        (done + self.hop, contended)
+        let hop = if self.ideal { 0 } else { self.hop };
+        let done = mem.l2_access(addr, write, depart + hop);
+        (done + hop, contended)
     }
 
     /// Advisory earliest cycle `> from` at which a currently-busy link

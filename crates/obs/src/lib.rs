@@ -15,6 +15,10 @@
 //!   (`trace.json`): per-thread barrier-wait slices, per-partition vector
 //!   issues, per-bank L2 activity, barrier epochs as async spans, and
 //!   repartitions as instant events;
+//! * [`CpiObserver`] — per-region, per-barrier-epoch, and whole-run CPI
+//!   stacks: top-down cycle attribution per unit with an exact
+//!   conservation invariant (components sum to the measured budget),
+//!   the causal layer `vlprof --whatif` cross-checks against;
 //! * [`Multi`] — a composite adapter that fans every hook out to several
 //!   observers so sampling, metrics, and tracing share one simulation pass.
 //!
@@ -23,10 +27,12 @@
 //! skipping quiescent spans and results stay byte-identical to an
 //! unobserved run (enforced by `tests/equivalence.rs`).
 
+pub mod cpi;
 pub mod metrics;
 pub mod multi;
 pub mod perfetto;
 
+pub use cpi::CpiObserver;
 pub use metrics::MetricsObserver;
 pub use multi::Multi;
 pub use perfetto::PerfettoObserver;

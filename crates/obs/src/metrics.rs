@@ -20,7 +20,12 @@
 //! | `stalls.region<r>.<cause>` | counter | stall-cause cycles accrued inside region `r` |
 //! | `l2.conflicts.bank<b>` | counter | L2 bank conflicts per bank |
 //! | `region<r>.cycles` | counter | cycles attributed to region `r` |
+//! | `vu.lane.busy-pct` | histogram | per-lane busy share of the arithmetic datapath budget, in percent |
+//! | `vu.lane<l>.busy` / `vu.lane<l>.partly` | counter | physical lane `l`'s busy / partly-idle datapath-cycles |
 //! | `sim.cycles` / `sim.committed` | counter | headline run totals |
+//!
+//! Names are append-only under metrics schema v1: new names may be
+//! added, existing names keep their meaning.
 
 use vlt_core::{CycleView, RepartitionEvent, SimObserver, SimResult, StallBreakdown, VecIssue};
 use vlt_stats::MetricsRegistry;
@@ -31,6 +36,8 @@ const VL_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 const WAIT_BOUNDS: [u64; 7] = [16, 64, 256, 1024, 4096, 16384, 65536];
 /// Repartition drain-latency buckets, in cycles.
 const DRAIN_BOUNDS: [u64; 5] = [4, 16, 64, 256, 1024];
+/// Lane busy-percentage buckets.
+const PCT_BOUNDS: [u64; 7] = [5, 10, 25, 50, 75, 90, 100];
 
 /// Collects counters and histograms over one simulation run.
 ///
@@ -83,7 +90,7 @@ impl MetricsObserver {
 }
 
 impl SimObserver for MetricsObserver {
-    fn on_barrier(&mut self, _now: u64, _releases: u64) {
+    fn on_barrier(&mut self, _now: u64, _releases: u64, _view: &CycleView<'_>) {
         self.reg.add("barrier.releases", 1);
     }
 
@@ -140,6 +147,24 @@ impl SimObserver for MetricsObserver {
         }
         for (region, cycles) in &result.region_cycles {
             self.reg.add(&format!("region{region}.cycles"), *cycles);
+        }
+        if !result.lane_busy.is_empty() && result.cycles > 0 {
+            // Each physical lane's datapath budget is 3 arithmetic pipes ×
+            // cycles (the per-lane slice of the Figure-4 budget).
+            let budget = 3 * result.cycles;
+            let hist = self.reg.histogram("vu.lane.busy-pct", &PCT_BOUNDS);
+            for busy in &result.lane_busy {
+                hist.record(100 * busy / budget);
+            }
+            for (l, (busy, partly)) in result.lane_busy.iter().zip(&result.lane_partly).enumerate()
+            {
+                if *busy > 0 {
+                    self.reg.add(&format!("vu.lane{l}.busy"), *busy);
+                }
+                if *partly > 0 {
+                    self.reg.add(&format!("vu.lane{l}.partly"), *partly);
+                }
+            }
         }
         self.reg.add("sim.cycles", result.cycles);
         self.reg.add("sim.committed", result.committed);

@@ -59,9 +59,9 @@ impl SimObserver for Multi<'_> {
         self.members.iter().filter_map(|m| m.next_deadline(now)).min()
     }
 
-    fn on_barrier(&mut self, now: u64, releases: u64) {
+    fn on_barrier(&mut self, now: u64, releases: u64, view: &CycleView<'_>) {
         for m in &mut self.members {
-            m.on_barrier(now, releases);
+            m.on_barrier(now, releases, view);
         }
     }
 

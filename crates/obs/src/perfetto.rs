@@ -12,6 +12,11 @@
 //!   vector length and issuing thread in `args`.
 //! * **pid 3 "L2 banks"** — one track per bank; every access is an `X`
 //!   slice (`hit`/`miss`/`conflict`) spanning its bank occupancy.
+//! * **pid 4 "lanes"** — one track per physical lane (per cluster); each
+//!   vector issue puts an `X` slice on every lane of the issuing
+//!   partition, named after the op for active lanes (`lane < vl`) and
+//!   `masked` for lanes the short vector length idles. Gaps are true lane
+//!   idleness. The physical-lane tid stays stable across repartitions.
 //!
 //! Timestamps are simulated cycles (Chrome renders them as microseconds;
 //! relative magnitudes are what matter). Output is produced by
@@ -21,13 +26,14 @@
 
 use std::collections::BTreeMap;
 
-use vlt_core::{RepartitionEvent, SimObserver, SimResult, VecIssue};
+use vlt_core::{CycleView, RepartitionEvent, SimObserver, SimResult, VecIssue};
 use vlt_mem::BankEvent;
 use vlt_stats::json::Json;
 
 const THREADS_PID: u64 = 1;
 const VU_PID: u64 = 2;
 const L2_PID: u64 = 3;
+const LANES_PID: u64 = 4;
 
 /// One Chrome-trace event, flattened to the fields this exporter uses.
 #[derive(Debug, Clone)]
@@ -95,6 +101,8 @@ pub struct PerfettoObserver {
     clusters_seen: u64,
     banks_seen: u64,
     threads_seen: u64,
+    /// Highest physical lane seen (+1) per cluster, for pid-4 naming.
+    lanes_seen: u64,
     finished: bool,
 }
 
@@ -127,6 +135,7 @@ impl PerfettoObserver {
             clusters_seen: 1,
             banks_seen: 0,
             threads_seen: 0,
+            lanes_seen: 0,
             finished: false,
         };
         // Epoch 0 opens at time zero.
@@ -192,6 +201,9 @@ impl PerfettoObserver {
         meta.push(process("threads", THREADS_PID));
         meta.push(process("vector unit", VU_PID));
         meta.push(process("L2 banks", L2_PID));
+        if self.lanes_seen > 0 {
+            meta.push(process("lanes", LANES_PID));
+        }
         let thread = |name: String, pid: u64, tid: u64| {
             Ev {
                 ph: 'M',
@@ -228,6 +240,16 @@ impl PerfettoObserver {
         }
         for b in 0..self.banks_seen {
             meta.push(thread(format!("bank {b}"), L2_PID, b));
+        }
+        for c in 0..self.clusters_seen {
+            for l in 0..self.lanes_seen {
+                let name = if self.clusters_seen <= 1 {
+                    format!("lane {l}")
+                } else {
+                    format!("cluster {c} lane {l}")
+                };
+                meta.push(thread(name, LANES_PID, c * CLUSTER_TID + l));
+            }
         }
         // Chronological order (stable: same-cycle events keep the driver's
         // emission order, which nests B before E correctly).
@@ -275,7 +297,7 @@ impl EvWithName {
 }
 
 impl SimObserver for PerfettoObserver {
-    fn on_barrier(&mut self, now: u64, _releases: u64) {
+    fn on_barrier(&mut self, now: u64, _releases: u64, _view: &CycleView<'_>) {
         let id = self.epoch;
         self.push_structural(Ev {
             ph: 'e',
@@ -380,6 +402,29 @@ impl SimObserver for PerfettoObserver {
             id: None,
             args: vec![("vl", ev.vl as f64), ("vthread", ev.vthread as f64)],
         });
+        // Per-lane tracks (pid 4): one slice per lane of the issuing
+        // partition. `partition * lanes + j` is the *physical* lane — the
+        // tid survives repartitioning, so one track shows one lane's whole
+        // history.
+        let dur = ev.done.saturating_sub(ev.start).max(1);
+        for j in 0..ev.lanes {
+            let active = j < ev.vl;
+            self.lanes_seen =
+                self.lanes_seen.max(ev.partition as u64 * ev.lanes as u64 + j as u64 + 1);
+            self.push_capped(Ev {
+                ph: 'X',
+                name: if active { format!("{:?}", ev.class) } else { "masked".into() },
+                cat: "lane",
+                ts: ev.start,
+                dur: Some(dur),
+                pid: LANES_PID,
+                tid: ev.cluster as u64 * CLUSTER_TID
+                    + ev.partition as u64 * ev.lanes as u64
+                    + j as u64,
+                id: None,
+                args: vec![("vl", ev.vl as f64), ("active", active as u64 as f64)],
+            });
+        }
     }
 
     fn wants_vec_events(&self) -> bool {

@@ -1,26 +1,37 @@
 //! Observability must be free of observer effects: running the full
-//! metrics + tracing + sampling stack must leave the simulation
+//! metrics + tracing + sampling + CPI stack must leave the simulation
 //! byte-identical — same `SimResult`, same final memory image — to an
-//! unobserved run, for every workload and thread configuration, under
-//! the event-driven driver. And because event logging enables extra code
+//! unobserved run, for every workload (the nine Table 4 applications
+//! plus the four irregular kernels) and thread configuration including
+//! the clustered ultra-wide machine, under the event-driven driver and
+//! under **both** functional engines (the block compiler and the
+//! interpreter oracle). And because event logging enables extra code
 //! paths inside the vector unit and the L2, the event-driven and
 //! cycle-by-cycle drivers are cross-checked *with logging on* too,
 //! including the metrics registry and trace documents they produce.
 
-use vlt_core::{DriverMode, NullObserver, SimResult, System, SystemConfig};
+use vlt_core::{DriverMode, EngineMode, NullObserver, SimResult, System, SystemConfig};
 use vlt_exec::Memory;
-use vlt_obs::{MetricsObserver, Multi, PerfettoObserver};
+use vlt_obs::{CpiObserver, MetricsObserver, Multi, PerfettoObserver};
 use vlt_stats::json::Json;
-use vlt_workloads::{suite, Scale, Workload};
+use vlt_workloads::{irregular_suite, suite, Scale, Workload};
 
 const MAX: u64 = 2_000_000_000;
 
 /// The thread configurations a workload supports: the paper's vector
-/// design points for vectorizable kernels, the CMT scalar baseline and
-/// VLT lane-thread mode for the scalar ones.
+/// design points for vectorizable kernels (plus the two-cluster
+/// ultra-wide machine), the CMT scalar baseline and VLT lane-thread
+/// mode for the scalar ones.
 fn configs(w: &dyn Workload) -> Vec<(SystemConfig, usize)> {
     if w.vectorizable() {
-        vec![(SystemConfig::base(8), 1), (SystemConfig::v2_cmp(), 2), (SystemConfig::v4_cmp(), 4)]
+        vec![
+            (SystemConfig::base(8), 1),
+            (SystemConfig::v2_cmp(), 2),
+            (SystemConfig::v4_cmp(), 4),
+            // Clustered: partitions spread over two clusters, so the
+            // ClusterNet paths must be equally observer-transparent.
+            (SystemConfig::v8_clustered(2), 4),
+        ]
     } else {
         vec![
             // Single-thread builds may still vectorize their serial phases
@@ -29,49 +40,65 @@ fn configs(w: &dyn Workload) -> Vec<(SystemConfig, usize)> {
             (SystemConfig::cmt(), 2),
             (SystemConfig::cmt(), 4),
             (SystemConfig::v4_cmt_lane_threads(), 8),
+            (SystemConfig::v8_clustered(2), 1),
         ]
     }
 }
 
-fn run_plain(w: &dyn Workload, cfg: SystemConfig, threads: usize) -> (SimResult, Memory) {
+fn run_plain(
+    w: &dyn Workload,
+    cfg: SystemConfig,
+    threads: usize,
+    engine: EngineMode,
+) -> (SimResult, Memory) {
     let built = w.build(threads, Scale::Test);
-    let mut sys = System::new(cfg, &built.program, threads);
+    let mut sys = System::new(cfg, &built.program, threads).with_engine(engine);
     let r = sys.run_observed(MAX, &mut NullObserver).unwrap();
     (r, sys.funcsim().mem.clone())
 }
 
-/// Run with the full stack: sampling + metrics + Perfetto fanned out
-/// through `Multi`. Returns the result, memory, and both documents.
+/// Run with the full stack: sampling + metrics + Perfetto + CPI fanned
+/// out through `Multi`. Returns the result, memory, and both documents.
 fn run_stacked(
     w: &dyn Workload,
     cfg: SystemConfig,
     threads: usize,
     mode: DriverMode,
+    engine: EngineMode,
 ) -> (SimResult, Memory, Json, Json) {
     let built = w.build(threads, Scale::Test);
-    let mut sys = System::new(cfg, &built.program, threads).with_driver(mode);
+    let mut sys = System::new(cfg, &built.program, threads).with_driver(mode).with_engine(engine);
     let mut sampler = vlt_core::SamplingObserver::new(997);
     let mut metrics = MetricsObserver::new();
     let mut trace = PerfettoObserver::new();
-    let mut multi = Multi::new().with(&mut sampler).with(&mut metrics).with(&mut trace);
+    let mut cpi = CpiObserver::new();
+    let mut multi =
+        Multi::new().with(&mut sampler).with(&mut metrics).with(&mut trace).with(&mut cpi);
     let r = sys.run_observed(MAX, &mut multi).unwrap();
     drop(multi);
+    cpi.check_conservation().unwrap_or_else(|e| panic!("{} x{threads}: CPI {e}", w.name()));
     (r, sys.funcsim().mem.clone(), metrics.into_registry().to_json(), trace.into_json())
 }
 
 /// Tentpole acceptance: observer-on and observer-off runs are
-/// byte-identical (result and final memory) for all nine workloads at
-/// every supported thread count, under the event-driven driver.
+/// byte-identical (result and final memory) for all thirteen workloads
+/// at every supported thread count, under the event-driven driver, for
+/// both functional engines.
 #[test]
 fn full_stack_is_invisible_to_the_simulation() {
-    for w in suite() {
+    for w in suite().into_iter().chain(irregular_suite()) {
         for (cfg, threads) in configs(w) {
-            let name = format!("{} x{threads} ({})", w.name(), cfg.name);
-            let (plain, mem_plain) = run_plain(w, cfg.clone(), threads);
-            let (stacked, mem_stacked, _, _) =
-                run_stacked(w, cfg.clone(), threads, DriverMode::EventDriven);
-            assert_eq!(plain, stacked, "{name}: SimResult diverged under observation");
-            assert_eq!(mem_plain, mem_stacked, "{name}: final memory diverged under observation");
+            for engine in [EngineMode::Block, EngineMode::Interp] {
+                let name = format!("{} x{threads} ({}, {engine:?})", w.name(), cfg.name);
+                let (plain, mem_plain) = run_plain(w, cfg.clone(), threads, engine);
+                let (stacked, mem_stacked, _, _) =
+                    run_stacked(w, cfg.clone(), threads, DriverMode::EventDriven, engine);
+                assert_eq!(plain, stacked, "{name}: SimResult diverged under observation");
+                assert_eq!(
+                    mem_plain, mem_stacked,
+                    "{name}: final memory diverged under observation"
+                );
+            }
         }
     }
 }
@@ -79,18 +106,23 @@ fn full_stack_is_invisible_to_the_simulation() {
 /// With event logging enabled (the paths the null run never exercises),
 /// the event-driven driver still matches the cycle-by-cycle oracle —
 /// and so do the metrics registry and the trace document, which are
-/// derived purely from delivered events. One vector and one scalar
-/// multi-threaded workload keep the oracle's debug-build cost bounded.
+/// derived purely from delivered events. One vector, one scalar, and
+/// one clustered multi-threaded workload keep the oracle's debug-build
+/// cost bounded.
 #[test]
 fn drivers_agree_with_event_logging_enabled() {
-    let cases: [(&str, SystemConfig, usize); 2] =
-        [("mxm", SystemConfig::v2_cmp(), 2), ("radix", SystemConfig::cmt(), 4)];
+    let cases: [(&str, SystemConfig, usize); 3] = [
+        ("mxm", SystemConfig::v2_cmp(), 2),
+        ("radix", SystemConfig::cmt(), 4),
+        ("spmv", SystemConfig::v8_clustered(2), 4),
+    ];
     for (name, cfg, threads) in cases {
         let w = vlt_workloads::workload(name).unwrap();
+        let engine = EngineMode::default();
         let (re, me, metrics_e, trace_e) =
-            run_stacked(w, cfg.clone(), threads, DriverMode::EventDriven);
+            run_stacked(w, cfg.clone(), threads, DriverMode::EventDriven, engine);
         let (rn, mn, metrics_n, trace_n) =
-            run_stacked(w, cfg.clone(), threads, DriverMode::CycleByCycle);
+            run_stacked(w, cfg.clone(), threads, DriverMode::CycleByCycle, engine);
         assert_eq!(re, rn, "{name}: SimResult diverged across drivers");
         assert_eq!(me, mn, "{name}: memory diverged across drivers");
         assert_eq!(metrics_e, metrics_n, "{name}: metrics diverged across drivers");

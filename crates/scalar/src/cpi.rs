@@ -1,0 +1,152 @@
+//! CPI stacks: top-down cycle attribution built from [`StallBreakdown`].
+//!
+//! A [`CpiStack`] explains where one unit's cycles went over one
+//! measurement window (a region visit, a barrier epoch, or a whole run):
+//! a `base` component for cycles the unit made progress, an optional
+//! `partly_idle` component (vector units only — datapaths idled by a
+//! short vector length inside an occupied functional unit), and one
+//! component per [`StallCause`]. The defining property is **exact
+//! conservation**: the components sum to the measured cycle budget, per
+//! unit, under both timing drivers — checked by [`CpiStack::check`] and
+//! enforced across the whole kernel suite in `vlt-obs`'s conservation
+//! tests.
+//!
+//! Units differ in what a "cycle" is (see [`CpiStack::cycles`]): scalar
+//! units and lane cores budget one cycle per machine cycle, the vector
+//! unit budgets `3 * lanes` datapath-cycles per machine cycle (three
+//! arithmetic datapaths per lane, the Figure-4 taxonomy). Stacks are
+//! only comparable within a unit.
+
+use crate::stall::{StallBreakdown, StallCause};
+
+/// One unit's cycle attribution over one measurement window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Unit label (`"vu"`, `"core0"`, `"lane3"`, ...).
+    pub unit: String,
+    /// Measured cycle budget of the window: elapsed cycles for scalar
+    /// units and lane cores, elapsed cycles × `3 * lanes` datapath slots
+    /// for the vector unit.
+    pub cycles: u64,
+    /// Cycles the unit made forward progress (committed/fetched without
+    /// stalling; element work on a vector datapath).
+    pub base: u64,
+    /// Datapath-cycles idled by a short vector length inside an occupied
+    /// functional unit (vector unit only; zero elsewhere).
+    pub partly_idle: u64,
+    /// Lost cycles, attributed by cause.
+    pub stalls: StallBreakdown,
+}
+
+impl CpiStack {
+    /// An empty stack for `unit` (zero budget, nothing attributed).
+    pub fn empty(unit: impl Into<String>) -> Self {
+        CpiStack {
+            unit: unit.into(),
+            cycles: 0,
+            base: 0,
+            partly_idle: 0,
+            stalls: StallBreakdown::default(),
+        }
+    }
+
+    /// Sum of every component (what conservation compares to `cycles`).
+    pub fn attributed(&self) -> u64 {
+        self.base + self.partly_idle + self.stalls.total()
+    }
+
+    /// The conservation invariant: components sum exactly to the measured
+    /// budget. Returns a description of the discrepancy when violated.
+    pub fn check(&self) -> Result<(), String> {
+        let got = self.attributed();
+        if got != self.cycles {
+            return Err(format!(
+                "{}: attributed {} of {} cycles (base {} + partly-idle {} + stalls {})",
+                self.unit,
+                got,
+                self.cycles,
+                self.base,
+                self.partly_idle,
+                self.stalls.total(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Accumulate another window of the same unit into this one.
+    pub fn merge(&mut self, other: &CpiStack) {
+        self.cycles += other.cycles;
+        self.base += other.base;
+        self.partly_idle += other.partly_idle;
+        self.stalls.merge(&other.stalls);
+    }
+
+    /// Cycles attributed to one cause.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        self.stalls.get(cause)
+    }
+
+    /// Components as `(label, cycles)` pairs, top-down: `base`, then
+    /// `partly-idle` (when nonzero), then each nonzero stall cause by
+    /// descending weight. Labels are the stable kebab-case names used in
+    /// metrics and JSON.
+    pub fn components(&self) -> Vec<(&'static str, u64)> {
+        let mut v = vec![("base", self.base)];
+        if self.partly_idle > 0 {
+            v.push(("partly-idle", self.partly_idle));
+        }
+        v.extend(self.stalls.ranked().into_iter().map(|(c, n)| (c.name(), n)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> CpiStack {
+        let mut s = CpiStack::empty("vu");
+        s.cycles = 100;
+        s.base = 60;
+        s.partly_idle = 10;
+        s.stalls.add(StallCause::BankConflict, 20);
+        s.stalls.add(StallCause::BarrierWait, 10);
+        s
+    }
+
+    #[test]
+    fn conservation_checks() {
+        let mut s = stack();
+        s.check().unwrap();
+        s.cycles = 99;
+        let err = s.check().unwrap_err();
+        assert!(err.contains("attributed 100 of 99"), "{err}");
+    }
+
+    #[test]
+    fn merge_preserves_conservation() {
+        let mut a = stack();
+        let b = stack();
+        a.merge(&b);
+        assert_eq!(a.cycles, 200);
+        assert_eq!(a.base, 120);
+        assert_eq!(a.get(StallCause::BankConflict), 40);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn components_are_top_down() {
+        let s = stack();
+        let c = s.components();
+        assert_eq!(c[0], ("base", 60));
+        assert_eq!(c[1], ("partly-idle", 10));
+        assert_eq!(c[2], ("bank-conflict", 20));
+        assert_eq!(c[3], ("barrier-wait", 10));
+        assert_eq!(c.iter().map(|(_, n)| n).sum::<u64>(), s.cycles);
+    }
+
+    #[test]
+    fn empty_stack_conserves_trivially() {
+        CpiStack::empty("core0").check().unwrap();
+    }
+}

@@ -19,6 +19,7 @@
 //! mispredictions charge a front-end redirect penalty (DESIGN.md §8).
 
 pub mod config;
+pub mod cpi;
 pub mod inorder;
 pub mod ooo;
 pub mod predictor;
@@ -26,6 +27,7 @@ pub mod stall;
 pub mod traits;
 
 pub use config::{CoreConfig, LaneCoreConfig};
+pub use cpi::CpiStack;
 pub use inorder::InOrderCore;
 pub use ooo::{CoreStats, OooCore};
 pub use predictor::Predictor;
